@@ -1,0 +1,244 @@
+//! Shared baseline infrastructure: configuration, scorers, and the
+//! symmetric LightGCN-style propagation used by the Euclidean graph models.
+
+use logirec_data::InteractionSet;
+use logirec_linalg::{ops, Embedding};
+
+/// Hyperparameters shared by all baselines. Individual methods read the
+/// fields that apply to them (e.g. `layers` only matters to graph models).
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Positive pairs per step.
+    pub batch_size: usize,
+    /// Negatives per positive.
+    pub negatives: usize,
+    /// Margin for hinge-based objectives.
+    pub margin: f64,
+    /// L2 regularization strength.
+    pub reg: f64,
+    /// Graph propagation depth.
+    pub layers: usize,
+    /// Auxiliary-objective weight (tag losses, margin regularizers, …).
+    pub aux_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            lr: 0.05,
+            epochs: 30,
+            batch_size: 1024,
+            negatives: 1,
+            margin: 0.5,
+            reg: 1e-4,
+            layers: 3,
+            aux_weight: 0.1,
+            seed: 2024,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Small config for unit tests.
+    pub fn test_config() -> Self {
+        Self { dim: 8, epochs: 6, batch_size: 128, ..Self::default() }
+    }
+}
+
+/// Numerically safe logistic function.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Inner-product scorer (`score = p_u · q_v`).
+#[derive(Debug, Clone)]
+pub struct DotScorer {
+    /// User factors.
+    pub users: Embedding,
+    /// Item factors.
+    pub items: Embedding,
+}
+
+impl logirec_eval::Ranker for DotScorer {
+    fn score_user(&self, u: usize, out: &mut [f64]) {
+        let p = self.users.row(u);
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = ops::dot(p, self.items.row(v));
+        }
+    }
+}
+
+/// Euclidean metric scorer (`score = −‖p_u − q_v‖`).
+#[derive(Debug, Clone)]
+pub struct DistScorer {
+    /// User positions.
+    pub users: Embedding,
+    /// Item positions.
+    pub items: Embedding,
+}
+
+impl logirec_eval::Ranker for DistScorer {
+    fn score_user(&self, u: usize, out: &mut [f64]) {
+        let p = self.users.row(u);
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = -ops::dist(p, self.items.row(v));
+        }
+    }
+}
+
+/// LightGCN propagation with the symmetric normalization
+/// `1/sqrt(|N_u| |N_v|)` and layer-mean combination
+/// `e_final = (1/(L+1)) Σ_{l=0}^{L} e^l`.
+///
+/// The joint propagation matrix is symmetric, so this function is its own
+/// adjoint: calling it on gradients w.r.t. the final embeddings yields
+/// gradients w.r.t. the layer-0 embeddings. The unit tests verify this.
+pub fn sym_propagate(
+    adj: &InteractionSet,
+    z_u0: &Embedding,
+    z_v0: &Embedding,
+    layers: usize,
+) -> (Embedding, Embedding) {
+    let dim = z_u0.dim();
+    let mut zu = z_u0.clone();
+    let mut zv = z_v0.clone();
+    let mut acc_u = z_u0.clone();
+    let mut acc_v = z_v0.clone();
+    let mut next_u = Embedding::zeros(zu.rows(), dim);
+    let mut next_v = Embedding::zeros(zv.rows(), dim);
+    for _ in 0..layers {
+        next_u.fill_zero();
+        next_v.fill_zero();
+        for u in 0..zu.rows() {
+            let du = adj.items_of(u).len();
+            if du == 0 {
+                continue;
+            }
+            for &v in adj.items_of(u) {
+                let dv = adj.users_of(v).len();
+                let w = 1.0 / ((du * dv) as f64).sqrt();
+                ops::axpy(w, zv.row(v), next_u.row_mut(u));
+                ops::axpy(w, zu.row(u), next_v.row_mut(v));
+            }
+        }
+        std::mem::swap(&mut zu, &mut next_u);
+        std::mem::swap(&mut zv, &mut next_v);
+        ops::axpy(1.0, zu.as_slice(), acc_u.as_mut_slice());
+        ops::axpy(1.0, zv.as_slice(), acc_v.as_mut_slice());
+    }
+    let scale = 1.0 / (layers + 1) as f64;
+    ops::scale(acc_u.as_mut_slice(), scale);
+    ops::scale(acc_v.as_mut_slice(), scale);
+    (acc_u, acc_v)
+}
+
+/// BPR gradient helper: for a triplet with score difference
+/// `x = s(u,i) − s(u,j)`, the BPR loss `−ln σ(x)` has
+/// `dL/dx = −σ(−x)`. Returns both the loss value and `dL/dx`.
+#[inline]
+pub fn bpr_loss_grad(x: f64) -> (f64, f64) {
+    let s = sigmoid(-x);
+    // −ln σ(x) = softplus(−x); stable form.
+    let loss = if x > 0.0 { (1.0 + (-x).exp()).ln() } else { -x + (1.0 + x.exp()).ln() };
+    (loss, -s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logirec_linalg::SplitMix64;
+
+    #[test]
+    fn sigmoid_is_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bpr_loss_grad_matches_finite_differences() {
+        for &x in &[-2.0, -0.1, 0.0, 0.5, 3.0] {
+            let (_, g) = bpr_loss_grad(x);
+            let h = 1e-6;
+            let num = (bpr_loss_grad(x + h).0 - bpr_loss_grad(x - h).0) / (2.0 * h);
+            assert!((g - num).abs() < 1e-6, "x={x}: {g} vs {num}");
+        }
+    }
+
+    #[test]
+    fn sym_propagate_zero_layers_is_identity() {
+        let adj = InteractionSet::from_pairs(2, 2, &[(0, 0), (1, 1)]);
+        let mut rng = SplitMix64::new(1);
+        let zu = Embedding::normal(2, 3, 1.0, &mut rng);
+        let zv = Embedding::normal(2, 3, 1.0, &mut rng);
+        let (fu, fv) = sym_propagate(&adj, &zu, &zv, 0);
+        assert_eq!(fu, zu);
+        assert_eq!(fv, zv);
+    }
+
+    #[test]
+    fn sym_propagate_is_self_adjoint() {
+        let adj =
+            InteractionSet::from_pairs(3, 4, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 3), (2, 0)]);
+        let mut rng = SplitMix64::new(2);
+        for layers in 1..=3 {
+            let zu = Embedding::normal(3, 4, 1.0, &mut rng);
+            let zv = Embedding::normal(4, 4, 1.0, &mut rng);
+            let gu = Embedding::normal(3, 4, 1.0, &mut rng);
+            let gv = Embedding::normal(4, 4, 1.0, &mut rng);
+            let (fu, fv) = sym_propagate(&adj, &zu, &zv, layers);
+            let (bu, bv) = sym_propagate(&adj, &gu, &gv, layers);
+            let lhs =
+                ops::dot(fu.as_slice(), gu.as_slice()) + ops::dot(fv.as_slice(), gv.as_slice());
+            let rhs =
+                ops::dot(zu.as_slice(), bu.as_slice()) + ops::dot(zv.as_slice(), bv.as_slice());
+            assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "L={layers}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn sym_propagate_one_layer_manual_check() {
+        // user 0 — item 0 only: deg(u0)=1, deg(v0)=1 → weight 1.
+        let adj = InteractionSet::from_pairs(1, 1, &[(0, 0)]);
+        let mut zu = Embedding::zeros(1, 1);
+        zu.row_mut(0)[0] = 2.0;
+        let mut zv = Embedding::zeros(1, 1);
+        zv.row_mut(0)[0] = 4.0;
+        let (fu, fv) = sym_propagate(&adj, &zu, &zv, 1);
+        // final_u = (z_u + z_v)/2 = 3; final_v = (z_v + z_u)/2 = 3.
+        assert_eq!(fu.row(0)[0], 3.0);
+        assert_eq!(fv.row(0)[0], 3.0);
+    }
+
+    #[test]
+    fn scorers_rank_by_their_geometry() {
+        let mut users = Embedding::zeros(1, 2);
+        users.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+        let mut items = Embedding::zeros(2, 2);
+        items.row_mut(0).copy_from_slice(&[0.9, 0.1]);
+        items.row_mut(1).copy_from_slice(&[-1.0, 0.0]);
+        let dot = DotScorer { users: users.clone(), items: items.clone() };
+        let dist = DistScorer { users, items };
+        let mut s = [0.0; 2];
+        logirec_eval::Ranker::score_user(&dot, 0, &mut s);
+        assert!(s[0] > s[1]);
+        logirec_eval::Ranker::score_user(&dist, 0, &mut s);
+        assert!(s[0] > s[1]);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! The 13 comparison baselines from the paper's Table II, implemented from
+//! their defining objectives behind one [`Method`] registry:
+//!
+//! * general: BPRMF, NeuMF;
+//! * metric learning: CML, SML, HyperML;
+//! * tag-based: CMLF, AMF, TransC, AGCN;
+//! * graph-based: LightGCN, HGCF, GDCF, HRCF.
+//!
+//! Every method trains on the same [`logirec_data::Dataset`], uses the same
+//! negative sampler and batcher, and exposes its trained state as a
+//! [`logirec_eval::Ranker`], so the Table II harness treats all 15 systems
+//! (13 baselines + LogiRec + LogiRec++) uniformly.
+
+pub mod common;
+pub mod graphs;
+pub mod hyper;
+pub mod metric;
+pub mod mf;
+pub mod neural;
+pub mod registry;
+pub mod transc;
+
+pub use common::BaselineConfig;
+pub use registry::{train_method, Method, TrainedModel};

@@ -1,0 +1,267 @@
+//! Euclidean metric-learning baselines: CML (Hsieh et al. 2017), SML
+//! (Li et al. 2020, symmetric adaptive margins), and CMLF (CML fused with
+//! tag features).
+
+use logirec_data::{BatchIter, Dataset, NegativeSampler};
+use logirec_linalg::{ops, Embedding, SplitMix64};
+
+use crate::common::{BaselineConfig, DistScorer};
+
+/// Trains CML: the hinge `[m + d²(u,i) − d²(u,j)]₊` over triplets, with all
+/// embeddings clipped into the unit ball after each step.
+pub fn train_cml(cfg: &BaselineConfig, ds: &Dataset) -> DistScorer {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut users = Embedding::normal(ds.n_users(), cfg.dim, 0.1, &mut rng.fork(1));
+    let mut items = Embedding::normal(ds.n_items(), cfg.dim, 0.1, &mut rng.fork(2));
+    for epoch in 0..cfg.epochs {
+        let mut sampler = NegativeSampler::new(&ds.train, rng.fork(100 + epoch as u64));
+        let mut brng = rng.fork(200 + epoch as u64);
+        for batch in BatchIter::new(&ds.train, cfg.batch_size, &mut brng) {
+            for (u, i) in batch {
+                let j = sampler.sample(u);
+                cml_step(&mut users, &mut items, u, i, j, cfg.margin, cfg.lr);
+            }
+        }
+    }
+    DistScorer { users, items }
+}
+
+/// One CML triplet step; clips the touched rows to the unit ball.
+fn cml_step(
+    users: &mut Embedding,
+    items: &mut Embedding,
+    u: usize,
+    i: usize,
+    j: usize,
+    margin: f64,
+    lr: f64,
+) {
+    if i == j {
+        return;
+    }
+    let d_pos = ops::dist_sq(users.row(u), items.row(i));
+    let d_neg = ops::dist_sq(users.row(u), items.row(j));
+    if margin + d_pos - d_neg <= 0.0 {
+        return;
+    }
+    // ∇_u = 2(u−i) − 2(u−j) = 2(j−i); ∇_i = −2(u−i); ∇_j = 2(u−j).
+    let (qi, qj) = items.rows_mut2(i, j);
+    let pu = users.row_mut(u);
+    for k in 0..pu.len() {
+        let gu = 2.0 * (qj[k] - qi[k]);
+        let gi = 2.0 * (qi[k] - pu[k]);
+        let gj = 2.0 * (pu[k] - qj[k]);
+        pu[k] -= lr * gu;
+        qi[k] -= lr * gi;
+        qj[k] -= lr * gj;
+    }
+    ops::clip_norm(pu, 1.0);
+    ops::clip_norm(qi, 1.0);
+    ops::clip_norm(qj, 1.0);
+}
+
+/// Trains SML: symmetric metric learning with learnable per-user and
+/// per-item margins. The loss adds an item-centric hinge
+/// `[d²(u,i) − d²(i,j) + m_i]₊` to CML's user-centric one, and margins are
+/// driven upward by a `−γ·m` regularizer while hinge activations push back.
+pub fn train_sml(cfg: &BaselineConfig, ds: &Dataset) -> DistScorer {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut users = Embedding::normal(ds.n_users(), cfg.dim, 0.1, &mut rng.fork(1));
+    let mut items = Embedding::normal(ds.n_items(), cfg.dim, 0.1, &mut rng.fork(2));
+    let mut m_user = vec![cfg.margin; ds.n_users()];
+    let mut m_item = vec![cfg.margin; ds.n_items()];
+    let gamma = 0.1; // margin-growth pressure
+    for epoch in 0..cfg.epochs {
+        let mut sampler = NegativeSampler::new(&ds.train, rng.fork(100 + epoch as u64));
+        let mut brng = rng.fork(200 + epoch as u64);
+        for batch in BatchIter::new(&ds.train, cfg.batch_size, &mut brng) {
+            for (u, i) in batch {
+                let j = sampler.sample(u);
+                if i == j {
+                    continue;
+                }
+                // User-centric hinge with adaptive margin m_user[u].
+                let d_pos = ops::dist_sq(users.row(u), items.row(i));
+                let d_neg = ops::dist_sq(users.row(u), items.row(j));
+                let mut g_mu = -gamma;
+                if m_user[u] + d_pos - d_neg > 0.0 {
+                    g_mu += 1.0;
+                    cml_step(&mut users, &mut items, u, i, j, f64::INFINITY, cfg.lr);
+                }
+                m_user[u] = (m_user[u] - cfg.lr * g_mu).clamp(0.01, 1.0);
+
+                // Item-centric hinge: the positive item should be closer to
+                // the user than to the negative item, with margin m_item[i].
+                let d_ij = ops::dist_sq(items.row(i), items.row(j));
+                let mut g_mi = -gamma;
+                if m_item[i] + d_pos - d_ij > 0.0 {
+                    g_mi += 1.0;
+                    // ∇_i = 2(u−i)·(−1) − 2(i−j) ⇒ step below.
+                    let w = cfg.lr * cfg.aux_weight;
+                    let (qi, qj) = items.rows_mut2(i, j);
+                    let pu = users.row_mut(u);
+                    for k in 0..pu.len() {
+                        let gi = 2.0 * (qi[k] - pu[k]) - 2.0 * (qi[k] - qj[k]);
+                        let gj = 2.0 * (qi[k] - qj[k]);
+                        let gu = 2.0 * (pu[k] - qi[k]);
+                        qi[k] -= w * gi;
+                        qj[k] -= w * gj;
+                        pu[k] -= w * gu;
+                    }
+                    ops::clip_norm(qi, 1.0);
+                    ops::clip_norm(qj, 1.0);
+                    ops::clip_norm(pu, 1.0);
+                }
+                m_item[i] = (m_item[i] - cfg.lr * g_mi).clamp(0.01, 1.0);
+            }
+        }
+    }
+    DistScorer { users, items }
+}
+
+/// The trained CMLF model: CML whose effective item position is the free
+/// item vector plus the mean of its tag vectors, so items sharing tags
+/// share structure.
+#[derive(Debug, Clone)]
+pub struct Cmlf {
+    users: Embedding,
+    /// Composed item positions (free + mean tag), precomputed for scoring.
+    item_positions: Embedding,
+}
+
+impl logirec_eval::Ranker for Cmlf {
+    fn score_user(&self, u: usize, out: &mut [f64]) {
+        let p = self.users.row(u);
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = -ops::dist(p, self.item_positions.row(v));
+        }
+    }
+}
+
+/// Trains CMLF.
+pub fn train_cmlf(cfg: &BaselineConfig, ds: &Dataset) -> Cmlf {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut users = Embedding::normal(ds.n_users(), cfg.dim, 0.1, &mut rng.fork(1));
+    let mut items = Embedding::normal(ds.n_items(), cfg.dim, 0.1, &mut rng.fork(2));
+    let mut tags = Embedding::normal(ds.n_tags(), cfg.dim, 0.1, &mut rng.fork(3));
+
+    let compose = |items: &Embedding, tags: &Embedding, v: usize| -> Vec<f64> {
+        let mut pos = items.row(v).to_vec();
+        let vt = &ds.item_tags[v];
+        if !vt.is_empty() {
+            let w = 1.0 / vt.len() as f64;
+            for &t in vt {
+                ops::axpy(w, tags.row(t), &mut pos);
+            }
+        }
+        pos
+    };
+
+    for epoch in 0..cfg.epochs {
+        let mut sampler = NegativeSampler::new(&ds.train, rng.fork(100 + epoch as u64));
+        let mut brng = rng.fork(200 + epoch as u64);
+        for batch in BatchIter::new(&ds.train, cfg.batch_size, &mut brng) {
+            for (u, i) in batch {
+                let j = sampler.sample(u);
+                if i == j {
+                    continue;
+                }
+                let xi = compose(&items, &tags, i);
+                let xj = compose(&items, &tags, j);
+                let d_pos = ops::dist_sq(users.row(u), &xi);
+                let d_neg = ops::dist_sq(users.row(u), &xj);
+                if cfg.margin + d_pos - d_neg <= 0.0 {
+                    continue;
+                }
+                let pu = users.row_mut(u);
+                let mut g_i = vec![0.0; cfg.dim];
+                let mut g_j = vec![0.0; cfg.dim];
+                for k in 0..cfg.dim {
+                    let gu = 2.0 * (xj[k] - xi[k]);
+                    g_i[k] = 2.0 * (xi[k] - pu[k]);
+                    g_j[k] = 2.0 * (pu[k] - xj[k]);
+                    pu[k] -= cfg.lr * gu;
+                }
+                ops::clip_norm(pu, 1.0);
+                // Composed-position gradients split between the free item
+                // vector (full) and each tag vector (scaled by 1/|tags|).
+                for (v, g) in [(i, &g_i), (j, &g_j)] {
+                    ops::axpy(-cfg.lr, g, items.row_mut(v));
+                    ops::clip_norm(items.row_mut(v), 1.0);
+                    let vt = &ds.item_tags[v];
+                    if !vt.is_empty() {
+                        let w = cfg.lr / vt.len() as f64;
+                        for &t in vt {
+                            ops::axpy(-w, g, tags.row_mut(t));
+                            ops::clip_norm(tags.row_mut(t), 1.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut item_positions = Embedding::zeros(ds.n_items(), cfg.dim);
+    for v in 0..ds.n_items() {
+        item_positions.row_mut(v).copy_from_slice(&compose(&items, &tags, v));
+    }
+    Cmlf { users, item_positions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logirec_data::{DatasetSpec, Scale, Split};
+    use logirec_eval::evaluate;
+
+    #[test]
+    fn cml_pulls_positive_closer_than_negative() {
+        let mut rng = SplitMix64::new(1);
+        let mut users = Embedding::normal(1, 4, 0.1, &mut rng);
+        let mut items = Embedding::normal(2, 4, 0.1, &mut rng);
+        for _ in 0..300 {
+            cml_step(&mut users, &mut items, 0, 0, 1, 0.5, 0.05);
+        }
+        let dp = ops::dist(users.row(0), items.row(0));
+        let dn = ops::dist(users.row(0), items.row(1));
+        assert!(dp < dn, "positive {dp} should be closer than negative {dn}");
+    }
+
+    #[test]
+    fn cml_embeddings_stay_in_unit_ball() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(1);
+        let m = train_cml(&BaselineConfig::test_config(), &ds);
+        for u in 0..m.users.rows() {
+            assert!(ops::norm(m.users.row(u)) <= 1.0 + 1e-9);
+        }
+        for v in 0..m.items.rows() {
+            assert!(ops::norm(m.items.row(v)) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cml_learns_signal() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(2);
+        let m = train_cml(&BaselineConfig::test_config(), &ds);
+        let r = evaluate(&m, &ds, Split::Validation, &[10], 2).recall_at(10);
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn sml_trains_with_adaptive_margins() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(3);
+        let m = train_sml(&BaselineConfig::test_config(), &ds);
+        assert!(m.users.all_finite() && m.items.all_finite());
+        let r = evaluate(&m, &ds, Split::Validation, &[10], 2).recall_at(10);
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn cmlf_composes_tag_positions() {
+        let ds = DatasetSpec::cd(Scale::Tiny).generate(4);
+        let m = train_cmlf(&BaselineConfig::test_config(), &ds);
+        assert!(m.users.all_finite() && m.item_positions.all_finite());
+        let r = evaluate(&m, &ds, Split::Validation, &[10], 2).recall_at(10);
+        assert!(r > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! TransC (Lv et al. 2018), adapted to recommendation as in the paper's
+//! setup: concepts (tags) are Euclidean spheres `(o_t, r_t)`, instances
+//! (items) are points, and user–item interaction is a translation relation.
+//!
+//! Losses:
+//! * ranking: `[γ + ‖u + r − v_i‖² − ‖u + r − v_j‖²]₊` with a shared
+//!   translation vector `r` for the "interacts" relation;
+//! * instanceOf: `[‖v − o_t‖ − r_t]₊` for each membership pair;
+//! * subClassOf: `[‖o_i − o_j‖ + r_j − r_i]₊` for each hierarchy pair.
+
+use logirec_data::{BatchIter, Dataset, NegativeSampler};
+use logirec_eval::Ranker;
+use logirec_linalg::{ops, Embedding, SplitMix64};
+
+use crate::common::BaselineConfig;
+
+/// The trained TransC model.
+#[derive(Debug, Clone)]
+pub struct TransC {
+    users: Embedding,
+    items: Embedding,
+    /// Concept sphere centers.
+    centers: Embedding,
+    /// Concept sphere radii.
+    radii: Vec<f64>,
+    /// Translation vector of the "interacts" relation.
+    relation: Vec<f64>,
+}
+
+impl TransC {
+    /// Concept sphere of tag `t` (for tests/inspection).
+    pub fn sphere(&self, t: usize) -> (&[f64], f64) {
+        (self.centers.row(t), self.radii[t])
+    }
+}
+
+impl Ranker for TransC {
+    fn score_user(&self, u: usize, out: &mut [f64]) {
+        let shifted = ops::add(self.users.row(u), &self.relation);
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = -ops::dist_sq(&shifted, self.items.row(v));
+        }
+    }
+}
+
+/// Trains TransC.
+pub fn train_transc(cfg: &BaselineConfig, ds: &Dataset) -> TransC {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut m = TransC {
+        users: Embedding::normal(ds.n_users(), cfg.dim, 0.1, &mut rng.fork(1)),
+        items: Embedding::normal(ds.n_items(), cfg.dim, 0.1, &mut rng.fork(2)),
+        centers: Embedding::normal(ds.n_tags(), cfg.dim, 0.1, &mut rng.fork(3)),
+        radii: vec![0.5; ds.n_tags()],
+        relation: vec![0.0; cfg.dim],
+    };
+    let mem = &ds.relations.membership;
+    let hie = &ds.relations.hierarchy;
+
+    for epoch in 0..cfg.epochs {
+        let mut sampler = NegativeSampler::new(&ds.train, rng.fork(100 + epoch as u64));
+        let mut brng = rng.fork(200 + epoch as u64);
+        let mut lrng = rng.fork(300 + epoch as u64);
+        for batch in BatchIter::new(&ds.train, cfg.batch_size, &mut brng) {
+            for (u, i) in batch {
+                let j = sampler.sample(u);
+                if i != j {
+                    ranking_step(&mut m, u, i, j, cfg.margin, cfg.lr);
+                }
+                // One instanceOf and one subClassOf step per interaction.
+                if !mem.is_empty() {
+                    let (v, t) = mem[lrng.index(mem.len())];
+                    instance_of_step(&mut m, v, t, cfg.lr * cfg.aux_weight);
+                }
+                if !hie.is_empty() {
+                    let (p, c) = hie[lrng.index(hie.len())];
+                    sub_class_of_step(&mut m, p, c, cfg.lr * cfg.aux_weight);
+                }
+            }
+        }
+    }
+    m
+}
+
+fn ranking_step(m: &mut TransC, u: usize, i: usize, j: usize, margin: f64, lr: f64) {
+    let shifted = ops::add(m.users.row(u), &m.relation);
+    let d_pos = ops::dist_sq(&shifted, m.items.row(i));
+    let d_neg = ops::dist_sq(&shifted, m.items.row(j));
+    if margin + d_pos - d_neg <= 0.0 {
+        return;
+    }
+    let (qi, qj) = m.items.rows_mut2(i, j);
+    let pu = m.users.row_mut(u);
+    for k in 0..pu.len() {
+        let s = pu[k] + m.relation[k];
+        // ∂/∂s [ (s−qi)² − (s−qj)² ] = 2(qj − qi).
+        let gs = 2.0 * (qj[k] - qi[k]);
+        let gi = -2.0 * (s - qi[k]);
+        let gj = 2.0 * (s - qj[k]);
+        pu[k] -= lr * gs;
+        m.relation[k] -= lr * gs;
+        qi[k] -= lr * gi;
+        qj[k] -= lr * gj;
+    }
+}
+
+fn instance_of_step(m: &mut TransC, v: usize, t: usize, lr: f64) {
+    let d = ops::dist(m.items.row(v), m.centers.row(t));
+    if d - m.radii[t] <= 0.0 {
+        return;
+    }
+    let n = d.max(1e-12);
+    let qv = m.items.row_mut(v);
+    let ot = m.centers.row_mut(t);
+    for k in 0..qv.len() {
+        let unit = (qv[k] - ot[k]) / n;
+        qv[k] -= lr * unit;
+        ot[k] += lr * unit;
+    }
+    m.radii[t] = (m.radii[t] + lr).clamp(0.01, 2.0);
+}
+
+fn sub_class_of_step(m: &mut TransC, parent: usize, child: usize, lr: f64) {
+    let d = ops::dist(m.centers.row(parent), m.centers.row(child));
+    if d + m.radii[child] - m.radii[parent] <= 0.0 {
+        return;
+    }
+    let n = d.max(1e-12);
+    let (op, oc) = m.centers.rows_mut2(parent, child);
+    for k in 0..op.len() {
+        let unit = (op[k] - oc[k]) / n;
+        op[k] -= lr * unit;
+        oc[k] += lr * unit;
+    }
+    m.radii[parent] = (m.radii[parent] + lr).clamp(0.01, 2.0);
+    m.radii[child] = (m.radii[child] - lr).clamp(0.01, 2.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logirec_data::{DatasetSpec, Scale, Split};
+    use logirec_eval::evaluate;
+
+    #[test]
+    fn transc_learns_ranking_signal() {
+        let ds = DatasetSpec::cd(Scale::Tiny).generate(1);
+        let m = train_transc(&BaselineConfig::test_config(), &ds);
+        assert!(m.users.all_finite() && m.items.all_finite() && m.centers.all_finite());
+        let r = evaluate(&m, &ds, Split::Validation, &[10], 2).recall_at(10);
+        assert!(r > 0.0, "TransC recall {r}");
+    }
+
+    #[test]
+    fn instance_of_step_pulls_item_into_sphere() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(2);
+        let mut m = train_transc(&BaselineConfig { epochs: 0, ..BaselineConfig::test_config() }, &ds);
+        // Place item 0 far outside tag 0's sphere.
+        for k in 0..m.items.dim() {
+            m.items.row_mut(0)[k] = 3.0;
+            m.centers.row_mut(0)[k] = 0.0;
+        }
+        m.radii[0] = 0.2;
+        let before = ops::dist(m.items.row(0), m.centers.row(0)) - m.radii[0];
+        for _ in 0..50 {
+            instance_of_step(&mut m, 0, 0, 0.05);
+        }
+        let after = ops::dist(m.items.row(0), m.centers.row(0)) - m.radii[0];
+        assert!(after < before, "violation should shrink: {before} → {after}");
+    }
+
+    #[test]
+    fn sub_class_of_step_nests_spheres() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(3);
+        let mut m = train_transc(&BaselineConfig { epochs: 0, ..BaselineConfig::test_config() }, &ds);
+        for k in 0..m.centers.dim() {
+            m.centers.row_mut(0)[k] = 0.0;
+            m.centers.row_mut(1)[k] = if k == 0 { 1.0 } else { 0.0 };
+        }
+        m.radii[0] = 0.3;
+        m.radii[1] = 0.3;
+        let violation = |m: &TransC| {
+            ops::dist(m.centers.row(0), m.centers.row(1)) + m.radii[1] - m.radii[0]
+        };
+        let before = violation(&m);
+        for _ in 0..100 {
+            sub_class_of_step(&mut m, 0, 1, 0.02);
+        }
+        assert!(violation(&m) < before);
+        assert!(m.radii.iter().all(|&r| (0.01..=2.0).contains(&r)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based and behavioral tests across the baseline suite.
+
+use logirec_baselines::common::{bpr_loss_grad, sigmoid, sym_propagate};
+use logirec_baselines::{train_method, BaselineConfig, Method};
+use logirec_data::{DatasetSpec, InteractionSet, Scale};
+use logirec_eval::Ranker;
+use logirec_linalg::{ops, Embedding, SplitMix64};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bpr_loss_is_positive_decreasing_convex(x in -10.0f64..10.0) {
+        let (loss, grad) = bpr_loss_grad(x);
+        prop_assert!(loss > 0.0, "softplus is strictly positive");
+        prop_assert!(grad < 0.0, "loss decreases in the score gap");
+        // Convexity: gradient is increasing.
+        let (_, g2) = bpr_loss_grad(x + 0.1);
+        prop_assert!(g2 >= grad);
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_monotonicity(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        let (sa, sb) = (sigmoid(a), sigmoid(b));
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb);
+        }
+    }
+
+    #[test]
+    fn sym_propagate_preserves_constant_vectors(
+        pairs in prop::collection::vec((0usize..6, 0usize..8), 1..40),
+        layers in 1usize..4,
+    ) {
+        // Rows of the symmetric propagation matrix do not generally sum to
+        // one, but an all-zero input must map to all-zero output and the
+        // map must be homogeneous.
+        let adj = InteractionSet::from_pairs(6, 8, &pairs);
+        let zeros_u = Embedding::zeros(6, 3);
+        let zeros_v = Embedding::zeros(8, 3);
+        let (fu, fv) = sym_propagate(&adj, &zeros_u, &zeros_v, layers);
+        prop_assert!(fu.as_slice().iter().all(|&x| x == 0.0));
+        prop_assert!(fv.as_slice().iter().all(|&x| x == 0.0));
+
+        let mut rng = SplitMix64::new(7);
+        let zu = Embedding::normal(6, 3, 1.0, &mut rng);
+        let zv = Embedding::normal(8, 3, 1.0, &mut rng);
+        let (a_u, _) = sym_propagate(&adj, &zu, &zv, layers);
+        let mut zu2 = zu.clone();
+        let mut zv2 = zv.clone();
+        ops::scale(zu2.as_mut_slice(), 2.0);
+        ops::scale(zv2.as_mut_slice(), 2.0);
+        let (b_u, _) = sym_propagate(&adj, &zu2, &zv2, layers);
+        for (x, y) in a_u.as_slice().iter().zip(b_u.as_slice()) {
+            prop_assert!((2.0 * x - y).abs() < 1e-9, "homogeneity");
+        }
+    }
+}
+
+/// Scores must be permutation-consistent: relabeling users must not change
+/// a given user's ranking (checked for a fast representative per group).
+#[test]
+fn baseline_scores_are_user_local() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(61);
+    let cfg = BaselineConfig { dim: 8, epochs: 2, layers: 2, ..BaselineConfig::default() };
+    for method in [Method::Bprmf, Method::Cml, Method::HyperMl, Method::LightGcn] {
+        let model = train_method(method, &cfg, &ds);
+        let mut s1 = vec![0.0; ds.n_items()];
+        let mut s2 = vec![0.0; ds.n_items()];
+        model.score_user(2, &mut s1);
+        model.score_user(5, &mut s2); // interleave queries
+        let mut s1b = vec![0.0; ds.n_items()];
+        model.score_user(2, &mut s1b);
+        assert_eq!(s1, s1b, "{}: scoring must be stateless", method.label());
+    }
+}
+
+/// The hyperbolic baselines must keep their invariant manifolds.
+#[test]
+fn hyperbolic_baselines_respect_manifolds() {
+    use logirec_baselines::hyper::{train_hgcf, train_hyperml};
+    use logirec_hyperbolic::{lorentz, poincare};
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(62);
+    let cfg = BaselineConfig { dim: 8, epochs: 3, layers: 2, ..BaselineConfig::default() };
+    let hm = train_hyperml(&cfg, &ds);
+    for v in 0..ds.n_items() {
+        assert!(poincare::in_ball(hm.items.row(v)));
+    }
+    let hg = train_hgcf(&cfg, &ds, true);
+    for u in 0..ds.n_users() {
+        assert!(lorentz::on_manifold(hg.users.row(u), 1e-6));
+    }
+}

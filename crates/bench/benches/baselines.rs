@@ -1,0 +1,36 @@
+//! Benchmarks of one-epoch training cost per baseline method — the
+//! compute side of the Table II comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logirec_baselines::{train_method, BaselineConfig, Method};
+use logirec_data::{DatasetSpec, Scale};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(1);
+    let cfg = BaselineConfig { dim: 32, epochs: 1, layers: 2, ..BaselineConfig::default() };
+    let mut group = c.benchmark_group("baseline_one_epoch");
+    group.sample_size(10);
+    for method in Method::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(method.label()), &method, |b, &m| {
+            b.iter(|| train_method(black_box(m), &cfg, &ds))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches run on constrained CI-like
+/// machines (often a single core); trends matter more than tight CIs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_baselines
+}
+criterion_main!(benches);

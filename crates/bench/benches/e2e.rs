@@ -1,0 +1,57 @@
+//! End-to-end benchmarks: one full LogiRec++/LogiRec training epoch and a
+//! complete test evaluation on a tiny benchmark — the unit of work behind
+//! every table binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logirec_core::{train, Geometry, LogiRecConfig};
+use logirec_data::{DatasetSpec, Scale, Split};
+use logirec_eval::evaluate;
+use std::hint::black_box;
+
+fn one_epoch_cfg(mining: bool, geometry: Geometry) -> LogiRecConfig {
+    LogiRecConfig {
+        dim: 32,
+        epochs: 1,
+        eval_every: 0,
+        patience: 0,
+        mining,
+        geometry,
+        ..LogiRecConfig::default()
+    }
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(1);
+    let mut group = c.benchmark_group("e2e");
+    group.sample_size(10);
+    group.bench_function("logirec_one_epoch", |b| {
+        b.iter(|| train(black_box(one_epoch_cfg(false, Geometry::Hyperbolic)), &ds))
+    });
+    group.bench_function("logirec_pp_one_epoch", |b| {
+        b.iter(|| train(black_box(one_epoch_cfg(true, Geometry::Hyperbolic)), &ds))
+    });
+    group.bench_function("logirec_pp_euclid_one_epoch", |b| {
+        b.iter(|| train(black_box(one_epoch_cfg(true, Geometry::Euclidean)), &ds))
+    });
+    let (model, _) = train(one_epoch_cfg(true, Geometry::Hyperbolic), &ds);
+    group.bench_function("full_test_evaluation", |b| {
+        b.iter(|| evaluate(black_box(&model), &ds, Split::Test, &[10, 20], 4))
+    });
+    group.finish();
+}
+
+
+/// Short measurement windows: these benches run on constrained CI-like
+/// machines (often a single core); trends matter more than tight CIs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_e2e
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks of the full-ranking evaluator and statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logirec_data::{DatasetSpec, Scale, Split};
+use logirec_eval::ranking::top_k_indices;
+use logirec_eval::{evaluate, wilcoxon_signed_rank};
+use logirec_linalg::SplitMix64;
+use std::hint::black_box;
+
+fn bench_eval(c: &mut Criterion) {
+    let ds = DatasetSpec::cd(Scale::Tiny).generate(1);
+    let mut rng = SplitMix64::new(2);
+    let scores: Vec<f64> = (0..10_000).map(|_| rng.normal()).collect();
+    c.bench_function("top_k_20_of_10000", |b| {
+        b.iter(|| top_k_indices(black_box(&scores), 20))
+    });
+
+    let scorer = |u: usize, out: &mut [f64]| {
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = ((u * 31 + v * 17) % 97) as f64;
+        }
+    };
+    c.bench_function("evaluate_full_ranking_1thread", |b| {
+        b.iter(|| evaluate(black_box(&scorer), &ds, Split::Test, &[10, 20], 1))
+    });
+    c.bench_function("evaluate_full_ranking_4threads", |b| {
+        b.iter(|| evaluate(black_box(&scorer), &ds, Split::Test, &[10, 20], 4))
+    });
+
+    let a: Vec<f64> = (0..500).map(|i| (i % 13) as f64 + 0.5).collect();
+    let b2: Vec<f64> = (0..500).map(|i| (i % 11) as f64).collect();
+    c.bench_function("wilcoxon_500_pairs", |b| {
+        b.iter(|| wilcoxon_signed_rank(black_box(&a), black_box(&b2)))
+    });
+}
+
+
+/// Short measurement windows: these benches run on constrained CI-like
+/// machines (often a single core); trends matter more than tight CIs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the hyperbolic geometry kernels — the innermost
+//! loops of every experiment (Section III primitives).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logirec_hyperbolic::{hyperplane, lorentz, maps, poincare, Ball};
+use logirec_linalg::SplitMix64;
+use std::hint::black_box;
+
+fn vecs(dim: usize, scale: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = SplitMix64::new(seed);
+    let a: Vec<f64> = (0..dim).map(|_| rng.uniform(-scale, scale)).collect();
+    let b: Vec<f64> = (0..dim).map(|_| rng.uniform(-scale, scale)).collect();
+    (a, b)
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let dim = 64;
+    let (x, y) = vecs(dim, 0.08, 1);
+    let (zx, zy) = vecs(dim, 0.5, 2);
+    let lx = lorentz::exp_origin(&zx);
+    let ly = lorentz::exp_origin(&zy);
+
+    c.bench_function("poincare_distance_d64", |b| {
+        b.iter(|| poincare::distance(black_box(&x), black_box(&y)))
+    });
+    c.bench_function("poincare_distance_vjp_d64", |b| {
+        b.iter(|| poincare::distance_vjp(black_box(&x), black_box(&y), 1.0))
+    });
+    c.bench_function("mobius_add_d64", |b| {
+        b.iter(|| poincare::mobius_add(black_box(&x), black_box(&y)))
+    });
+    c.bench_function("poincare_exp_map_d64", |b| {
+        b.iter(|| poincare::exp_map_paper(black_box(&x), black_box(&zy)))
+    });
+    c.bench_function("lorentz_distance_d64", |b| {
+        b.iter(|| lorentz::distance(black_box(&lx), black_box(&ly)))
+    });
+    c.bench_function("lorentz_distance_vjp_d64", |b| {
+        b.iter(|| lorentz::distance_vjp(black_box(&lx), black_box(&ly), 1.0))
+    });
+    c.bench_function("lorentz_exp_origin_d64", |b| {
+        b.iter(|| lorentz::exp_origin(black_box(&zx)))
+    });
+    c.bench_function("lorentz_log_origin_d64", |b| {
+        b.iter(|| lorentz::log_origin(black_box(&lx)))
+    });
+    c.bench_function("lorentz_exp_origin_vjp_d64", |b| {
+        b.iter(|| lorentz::exp_origin_vjp(black_box(&zx), black_box(&lx)))
+    });
+    c.bench_function("p_inv_poincare_to_lorentz_d64", |b| {
+        b.iter(|| maps::poincare_to_lorentz(black_box(&x)))
+    });
+    c.bench_function("p_inv_vjp_d64", |b| {
+        b.iter(|| maps::poincare_to_lorentz_vjp(black_box(&x), black_box(&lx)))
+    });
+    c.bench_function("ball_from_center_d64", |b| {
+        b.iter(|| Ball::from_center(black_box(&zx)))
+    });
+    c.bench_function("ball_vjp_d64", |b| {
+        b.iter(|| hyperplane::ball_vjp(black_box(&zx), black_box(&zy), 0.5))
+    });
+}
+
+
+/// Short measurement windows: these benches run on constrained CI-like
+/// machines (often a single core); trends matter more than tight CIs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_geometry
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks of the LogiRec++ mining weights (Eq. 11–14).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logirec_core::mining::{combine_weights, consistency_weights, granularity_weights};
+use logirec_core::{LogiRec, LogiRecConfig};
+use logirec_data::{DatasetSpec, Scale};
+use std::hint::black_box;
+
+fn bench_mining(c: &mut Criterion) {
+    let ds = DatasetSpec::cd(Scale::Tiny).generate(1);
+    let mut model = LogiRec::new(LogiRecConfig::default(), &ds);
+    model.propagate(&ds.train);
+
+    c.bench_function("consistency_weights", |b| {
+        b.iter(|| consistency_weights(black_box(&ds)))
+    });
+    c.bench_function("granularity_weights", |b| {
+        b.iter(|| granularity_weights(black_box(&model), ds.n_users()))
+    });
+    let con = consistency_weights(&ds);
+    let gr = granularity_weights(&model, ds.n_users());
+    c.bench_function("combine_weights", |b| {
+        b.iter(|| combine_weights(black_box(&con), black_box(&gr), 0.1))
+    });
+}
+
+
+/// Short measurement windows: these benches run on constrained CI-like
+/// machines (often a single core); trends matter more than tight CIs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_mining
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks of negative sampling and mini-batching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logirec_data::{BatchIter, DatasetSpec, NegativeSampler, Scale};
+use logirec_linalg::SplitMix64;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let ds = DatasetSpec::cd(Scale::Tiny).generate(1);
+    c.bench_function("negative_sample_single", |b| {
+        let mut s = NegativeSampler::new(&ds.train, SplitMix64::new(1));
+        let mut u = 0;
+        b.iter(|| {
+            u = (u + 1) % ds.n_users();
+            black_box(s.sample(u))
+        })
+    });
+    c.bench_function("negative_sample_many_32", |b| {
+        let mut s = NegativeSampler::new(&ds.train, SplitMix64::new(2));
+        b.iter(|| black_box(s.sample_many(3, 32)))
+    });
+    c.bench_function("batch_iter_full_epoch", |b| {
+        b.iter(|| {
+            let mut rng = SplitMix64::new(3);
+            let n: usize =
+                BatchIter::new(black_box(&ds.train), 256, &mut rng).map(|b| b.len()).sum();
+            black_box(n)
+        })
+    });
+    c.bench_function("dataset_generate_ciao_tiny", |b| {
+        let spec = DatasetSpec::ciao(Scale::Tiny);
+        b.iter(|| black_box(spec.generate(7)))
+    });
+}
+
+
+/// Short measurement windows: these benches run on constrained CI-like
+/// machines (often a single core); trends matter more than tight CIs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_sampling
+}
+criterion_main!(benches);

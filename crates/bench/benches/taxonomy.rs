@@ -1,0 +1,67 @@
+//! Benchmarks of taxonomy generation and logical relation extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logirec_linalg::SplitMix64;
+use logirec_taxonomy::{ExclusionRule, LogicalRelations, TaxonomyConfig};
+use std::hint::black_box;
+
+fn bench_taxonomy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taxonomy_generate");
+    for tags in [28usize, 379, 3051] {
+        group.bench_with_input(BenchmarkId::from_parameter(tags), &tags, |b, &t| {
+            let cfg = TaxonomyConfig { tags: t, ..Default::default() };
+            b.iter(|| {
+                let mut rng = SplitMix64::new(1);
+                black_box(cfg.generate(&mut rng))
+            })
+        });
+    }
+    group.finish();
+
+    let cfg = TaxonomyConfig { tags: 379, ..Default::default() };
+    let taxonomy = cfg.generate(&mut SplitMix64::new(1));
+    // 2000 items, two tags each.
+    let mut rng = SplitMix64::new(2);
+    let item_tags: Vec<Vec<usize>> = (0..2000)
+        .map(|_| vec![rng.index(taxonomy.len()), rng.index(taxonomy.len())])
+        .collect();
+
+    c.bench_function("extract_relations_all_siblings", |b| {
+        b.iter(|| {
+            LogicalRelations::extract(
+                black_box(&taxonomy),
+                &item_tags,
+                ExclusionRule::AllSiblings,
+            )
+        })
+    });
+    c.bench_function("extract_relations_with_item_veto", |b| {
+        b.iter(|| {
+            LogicalRelations::extract(
+                black_box(&taxonomy),
+                &item_tags,
+                ExclusionRule::SiblingsWithoutCommonItems,
+            )
+        })
+    });
+    let rel = LogicalRelations::extract(&taxonomy, &item_tags, ExclusionRule::AllSiblings);
+    c.bench_function("exclusion_index_build", |b| {
+        b.iter(|| black_box(rel.exclusion_index()))
+    });
+}
+
+
+/// Short measurement windows: these benches run on constrained CI-like
+/// machines (often a single core); trends matter more than tight CIs.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_taxonomy
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Table IV — hyperparameter studies on CD and Clothing.
+//!
+//! Sweeps, with all other parameters at their defaults:
+//! * GCN depth `L ∈ {1, 2, 3, 4}` — paper optimum: 3;
+//! * logic weight `λ ∈ {0, 0.01, 0.1, 1.0, 1.5}` — optimum 0.1 (CD) /
+//!   1.0 (Clothing);
+//! * margin `m ∈ {0, 0.5, 1, 2}` (rescaled from the paper's {0, .1, .2,
+//!   .3}: plain RSGD + layer-sum aggregation inflate carrier distances,
+//!   see EXPERIMENTS.md) — interior optimum expected at 1;
+//! * dimension `d ∈ {32, 64, 128}` — monotone gains, 64 chosen.
+//!
+//! Run: `cargo run --release -p logirec-bench --bin table4 -- --scale small --datasets cd,clothing`
+
+use logirec_bench::harness::{logirec_config, ExpMetrics, RunArgs};
+use logirec_bench::table::{self, Row};
+use logirec_core::train;
+use logirec_eval::{mean_std, MeanStd};
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    // Table IV only covers CD and Clothing in the paper; honor an explicit
+    // --datasets override but default to those two.
+    if args.datasets.len() == 4 {
+        args.datasets = vec!["cd".into(), "clothing".into()];
+    }
+    let headers = ["Recall@10", "NDCG@10"];
+
+    for spec in args.specs() {
+        eprintln!("== dataset {} ==", spec.name);
+        let mut rows: Vec<Row> = Vec::new();
+        let sweeps: Vec<(String, Mutator)> = sweep_list();
+        for (label, mutator) in &sweeps {
+            let mut per_seed = Vec::new();
+            for seed in 0..args.seeds {
+                let ds = spec.generate(100 + seed);
+                let mut cfg = logirec_config(&args, spec.name, true, 7 * seed + 1);
+                mutator(&mut cfg);
+                let (model, _) = train(cfg, &ds);
+                let m = ExpMetrics::collect(&model, &ds, args.threads);
+                per_seed.push([m.r10, m.n10]);
+            }
+            let agg: Vec<MeanStd> = (0..2)
+                .map(|i| mean_std(&per_seed.iter().map(|q| q[i]).collect::<Vec<_>>()))
+                .collect();
+            eprintln!("  {label:>10}: R@10 {}", agg[0].format_percent());
+            rows.push(Row::from_metrics(label.clone(), &agg, false));
+        }
+        let title =
+            format!("Table IV ({}, scale = {:?}, seeds = {})", spec.name, args.scale, args.seeds);
+        let rendered = table::render(&title, &headers, &rows);
+        println!("{rendered}");
+        table::save("table4", &rendered);
+    }
+}
+
+type Mutator = Box<dyn Fn(&mut logirec_core::LogiRecConfig)>;
+
+fn sweep_list() -> Vec<(String, Mutator)> {
+    let mut out: Vec<(String, Mutator)> = Vec::new();
+    for l in [1usize, 2, 3, 4] {
+        out.push((format!("L = {l}"), Box::new(move |c| c.layers = l)));
+    }
+    for lam in [0.0, 0.01, 0.1, 1.0, 1.5] {
+        out.push((format!("lambda = {lam}"), Box::new(move |c| c.lambda = lam)));
+    }
+    for m in [0.0, 0.5, 1.0, 2.0] {
+        out.push((format!("m = {m}"), Box::new(move |c| c.margin = m)));
+    }
+    for d in [32usize, 64, 128] {
+        out.push((format!("d = {d}"), Box::new(move |c| c.dim = d)));
+    }
+    out
+}

@@ -1,0 +1,98 @@
+//! The Table III ablation variants.
+
+use crate::config::{Geometry, LogiRecConfig};
+
+/// A named model variant from the paper's ablation study (Table III),
+/// plus the two headline configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Full LogiRec++ (mining on).
+    LogiRecPlusPlus,
+    /// Plain LogiRec — identical to "LogiRec++ w/o. LRM".
+    LogiRec,
+    /// Without the membership loss L_Mem.
+    WithoutMem,
+    /// Without the hierarchy loss L_Hie.
+    WithoutHie,
+    /// Without the exclusion loss L_Ex.
+    WithoutEx,
+    /// Without the hyperbolic GCN (L = 0).
+    WithoutHgcn,
+    /// Projected to Euclidean space.
+    WithoutHyper,
+    /// Extension: with the intersection relation loss L_Int enabled
+    /// (the paper's future work; not a Table III row).
+    WithIntersection,
+}
+
+impl Variant {
+    /// All Table III rows, LogiRec++ first.
+    pub fn table3() -> [Variant; 7] {
+        [
+            Variant::LogiRecPlusPlus,
+            Variant::WithoutMem,
+            Variant::WithoutHie,
+            Variant::WithoutEx,
+            Variant::WithoutHgcn,
+            Variant::LogiRec, // "w/o. LRM"
+            Variant::WithoutHyper,
+        ]
+    }
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::LogiRecPlusPlus => "LogiRec++",
+            Variant::LogiRec => "- w/o. LRM",
+            Variant::WithoutMem => "- w/o. L_Mem",
+            Variant::WithoutHie => "- w/o. L_Hie",
+            Variant::WithoutEx => "- w/o. L_Ex",
+            Variant::WithoutHgcn => "- w/o. HGCN",
+            Variant::WithoutHyper => "- w/o. Hyper",
+            Variant::WithIntersection => "+ w. L_Int (ext.)",
+        }
+    }
+
+    /// Applies the variant to a base configuration.
+    pub fn apply(&self, mut cfg: LogiRecConfig) -> LogiRecConfig {
+        match self {
+            Variant::LogiRecPlusPlus => cfg.mining = true,
+            Variant::LogiRec => cfg.mining = false,
+            Variant::WithoutMem => cfg.use_mem = false,
+            Variant::WithoutHie => cfg.use_hie = false,
+            Variant::WithoutEx => cfg.use_ex = false,
+            Variant::WithoutHgcn => cfg.layers = 0,
+            Variant::WithoutHyper => cfg.geometry = Geometry::Euclidean,
+            Variant::WithIntersection => cfg.use_int = true,
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_toggle_expected_fields() {
+        let base = LogiRecConfig::default();
+        assert!(!Variant::LogiRec.apply(base.clone()).mining);
+        assert!(!Variant::WithoutMem.apply(base.clone()).use_mem);
+        assert!(!Variant::WithoutHie.apply(base.clone()).use_hie);
+        assert!(!Variant::WithoutEx.apply(base.clone()).use_ex);
+        assert_eq!(Variant::WithoutHgcn.apply(base.clone()).layers, 0);
+        assert_eq!(Variant::WithoutHyper.apply(base.clone()).geometry, Geometry::Euclidean);
+        assert!(Variant::LogiRecPlusPlus.apply(base.clone()).mining);
+        let ext = Variant::WithIntersection.apply(base);
+        assert!(ext.use_int);
+    }
+
+    #[test]
+    fn table3_has_seven_rows_with_unique_labels() {
+        let rows = Variant::table3();
+        let mut labels: Vec<&str> = rows.iter().map(|v| v.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 7);
+    }
+}

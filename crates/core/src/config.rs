@@ -1,0 +1,151 @@
+//! Configuration of the LogiRec / LogiRec++ models.
+
+/// Which carrier space the model trains in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Geometry {
+    /// The paper's design: Poincaré items/tags + Lorentz users with RSGD.
+    Hyperbolic,
+    /// The "w/o Hyper" ablation: identical architecture projected into
+    /// Euclidean space (Euclidean distances and plain SGD; the tag-ball
+    /// derivation is kept as a parametrization).
+    Euclidean,
+}
+
+/// Hyperparameters of LogiRec / LogiRec++.
+///
+/// Defaults follow the paper's structural choices (`d = 64`, `L = 3`,
+/// Section VI-A4 / Table IV). The LMNN margin and learning rate were
+/// re-tuned on the synthetic benchmarks' validation splits: with plain
+/// RSGD (no Adam) and the layer-sum aggregation of Eq. 7, carrier-space
+/// distances are several times larger than in the authors' setup, moving
+/// the optimal margin from the paper's 0.1 to ≈1 (see EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct LogiRecConfig {
+    /// Embedding dimension `d`.
+    pub dim: usize,
+    /// Number of GCN layers `L` (0 disables propagation — "w/o HGCN").
+    pub layers: usize,
+    /// Weight `λ` on the logical relation losses (Eq. 10 / 15).
+    pub lambda: f64,
+    /// LMNN margin `m` (Eq. 9).
+    pub margin: f64,
+    /// Riemannian SGD learning rate.
+    pub lr: f64,
+    /// Per-epoch multiplicative learning-rate decay (1.0 = constant).
+    pub lr_decay: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Positive pairs per SGD step.
+    pub batch_size: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Logical-relation samples (per relation type) per SGD step.
+    pub logic_batch: usize,
+    /// Carrier space.
+    pub geometry: Geometry,
+    /// Enable L_Mem (Eq. 3).
+    pub use_mem: bool,
+    /// Enable L_Hie (Eq. 4).
+    pub use_hie: bool,
+    /// Enable L_Ex (Eq. 5).
+    pub use_ex: bool,
+    /// Enable the intersection extension loss L_Int (future work in the
+    /// paper's conclusion; off by default to match the published model).
+    pub use_int: bool,
+    /// Enable the LogiRec++ mining weights α_u (Eq. 15). Off = plain
+    /// LogiRec (Eq. 10).
+    pub mining: bool,
+    /// Epoch interval at which the granularity weights GR_u are refreshed
+    /// from the current embeddings.
+    pub mining_refresh: usize,
+    /// Lower clamp on α_u so no user is silenced entirely (the paper's
+    /// case-study weights range 0.31–0.87; see DESIGN.md on normalization).
+    pub alpha_floor: f64,
+    /// RNG seed for init and sampling.
+    pub seed: u64,
+    /// Threads used during evaluation.
+    pub eval_threads: usize,
+    /// Validate every `eval_every` epochs (0 disables tracking).
+    pub eval_every: usize,
+    /// Early-stopping patience in validation rounds without improvement
+    /// (0 disables early stopping; the best snapshot is still restored
+    /// when `eval_every > 0`).
+    pub patience: usize,
+}
+
+impl Default for LogiRecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            layers: 3,
+            lambda: 0.1,
+            margin: 1.0,
+            lr: 0.02,
+            lr_decay: 1.0,
+            epochs: 40,
+            batch_size: 256,
+            negatives: 8,
+            logic_batch: 256,
+            geometry: Geometry::Hyperbolic,
+            use_mem: true,
+            use_hie: true,
+            use_ex: true,
+            use_int: false,
+            mining: true,
+            mining_refresh: 5,
+            alpha_floor: 0.1,
+            seed: 2024,
+            eval_threads: 4,
+            eval_every: 5,
+            patience: 3,
+        }
+    }
+}
+
+impl LogiRecConfig {
+    /// Quick config for unit tests: tiny dimension, few epochs.
+    pub fn test_config() -> Self {
+        Self {
+            dim: 8,
+            layers: 2,
+            epochs: 5,
+            batch_size: 128,
+            logic_batch: 32,
+            eval_threads: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Ambient width of user/item vectors in the carrier space:
+    /// `d + 1` on the hyperboloid, `d` in Euclidean space.
+    pub fn ambient_dim(&self) -> usize {
+        match self.geometry {
+            Geometry::Hyperbolic => self.dim + 1,
+            Geometry::Euclidean => self.dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_choices() {
+        let c = LogiRecConfig::default();
+        assert_eq!(c.dim, 64);
+        assert_eq!(c.layers, 3);
+        assert!((c.lambda - 0.1).abs() < 1e-12);
+        assert!((c.margin - 1.0).abs() < 1e-12);
+        assert!(c.use_mem && c.use_hie && c.use_ex && c.mining);
+        assert_eq!(c.geometry, Geometry::Hyperbolic);
+    }
+
+    #[test]
+    fn ambient_dim_depends_on_geometry() {
+        let mut c = LogiRecConfig::default();
+        assert_eq!(c.ambient_dim(), 65);
+        c.geometry = Geometry::Euclidean;
+        assert_eq!(c.ambient_dim(), 64);
+    }
+}

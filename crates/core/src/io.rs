@@ -1,0 +1,189 @@
+//! Model persistence: a small self-describing binary format for trained
+//! LogiRec models (magic + version header, config scalars, then the three
+//! parameter tables as little-endian `f64`).
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use logirec_linalg::Embedding;
+
+use crate::config::{Geometry, LogiRecConfig};
+use crate::model::LogiRec;
+
+const MAGIC: &[u8; 8] = b"LOGIREC1";
+
+/// Errors from model loading.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Not a LogiRec model file, or an unsupported version.
+    BadMagic,
+    /// Structurally invalid contents.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "io error: {e}"),
+            ModelIoError::BadMagic => write!(f, "not a LogiRec model file"),
+            ModelIoError::Corrupt(m) => write!(f, "corrupt model file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<io::Error> for ModelIoError {
+    fn from(e: io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+/// Saves a trained model's parameters and core hyperparameters.
+///
+/// The forward state is not saved; call [`LogiRec::propagate`] against the
+/// training graph after loading to score users.
+pub fn save_model(model: &LogiRec, path: &Path) -> io::Result<()> {
+    let mut w = io::BufWriter::new(fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    let geom: u8 = match model.cfg.geometry {
+        Geometry::Hyperbolic => 0,
+        Geometry::Euclidean => 1,
+    };
+    w.write_all(&[geom])?;
+    for v in [
+        model.cfg.dim as u64,
+        model.cfg.layers as u64,
+        model.tags.rows() as u64,
+        model.items.rows() as u64,
+        model.users.rows() as u64,
+        model.users.dim() as u64,
+    ] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for table in [&model.tags, &model.items, &model.users] {
+        for &x in table.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Loads a model saved by [`save_model`]. The returned model carries the
+/// saved `dim`/`layers`/`geometry` on top of `base_cfg` (training knobs
+/// like the learning rate come from `base_cfg`).
+pub fn load_model(path: &Path, base_cfg: LogiRecConfig) -> Result<LogiRec, ModelIoError> {
+    let mut r = io::BufReader::new(fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ModelIoError::BadMagic);
+    }
+    let mut geom = [0u8; 1];
+    r.read_exact(&mut geom)?;
+    let geometry = match geom[0] {
+        0 => Geometry::Hyperbolic,
+        1 => Geometry::Euclidean,
+        g => return Err(ModelIoError::Corrupt(format!("unknown geometry tag {g}"))),
+    };
+    let mut read_u64 = || -> Result<u64, ModelIoError> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    };
+    let dim = read_u64()? as usize;
+    let layers = read_u64()? as usize;
+    let n_tags = read_u64()? as usize;
+    let n_items = read_u64()? as usize;
+    let n_users = read_u64()? as usize;
+    let user_dim = read_u64()? as usize;
+
+    let expected_user_dim = match geometry {
+        Geometry::Hyperbolic => dim + 1,
+        Geometry::Euclidean => dim,
+    };
+    if user_dim != expected_user_dim {
+        return Err(ModelIoError::Corrupt(format!(
+            "user width {user_dim} does not match geometry/dim {dim}"
+        )));
+    }
+    if dim == 0 || n_tags == 0 || n_items == 0 || n_users == 0 {
+        return Err(ModelIoError::Corrupt("zero-sized table".into()));
+    }
+
+    let mut read_table = |rows: usize, cols: usize| -> Result<Embedding, ModelIoError> {
+        let mut m = Embedding::zeros(rows, cols);
+        let mut buf = [0u8; 8];
+        for x in m.as_mut_slice() {
+            r.read_exact(&mut buf).map_err(|_| {
+                ModelIoError::Corrupt("file truncated inside a parameter table".into())
+            })?;
+            *x = f64::from_le_bytes(buf);
+        }
+        if !m.all_finite() {
+            return Err(ModelIoError::Corrupt("non-finite parameter".into()));
+        }
+        Ok(m)
+    };
+    let tags = read_table(n_tags, dim)?;
+    let items = read_table(n_items, dim)?;
+    let users = read_table(n_users, user_dim)?;
+
+    let cfg = LogiRecConfig { dim, layers, geometry, ..base_cfg };
+    Ok(LogiRec::from_parts(cfg, tags, items, users))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::train;
+    use logirec_data::{DatasetSpec, Scale, Split};
+    use logirec_eval::evaluate;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("logirec-model-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_rankings() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(3);
+        let cfg = LogiRecConfig { epochs: 4, eval_every: 0, ..LogiRecConfig::test_config() };
+        let (model, _) = train(cfg.clone(), &ds);
+        let path = tmp("roundtrip");
+        save_model(&model, &path).expect("save");
+
+        let mut loaded = load_model(&path, cfg).expect("load");
+        loaded.propagate(&ds.train);
+        let a = evaluate(&model, &ds, Split::Test, &[10], 2);
+        let b = evaluate(&loaded, &ds, Split::Test, &[10], 2);
+        assert_eq!(a.recall_at(10), b.recall_at(10));
+        assert_eq!(a.per_user_recall, b.per_user_recall);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmp("magic");
+        fs::write(&path, b"NOTAMODELxxxxxxxxxxxxxxxx").unwrap();
+        let err = load_model(&path, LogiRecConfig::test_config()).unwrap_err();
+        assert!(matches!(err, ModelIoError::BadMagic));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(4);
+        let cfg = LogiRecConfig { epochs: 1, eval_every: 0, ..LogiRecConfig::test_config() };
+        let (model, _) = train(cfg.clone(), &ds);
+        let path = tmp("truncated");
+        save_model(&model, &path).expect("save");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_model(&path, cfg).unwrap_err();
+        assert!(matches!(err, ModelIoError::Corrupt(_)), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! LogiRec and LogiRec++ — the paper's primary contribution.
+//!
+//! * [`model`] holds the learnable state: tag hyperplane centers and item
+//!   points in the Poincaré ball, user points on the Lorentz hyperboloid,
+//!   and the forward pass that maps items into the Lorentz model (Eq. 2)
+//!   and runs the hyperbolic GCN (Eq. 6–8).
+//! * [`graph`] implements the tangent-space propagation (Eq. 7) with its
+//!   exact transpose for backpropagation.
+//! * [`losses`] implements the logical relation losses L_Mem / L_Hie / L_Ex
+//!   (Eq. 3–5) and the LMNN ranking loss L_Rec (Eq. 9), each with analytic
+//!   gradients.
+//! * [`mining`] implements LogiRec++'s consistency (CON, Eq. 11–12) and
+//!   granularity (GR, Eq. 13) weights combined into α (Eq. 14).
+//! * [`trainer`] joins everything into the objectives of Eq. 10 / Eq. 15
+//!   with Riemannian SGD (Section V-C).
+//! * [`ablation`] provides the Table III variants.
+
+pub mod ablation;
+pub mod config;
+pub mod filter;
+pub mod graph;
+pub mod io;
+pub mod losses;
+pub mod mining;
+pub mod parallel;
+pub mod model;
+pub mod trainer;
+
+pub use ablation::Variant;
+pub use config::{Geometry, LogiRecConfig};
+pub use filter::{FilteredRanker, LogicFilter};
+pub use model::LogiRec;
+pub use trainer::{train, TrainReport};

@@ -1,0 +1,263 @@
+//! LogiRec++'s logical relation mining weights (Section V).
+//!
+//! * **Consistency** CON_u (Eq. 11–12): users whose interacted tag list
+//!   contains few, deep-level exclusive tag pairs are consistent and get
+//!   weights near 1; users spanning many coarse-level exclusions get
+//!   weights near 0.
+//! * **Granularity** GR_u (Eq. 13): the Lorentz distance of the user
+//!   embedding to the origin. Fine-grained users live far from the origin
+//!   and need larger optimization effort.
+//! * α_u = sqrt(CON_u · GR_u) (Eq. 14), with GR min–max normalized across
+//!   users (the paper's Table V reports GR values in [0, 1]) and a floor so
+//!   no user is silenced.
+
+use std::collections::HashMap;
+
+use logirec_data::Dataset;
+use logirec_taxonomy::relations::tag_frequency;
+use logirec_taxonomy::TagId;
+
+use crate::model::LogiRec;
+
+/// Per-user consistency scores CON_u ∈ (0, 1] (Eq. 12). These depend only
+/// on the dataset, so they are computed once before training.
+///
+/// CON is computed against the **raw** all-siblings exclusion set derived
+/// from the taxonomy (as the paper does): the weighting mechanism is
+/// designed to cope with inaccurate exclusions, so it must not depend on
+/// whichever cleaned rule the exclusion *loss* uses.
+pub fn consistency_weights(dataset: &Dataset) -> Vec<f64> {
+    let eta = dataset.taxonomy.max_level() as f64;
+    let raw = logirec_taxonomy::LogicalRelations::extract(
+        &dataset.taxonomy,
+        &[],
+        logirec_taxonomy::ExclusionRule::AllSiblings,
+    );
+    let exclusion = raw.exclusion_index();
+    (0..dataset.n_users())
+        .map(|u| user_consistency(dataset, u, eta, &exclusion))
+        .collect()
+}
+
+fn user_consistency(
+    dataset: &Dataset,
+    u: usize,
+    eta: f64,
+    exclusion: &HashMap<(TagId, TagId), usize>,
+) -> f64 {
+    let list = dataset.user_tag_list(u);
+    if list.len() < 2 {
+        return 1.0;
+    }
+    // Occurrence counts per distinct tag.
+    let mut counts: HashMap<TagId, usize> = HashMap::new();
+    for &t in &list {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    let total = list.len();
+    let mut distinct: Vec<(TagId, f64)> =
+        counts.iter().map(|(&t, &c)| (t, tag_frequency(c, total))).collect();
+    distinct.sort_unstable_by_key(|&(t, _)| t);
+
+    let mut penalty = 0.0;
+    for (i, &(ti, tf_i)) in distinct.iter().enumerate() {
+        for &(tj, tf_j) in &distinct[i + 1..] {
+            if let Some(&level) = exclusion.get(&(ti, tj)) {
+                // exp(η − k): coarse-level exclusions dominate the penalty.
+                penalty += tf_i * tf_j * (eta - level as f64).exp();
+            }
+        }
+    }
+    (-penalty).exp()
+}
+
+/// Per-user raw granularity scores GR_u (Eq. 13) from the model's current
+/// propagated embeddings. Requires [`LogiRec::propagate`] to have run.
+pub fn granularity_weights(model: &LogiRec, n_users: usize) -> Vec<f64> {
+    (0..n_users).map(|u| model.user_origin_distance(u)).collect()
+}
+
+/// Combines consistency and (min–max normalized) granularity into the
+/// personalized weights α_u = sqrt(CON_u · GR̃_u) (Eq. 14), clamped below
+/// by `floor`, then rescaled to mean 1 so mining redistributes gradient
+/// mass across users without changing the effective learning rate (the
+/// paper's Adam-style optimizer absorbs global scale; plain RSGD does not,
+/// see DESIGN.md).
+pub fn combine_weights(con: &[f64], gr_raw: &[f64], floor: f64) -> Vec<f64> {
+    assert_eq!(con.len(), gr_raw.len());
+    let min = gr_raw.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = gr_raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    let mut alpha: Vec<f64> = con
+        .iter()
+        .zip(gr_raw)
+        .map(|(&c, &g)| {
+            let g_norm = ((g - min) / span).clamp(0.0, 1.0);
+            (c * g_norm).sqrt().clamp(floor, 1.0)
+        })
+        .collect();
+    let mean = alpha.iter().sum::<f64>() / alpha.len().max(1) as f64;
+    if mean > 0.0 {
+        for a in &mut alpha {
+            *a /= mean;
+        }
+    }
+    alpha
+}
+
+/// A user profile row for the paper's Table V case studies.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// User id.
+    pub user: usize,
+    /// CON_u.
+    pub consistency: f64,
+    /// Normalized GR_u.
+    pub granularity: f64,
+    /// α_u.
+    pub alpha: f64,
+    /// The user's most-interacted tags (id, occurrence count), descending.
+    pub top_tags: Vec<(TagId, usize)>,
+}
+
+/// Builds Table V-style profiles for all users given the mining weights.
+pub fn user_profiles(
+    dataset: &Dataset,
+    con: &[f64],
+    gr_raw: &[f64],
+    alpha: &[f64],
+    top_k_tags: usize,
+) -> Vec<UserProfile> {
+    let min = gr_raw.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = gr_raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    (0..dataset.n_users())
+        .map(|u| {
+            let mut counts: HashMap<TagId, usize> = HashMap::new();
+            for t in dataset.user_tag_list(u) {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+            let mut top: Vec<(TagId, usize)> = counts.into_iter().collect();
+            top.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            top.truncate(top_k_tags);
+            UserProfile {
+                user: u,
+                consistency: con[u],
+                granularity: ((gr_raw[u] - min) / span).clamp(0.0, 1.0),
+                alpha: alpha[u],
+                top_tags: top,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LogiRecConfig;
+    use logirec_data::{DatasetSpec, Scale};
+
+    #[test]
+    fn consistency_is_in_unit_interval() {
+        let ds = DatasetSpec::cd(Scale::Tiny).generate(1);
+        let con = consistency_weights(&ds);
+        assert_eq!(con.len(), ds.n_users());
+        assert!(con.iter().all(|&c| (0.0..=1.0).contains(&c)));
+    }
+
+    #[test]
+    fn users_spanning_exclusions_score_lower() {
+        let ds = DatasetSpec::cd(Scale::Tiny).generate(2);
+        let con = consistency_weights(&ds);
+        // Correlate CON with the number of exclusive pairs in the user's
+        // tag set: compute penalty ordering directly.
+        let exclusion = ds.relations.exclusion_index();
+        let pair_counts: Vec<usize> = (0..ds.n_users())
+            .map(|u| {
+                let mut tags = ds.user_tag_list(u);
+                tags.sort_unstable();
+                tags.dedup();
+                let mut n = 0;
+                for i in 0..tags.len() {
+                    for j in i + 1..tags.len() {
+                        if exclusion.contains_key(&(tags[i], tags[j])) {
+                            n += 1;
+                        }
+                    }
+                }
+                n
+            })
+            .collect();
+        let max_pairs = *pair_counts.iter().max().unwrap();
+        let min_pairs = *pair_counts.iter().min().unwrap();
+        if max_pairs > min_pairs {
+            let most = pair_counts.iter().position(|&c| c == max_pairs).unwrap();
+            let least = pair_counts.iter().position(|&c| c == min_pairs).unwrap();
+            assert!(
+                con[most] <= con[least],
+                "user with {max_pairs} exclusive pairs should not out-score one with {min_pairs}"
+            );
+        }
+    }
+
+    #[test]
+    fn granularity_tracks_distance_to_origin() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(3);
+        let mut m = LogiRec::new(LogiRecConfig::test_config(), &ds);
+        m.propagate(&ds.train);
+        let gr = granularity_weights(&m, ds.n_users());
+        assert_eq!(gr.len(), ds.n_users());
+        assert!(gr.iter().all(|&g| g.is_finite() && g >= 0.0));
+        for (u, &g) in gr.iter().enumerate().take(5) {
+            assert!((g - m.user_origin_distance(u)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn combine_normalizes_and_floors() {
+        let con = vec![1.0, 0.25, 0.0, 1.0];
+        let gr = vec![2.0, 4.0, 6.0, 6.0];
+        let alpha = combine_weights(&con, &gr, 0.1);
+        // Mean-1 rescaling preserves ratios: pre-rescale values are
+        // [0.1 (floored min-GR), sqrt(0.25·0.5), 0.1 (floored CON 0), 1.0].
+        let pre = [0.1, (0.25f64 * 0.5).sqrt(), 0.1, 1.0];
+        let mean: f64 = pre.iter().sum::<f64>() / 4.0;
+        for (a, p) in alpha.iter().zip(&pre) {
+            assert!((a - p / mean).abs() < 1e-12, "{a} vs {}", p / mean);
+        }
+        // Gradient mass is preserved: mean α = 1.
+        let m = alpha.iter().sum::<f64>() / 4.0;
+        assert!((m - 1.0).abs() < 1e-12);
+        // The consistent fine-grained user carries the largest weight.
+        assert!(alpha[3] > alpha[1] && alpha[1] > alpha[0]);
+    }
+
+    #[test]
+    fn combine_handles_constant_granularity() {
+        let alpha = combine_weights(&[0.5, 0.5], &[3.0, 3.0], 0.1);
+        assert!(alpha.iter().all(|a| a.is_finite()));
+        let mean = alpha.iter().sum::<f64>() / 2.0;
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiles_surface_top_tags() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(4);
+        let mut m = LogiRec::new(LogiRecConfig::test_config(), &ds);
+        m.propagate(&ds.train);
+        let con = consistency_weights(&ds);
+        let gr = granularity_weights(&m, ds.n_users());
+        let alpha = combine_weights(&con, &gr, 0.1);
+        let profiles = user_profiles(&ds, &con, &gr, &alpha, 3);
+        assert_eq!(profiles.len(), ds.n_users());
+        for p in &profiles {
+            assert!(p.top_tags.len() <= 3);
+            assert!((0.0..=1.0).contains(&p.granularity));
+            assert!(p.alpha > 0.0 && p.alpha.is_finite());
+            // Top tags are sorted by count descending.
+            for w in p.top_tags.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+}

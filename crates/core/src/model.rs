@@ -1,0 +1,503 @@
+//! The LogiRec model state and its forward/backward passes.
+//!
+//! Parameters (Section IV-A):
+//! * `tags` — hyperplane defining points `c_t ∈ P^d`, one per tag;
+//! * `items` — item points `v^P ∈ P^d`;
+//! * `users` — user points `u^H ∈ H^d` (ambient `d+1` coordinates).
+//!
+//! The forward pass maps items into the Lorentz model via `p⁻¹` (Eq. 2),
+//! projects users and items to the tangent space at the origin (Eq. 6),
+//! runs `L` propagation layers (Eq. 7), and maps the layer sums back onto
+//! the hyperboloid (Eq. 8). The backward pass chains the analytic VJPs of
+//! each stage in reverse.
+
+use logirec_data::{Dataset, InteractionSet};
+use logirec_hyperbolic::{lorentz, maps, poincare};
+use logirec_linalg::{ops, Embedding, SplitMix64};
+
+use crate::config::{Geometry, LogiRecConfig};
+
+/// Cached forward-pass tensors (recomputed every SGD step).
+#[derive(Debug, Clone)]
+pub struct ForwardState {
+    /// Items in the carrier space (`p⁻¹(v^P)`; `V × ambient`).
+    pub item_carrier: Embedding,
+    /// Layer-0 user tangents (`U × d`).
+    pub z_u0: Embedding,
+    /// Layer-0 item tangents (`V × d`).
+    pub z_v0: Embedding,
+    /// Final user tangents `Σ_l z_u^l` (`U × d`).
+    pub user_final_tan: Embedding,
+    /// Final item tangents (`V × d`).
+    pub item_final_tan: Embedding,
+    /// Final user embeddings in the carrier space (`U × ambient`).
+    pub user_final: Embedding,
+    /// Final item embeddings in the carrier space (`V × ambient`).
+    pub item_final: Embedding,
+}
+
+/// The LogiRec / LogiRec++ model.
+#[derive(Debug, Clone)]
+pub struct LogiRec {
+    /// Hyperparameters.
+    pub cfg: LogiRecConfig,
+    /// Tag hyperplane defining points (`S × d`).
+    pub tags: Embedding,
+    /// Item Poincaré points (`S × d`), or Euclidean points in the ablation.
+    pub items: Embedding,
+    /// User carrier points (`U × ambient`).
+    pub users: Embedding,
+    state: Option<ForwardState>,
+}
+
+impl LogiRec {
+    /// Initializes a model for `dataset`.
+    ///
+    /// Tag centers are seeded by taxonomy level — coarse tags start near
+    /// the origin (large derived radius), fine tags farther out (small
+    /// radius) — which matches the geometry the hierarchy loss drives
+    /// toward and speeds up convergence considerably.
+    pub fn new(cfg: LogiRecConfig, dataset: &Dataset) -> Self {
+        let mut rng = SplitMix64::new(cfg.seed);
+        let dim = cfg.dim;
+        let n_tags = dataset.n_tags();
+        let max_level = dataset.taxonomy.max_level().max(1) as f64;
+
+        // Tag directions are inherited from the parent (plus noise) so a
+        // child's hyperplane starts roughly along its parent's ray — the
+        // configuration in which the derived balls nest (Lemma 2) — and
+        // norms grow with depth: 0.25 (level 1) … 0.7 (deepest), giving
+        // coarse tags large regions and fine tags small ones.
+        let mut tag_rng = rng.fork(1);
+        let mut tags = Embedding::zeros(n_tags, dim);
+        for t in 0..n_tags {
+            let level = dataset.taxonomy.level(t) as f64;
+            let target = 0.25 + 0.45 * (level - 1.0) / (max_level - 1.0).max(1.0);
+            let mut dir: Vec<f64> = (0..dim).map(|_| tag_rng.normal()).collect();
+            if let Some(p) = dataset.taxonomy.parent(t) {
+                // Parent ids precede children, so its row is final.
+                let pdir = tags.row(p).to_vec();
+                let pn = ops::norm(&pdir).max(1e-9);
+                let dn = ops::norm(&dir).max(1e-9);
+                ops::scale(&mut dir, 0.35 / dn);
+                ops::axpy(1.0 / pn, &pdir, &mut dir);
+            }
+            let n = ops::norm(&dir).max(1e-9);
+            let row = tags.row_mut(t);
+            for (r, d) in row.iter_mut().zip(&dir) {
+                *r = d * target / n;
+            }
+        }
+
+        // Items start near their deepest (most specific) tag's defining
+        // point plus noise: membership (Eq. 3) then begins close to
+        // satisfied and the tag structure shapes the geometry from the
+        // first step.
+        let mut items = Embedding::poincare_burn_in(dataset.n_items(), dim, 0.05, &mut rng.fork(2));
+        for v in 0..dataset.n_items() {
+            let deepest = dataset.item_tags[v]
+                .iter()
+                .copied()
+                .max_by_key(|&t| dataset.taxonomy.level(t));
+            if let Some(t) = deepest {
+                let row = items.row_mut(v);
+                ops::axpy(1.0, tags.row(t), row);
+                poincare::project(row);
+            }
+        }
+
+        let users = match cfg.geometry {
+            Geometry::Hyperbolic => {
+                let tangent = Embedding::normal(dataset.n_users(), dim, 0.05, &mut rng.fork(3));
+                let mut u = Embedding::zeros(dataset.n_users(), dim + 1);
+                for r in 0..u.rows() {
+                    let point = lorentz::exp_origin(tangent.row(r));
+                    u.row_mut(r).copy_from_slice(&point);
+                }
+                u
+            }
+            Geometry::Euclidean => {
+                Embedding::normal(dataset.n_users(), dim, 0.05, &mut rng.fork(3))
+            }
+        };
+
+        Self { cfg, tags, items, users, state: None }
+    }
+
+    /// Reassembles a model from previously trained parameter tables
+    /// (used by [`crate::io::load_model`]). Shapes must be consistent with
+    /// `cfg`; call [`Self::propagate`] before scoring.
+    pub fn from_parts(
+        cfg: LogiRecConfig,
+        tags: Embedding,
+        items: Embedding,
+        users: Embedding,
+    ) -> Self {
+        assert_eq!(tags.dim(), cfg.dim, "tag table width");
+        assert_eq!(items.dim(), cfg.dim, "item table width");
+        assert_eq!(users.dim(), cfg.ambient_dim(), "user table width");
+        Self { cfg, tags, items, users, state: None }
+    }
+
+    /// Runs the forward pass against the training graph and caches the
+    /// result (required before [`Self::state`], scoring, or backward).
+    pub fn propagate(&mut self, adj: &InteractionSet) {
+        let dim = self.cfg.dim;
+        let (item_carrier, z_u0, z_v0) = match self.cfg.geometry {
+            Geometry::Hyperbolic => {
+                let threads = self.cfg.eval_threads;
+                let mut carrier = Embedding::zeros(self.items.rows(), dim + 1);
+                crate::parallel::for_each_row(&mut carrier, threads, |v, out| {
+                    out.copy_from_slice(&maps::poincare_to_lorentz(self.items.row(v)));
+                });
+                let mut z_v0 = Embedding::zeros(self.items.rows(), dim);
+                crate::parallel::for_each_row(&mut z_v0, threads, |v, out| {
+                    out.copy_from_slice(&lorentz::log_origin(carrier.row(v)));
+                });
+                let mut z_u0 = Embedding::zeros(self.users.rows(), dim);
+                crate::parallel::for_each_row(&mut z_u0, threads, |u, out| {
+                    out.copy_from_slice(&lorentz::log_origin(self.users.row(u)));
+                });
+                (carrier, z_u0, z_v0)
+            }
+            Geometry::Euclidean => (self.items.clone(), self.users.clone(), self.items.clone()),
+        };
+
+        let (user_final_tan, item_final_tan) = crate::graph::propagate_forward_par(
+            adj,
+            &z_u0,
+            &z_v0,
+            self.cfg.layers,
+            self.cfg.eval_threads,
+        );
+
+        let (user_final, item_final) = match self.cfg.geometry {
+            Geometry::Hyperbolic => {
+                let threads = self.cfg.eval_threads;
+                let mut uf = Embedding::zeros(user_final_tan.rows(), dim + 1);
+                crate::parallel::for_each_row(&mut uf, threads, |u, out| {
+                    out.copy_from_slice(&lorentz::exp_origin(user_final_tan.row(u)));
+                });
+                let mut vf = Embedding::zeros(item_final_tan.rows(), dim + 1);
+                crate::parallel::for_each_row(&mut vf, threads, |v, out| {
+                    out.copy_from_slice(&lorentz::exp_origin(item_final_tan.row(v)));
+                });
+                (uf, vf)
+            }
+            Geometry::Euclidean => (user_final_tan.clone(), item_final_tan.clone()),
+        };
+
+        self.state = Some(ForwardState {
+            item_carrier,
+            z_u0,
+            z_v0,
+            user_final_tan,
+            item_final_tan,
+            user_final,
+            item_final,
+        });
+    }
+
+    /// The cached forward state; panics if [`Self::propagate`] has not run.
+    pub fn state(&self) -> &ForwardState {
+        self.state.as_ref().expect("propagate() must run before accessing state")
+    }
+
+    /// True once a forward pass has been cached.
+    pub fn has_state(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Backward pass of the ranking head: takes dense ambient gradients
+    /// w.r.t. the **final** user/item embeddings and returns gradients
+    /// w.r.t. the user parameters (ambient) and item parameters (Poincaré /
+    /// Euclidean `d`-dim).
+    pub fn backward_rank(
+        &self,
+        g_user_final: &Embedding,
+        g_item_final: &Embedding,
+        adj: &InteractionSet,
+    ) -> (Embedding, Embedding) {
+        let st = self.state();
+        let dim = self.cfg.dim;
+        match self.cfg.geometry {
+            Geometry::Hyperbolic => {
+                let threads = self.cfg.eval_threads;
+                let mut g_uft = Embedding::zeros(self.users.rows(), dim);
+                crate::parallel::for_each_row(&mut g_uft, threads, |u, out| {
+                    let g = lorentz::exp_origin_vjp(st.user_final_tan.row(u), g_user_final.row(u));
+                    out.copy_from_slice(&g);
+                });
+                let mut g_vft = Embedding::zeros(self.items.rows(), dim);
+                crate::parallel::for_each_row(&mut g_vft, threads, |v, out| {
+                    let g = lorentz::exp_origin_vjp(st.item_final_tan.row(v), g_item_final.row(v));
+                    out.copy_from_slice(&g);
+                });
+                let (g_u0, g_v0) = crate::graph::propagate_backward_par(
+                    adj,
+                    &g_uft,
+                    &g_vft,
+                    self.cfg.layers,
+                    self.cfg.eval_threads,
+                );
+                let mut g_users = Embedding::zeros(self.users.rows(), dim + 1);
+                crate::parallel::for_each_row(&mut g_users, threads, |u, out| {
+                    let g = lorentz::log_origin_vjp(self.users.row(u), g_u0.row(u));
+                    out.copy_from_slice(&g);
+                });
+                let mut g_items = Embedding::zeros(self.items.rows(), dim);
+                crate::parallel::for_each_row(&mut g_items, threads, |v, out| {
+                    let g_h = lorentz::log_origin_vjp(st.item_carrier.row(v), g_v0.row(v));
+                    let g = maps::poincare_to_lorentz_vjp(self.items.row(v), &g_h);
+                    out.copy_from_slice(&g);
+                });
+                (g_users, g_items)
+            }
+            Geometry::Euclidean => crate::graph::propagate_backward_par(
+                adj,
+                g_user_final,
+                g_item_final,
+                self.cfg.layers,
+                self.cfg.eval_threads,
+            ),
+        }
+    }
+
+    /// Distance between a propagated user and item in the carrier space.
+    pub fn pair_distance(&self, u: usize, v: usize) -> f64 {
+        let st = self.state();
+        match self.cfg.geometry {
+            Geometry::Hyperbolic => {
+                lorentz::distance(st.user_final.row(u), st.item_final.row(v))
+            }
+            Geometry::Euclidean => ops::dist(st.user_final.row(u), st.item_final.row(v)),
+        }
+    }
+
+    /// Distance of a propagated user embedding to the space origin — the
+    /// raw granularity score GR_u (Eq. 13).
+    pub fn user_origin_distance(&self, u: usize) -> f64 {
+        let st = self.state();
+        match self.cfg.geometry {
+            Geometry::Hyperbolic => lorentz::distance_to_origin(st.user_final.row(u)),
+            Geometry::Euclidean => ops::norm(st.user_final.row(u)),
+        }
+    }
+
+    /// Final item embedding projected to Poincaré coordinates (used for the
+    /// Fig. 7/8 visualizations). In the Euclidean ablation the propagated
+    /// vector is returned as-is.
+    pub fn item_poincare(&self, v: usize) -> Vec<f64> {
+        let st = self.state();
+        match self.cfg.geometry {
+            Geometry::Hyperbolic => maps::lorentz_to_poincare(st.item_final.row(v)),
+            Geometry::Euclidean => st.item_final.row(v).to_vec(),
+        }
+    }
+
+    /// Final user embedding projected to Poincaré coordinates.
+    pub fn user_poincare(&self, u: usize) -> Vec<f64> {
+        let st = self.state();
+        match self.cfg.geometry {
+            Geometry::Hyperbolic => maps::lorentz_to_poincare(st.user_final.row(u)),
+            Geometry::Euclidean => st.user_final.row(u).to_vec(),
+        }
+    }
+
+    /// Checks every parameter table for NaN/∞ — the invariant each
+    /// optimizer step must preserve.
+    pub fn all_finite(&self) -> bool {
+        self.tags.all_finite() && self.items.all_finite() && self.users.all_finite()
+    }
+}
+
+impl logirec_eval::Ranker for LogiRec {
+    fn score_user(&self, u: usize, out: &mut [f64]) {
+        let st = self.state();
+        let urow = st.user_final.row(u);
+        match self.cfg.geometry {
+            Geometry::Hyperbolic => {
+                for (v, o) in out.iter_mut().enumerate() {
+                    *o = -lorentz::distance(urow, st.item_final.row(v));
+                }
+            }
+            Geometry::Euclidean => {
+                for (v, o) in out.iter_mut().enumerate() {
+                    *o = -ops::dist(urow, st.item_final.row(v));
+                }
+            }
+        }
+    }
+}
+
+/// Sanity helper for tests: asserts all item parameters stay in the ball.
+pub fn assert_items_in_ball(model: &LogiRec) {
+    if model.cfg.geometry == Geometry::Hyperbolic {
+        for v in 0..model.items.rows() {
+            assert!(poincare::in_ball(model.items.row(v)), "item {v} escaped the ball");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logirec_data::{DatasetSpec, Scale};
+
+    fn tiny_model() -> (LogiRec, Dataset) {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(1);
+        let model = LogiRec::new(LogiRecConfig::test_config(), &ds);
+        (model, ds)
+    }
+
+    #[test]
+    fn init_shapes_match_dataset() {
+        let (m, ds) = tiny_model();
+        assert_eq!(m.tags.rows(), ds.n_tags());
+        assert_eq!(m.items.rows(), ds.n_items());
+        assert_eq!(m.users.rows(), ds.n_users());
+        assert_eq!(m.users.dim(), m.cfg.dim + 1);
+        assert!(m.all_finite());
+    }
+
+    #[test]
+    fn init_respects_manifolds() {
+        let (m, ds) = tiny_model();
+        for v in 0..ds.n_items() {
+            assert!(poincare::in_ball(m.items.row(v)));
+        }
+        for u in 0..ds.n_users() {
+            assert!(lorentz::on_manifold(m.users.row(u), 1e-9));
+        }
+        for t in 0..ds.n_tags() {
+            let n = ops::norm(m.tags.row(t));
+            assert!((0.1..0.95).contains(&n), "tag norm {n}");
+        }
+    }
+
+    #[test]
+    fn tag_init_norm_grows_with_level() {
+        let (m, ds) = tiny_model();
+        let mut level_norms: Vec<Vec<f64>> = vec![Vec::new(); 5];
+        for t in 0..ds.n_tags() {
+            level_norms[ds.taxonomy.level(t)].push(ops::norm(m.tags.row(t)));
+        }
+        let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(avg(&level_norms[1]) < avg(&level_norms[4]));
+    }
+
+    #[test]
+    fn propagate_produces_manifold_outputs() {
+        let (mut m, ds) = tiny_model();
+        m.propagate(&ds.train);
+        let st = m.state();
+        for u in 0..ds.n_users() {
+            assert!(lorentz::on_manifold(st.user_final.row(u), 1e-8));
+        }
+        for v in 0..ds.n_items() {
+            assert!(lorentz::on_manifold(st.item_final.row(v), 1e-8));
+        }
+    }
+
+    #[test]
+    fn scoring_requires_state() {
+        let (m, _) = tiny_model();
+        assert!(!m.has_state());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.state();
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn euclidean_variant_has_consistent_shapes() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(2);
+        let mut cfg = LogiRecConfig::test_config();
+        cfg.geometry = Geometry::Euclidean;
+        let mut m = LogiRec::new(cfg, &ds);
+        assert_eq!(m.users.dim(), m.cfg.dim);
+        m.propagate(&ds.train);
+        assert_eq!(m.state().user_final.dim(), m.cfg.dim);
+        assert!(m.pair_distance(0, 0) >= 0.0);
+    }
+
+    #[test]
+    fn backward_rank_matches_finite_differences_through_full_chain() {
+        // End-to-end gradient check: loss = d(u_final, v_final) for one
+        // pair, differentiated w.r.t. a user parameter (via tangent
+        // perturbation) and an item parameter.
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(3);
+        let mut cfg = LogiRecConfig::test_config();
+        cfg.dim = 4;
+        cfg.layers = 2;
+        let mut m = LogiRec::new(cfg, &ds);
+        m.propagate(&ds.train);
+
+        let (u, v) = (0usize, ds.train.items_of(0)[0]);
+        let st = m.state();
+        let (gu, gv) = lorentz::distance_vjp(st.user_final.row(u), st.item_final.row(v), 1.0);
+        let mut g_user_final = Embedding::zeros(m.users.rows(), m.cfg.dim + 1);
+        let mut g_item_final = Embedding::zeros(m.items.rows(), m.cfg.dim + 1);
+        g_user_final.row_mut(u).copy_from_slice(&gu);
+        g_item_final.row_mut(v).copy_from_slice(&gv);
+        let (g_users, g_items) = m.backward_rank(&g_user_final, &g_item_final, &ds.train);
+
+        // Item parameter check (Euclidean coordinates, direct FD).
+        let h = 1e-6;
+        let probe_item = ds.train.items_of(1)[0];
+        for col in 0..2 {
+            let mut mp = m.clone();
+            mp.items.row_mut(probe_item)[col] += h;
+            mp.propagate(&ds.train);
+            let fp = mp.pair_distance(u, v);
+            let mut mm = m.clone();
+            mm.items.row_mut(probe_item)[col] -= h;
+            mm.propagate(&ds.train);
+            let fm = mm.pair_distance(u, v);
+            let num = (fp - fm) / (2.0 * h);
+            let ana = g_items.row(probe_item)[col];
+            assert!(
+                (num - ana).abs() < 1e-4 * (1.0 + num.abs()),
+                "item grad[{probe_item}][{col}]: {num} vs {ana}"
+            );
+        }
+
+        // User parameter check via tangent perturbation (stays on H^d).
+        let probe_user = 1usize;
+        let z0 = lorentz::log_origin(m.users.row(probe_user));
+        for col in 0..2 {
+            let mut zp = z0.clone();
+            zp[col] += h;
+            let mut mp = m.clone();
+            mp.users.row_mut(probe_user).copy_from_slice(&lorentz::exp_origin(&zp));
+            mp.propagate(&ds.train);
+            let fp = mp.pair_distance(u, v);
+            let mut zm = z0.clone();
+            zm[col] -= h;
+            let mut mm = m.clone();
+            mm.users.row_mut(probe_user).copy_from_slice(&lorentz::exp_origin(&zm));
+            mm.propagate(&ds.train);
+            let fm = mm.pair_distance(u, v);
+            let num = (fp - fm) / (2.0 * h);
+            // Chain the ambient user gradient through exp_origin to tangent
+            // coordinates for comparison.
+            let ana_tan = lorentz::exp_origin_vjp(&z0, g_users.row(probe_user));
+            assert!(
+                (num - ana_tan[col]).abs() < 1e-4 * (1.0 + num.abs()),
+                "user grad[{probe_user}][{col}]: {num} vs {}",
+                ana_tan[col]
+            );
+        }
+    }
+
+    #[test]
+    fn ranker_scores_are_negative_distances() {
+        let (mut m, ds) = tiny_model();
+        m.propagate(&ds.train);
+        let mut out = vec![0.0; ds.n_items()];
+        logirec_eval::Ranker::score_user(&m, 0, &mut out);
+        for (v, &s) in out.iter().enumerate() {
+            assert!((s + m.pair_distance(0, v)).abs() < 1e-12);
+        }
+    }
+}

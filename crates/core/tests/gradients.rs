@@ -1,0 +1,142 @@
+//! Property-based gradient checks for the model's loss kernels: every
+//! analytic gradient must match central finite differences on random
+//! parameter configurations. This is the contract that lets the trainer
+//! chain kernels without an autodiff engine.
+
+use logirec_core::losses::{
+    exclusion_loss_grad, hierarchy_loss_grad, membership_loss_grad, LogicGrads,
+};
+use logirec_core::{LogiRec, LogiRecConfig};
+use logirec_data::{DatasetSpec, Scale};
+use logirec_taxonomy::TagId;
+use proptest::prelude::*;
+
+fn model_with_params(tag_jitter: &[f64], item_jitter: &[f64]) -> (LogiRec, logirec_data::Dataset) {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(17);
+    let mut cfg = LogiRecConfig::test_config();
+    cfg.dim = 4;
+    let mut m = LogiRec::new(cfg, &ds);
+    // Jitter a few parameters so proptest explores distinct configurations.
+    for (i, &j) in tag_jitter.iter().enumerate() {
+        let t = i % m.tags.rows();
+        let col = i % 4;
+        m.tags.row_mut(t)[col] = (m.tags.row(t)[col] + 0.3 * j).clamp(-0.6, 0.6);
+    }
+    for (i, &j) in item_jitter.iter().enumerate() {
+        let v = i % m.items.rows();
+        let col = (i + 1) % 4;
+        m.items.row_mut(v)[col] = (m.items.row(v)[col] + 0.3 * j).clamp(-0.6, 0.6);
+    }
+    (m, ds)
+}
+
+fn fd_tag_grad(
+    m: &LogiRec,
+    f: &dyn Fn(&LogiRec) -> f64,
+    t: usize,
+    col: usize,
+    h: f64,
+) -> f64 {
+    let mut mp = m.clone();
+    mp.tags.row_mut(t)[col] += h;
+    let mut mm = m.clone();
+    mm.tags.row_mut(t)[col] -= h;
+    (f(&mp) - f(&mm)) / (2.0 * h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn membership_gradients_are_exact(
+        tj in prop::collection::vec(-1.0f64..1.0, 6),
+        ij in prop::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let (m, ds) = model_with_params(&tj, &ij);
+        let pairs = &ds.relations.membership[..12.min(ds.relations.membership.len())];
+        let f = |m: &LogiRec| {
+            let mut a = LogicGrads::zeros(m);
+            membership_loss_grad(m, pairs, 1.0, &mut a);
+            a.loss
+        };
+        let mut acc = LogicGrads::zeros(&m);
+        membership_loss_grad(&m, pairs, 1.0, &mut acc);
+        for t in 0..2 {
+            for col in 0..2 {
+                let num = fd_tag_grad(&m, &f, t, col, 1e-7);
+                let ana = acc.tags.row(t)[col];
+                prop_assert!(
+                    (num - ana).abs() < 2e-4 * (1.0 + num.abs()),
+                    "tag[{t}][{col}]: {num} vs {ana}"
+                );
+            }
+        }
+        // Item gradient on the first referenced item.
+        let v = pairs[0].0;
+        for col in 0..2 {
+            let mut mp = m.clone();
+            mp.items.row_mut(v)[col] += 1e-7;
+            let mut mm = m.clone();
+            mm.items.row_mut(v)[col] -= 1e-7;
+            let num = (f(&mp) - f(&mm)) / 2e-7;
+            let ana = acc.items.row(v)[col];
+            prop_assert!((num - ana).abs() < 2e-4 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn hierarchy_gradients_are_exact(
+        tj in prop::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let (m, ds) = model_with_params(&tj, &[]);
+        let pairs = &ds.relations.hierarchy[..10.min(ds.relations.hierarchy.len())];
+        let f = |m: &LogiRec| {
+            let mut a = LogicGrads::zeros(m);
+            hierarchy_loss_grad(m, pairs, 1.0, &mut a);
+            a.loss
+        };
+        let mut acc = LogicGrads::zeros(&m);
+        hierarchy_loss_grad(&m, pairs, 1.0, &mut acc);
+        for &(p, c) in pairs.iter().take(3) {
+            for col in 0..2 {
+                for tag in [p, c] {
+                    let num = fd_tag_grad(&m, &f, tag, col, 1e-7);
+                    let ana = acc.tags.row(tag)[col];
+                    prop_assert!(
+                        (num - ana).abs() < 2e-4 * (1.0 + num.abs()),
+                        "tag[{tag}][{col}]: {num} vs {ana}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_gradients_are_exact(
+        tj in prop::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let (m, ds) = model_with_params(&tj, &[]);
+        let pairs: Vec<(TagId, TagId)> =
+            ds.relations.exclusion.iter().take(10).map(|&(a, b, _)| (a, b)).collect();
+        prop_assume!(!pairs.is_empty());
+        let f = |m: &LogiRec| {
+            let mut a = LogicGrads::zeros(m);
+            exclusion_loss_grad(m, &pairs, 1.0, &mut a);
+            a.loss
+        };
+        let mut acc = LogicGrads::zeros(&m);
+        exclusion_loss_grad(&m, &pairs, 1.0, &mut acc);
+        for &(a, b) in pairs.iter().take(3) {
+            for col in 0..2 {
+                for tag in [a, b] {
+                    let num = fd_tag_grad(&m, &f, tag, col, 1e-7);
+                    let ana = acc.tags.row(tag)[col];
+                    prop_assert!(
+                        (num - ana).abs() < 2e-4 * (1.0 + num.abs()),
+                        "tag[{tag}][{col}]: {num} vs {ana}"
+                    );
+                }
+            }
+        }
+    }
+}

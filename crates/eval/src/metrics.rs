@@ -1,0 +1,97 @@
+//! Per-user top-K ranking metrics.
+
+/// Recall@K: fraction of the ground-truth items retrieved in the top-K.
+///
+/// `top_k` is the ranked recommendation list (best first, already truncated
+/// to K, **duplicate-free** — as produced by
+/// [`crate::ranking::top_k_indices`]); `truth` is the user's sorted
+/// ground-truth item set.
+pub fn recall_at_k(top_k: &[usize], truth: &[usize]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = top_k.iter().filter(|v| truth.binary_search(v).is_ok()).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// NDCG@K with binary relevance:
+/// `DCG = Σ_{hits at rank r} 1/log₂(r+1)` (ranks are 1-based), normalized
+/// by the ideal DCG of `min(K, |truth|)` leading hits.
+pub fn ndcg_at_k(top_k: &[usize], truth: &[usize]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let dcg: f64 = top_k
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| truth.binary_search(v).is_ok())
+        .map(|(rank0, _)| 1.0 / ((rank0 + 2) as f64).log2())
+        .sum();
+    let ideal_hits = truth.len().min(top_k.len().max(1));
+    let idcg: f64 = (0..ideal_hits).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let truth = [3, 5, 7];
+        let top = [3, 5, 7];
+        assert_eq!(recall_at_k(&top, &truth), 1.0);
+        assert!((ndcg_at_k(&top, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_scores_zero() {
+        assert_eq!(recall_at_k(&[1, 2], &[]), 0.0);
+        assert_eq!(ndcg_at_k(&[1, 2], &[]), 0.0);
+    }
+
+    #[test]
+    fn no_hits_scores_zero() {
+        let truth = [10, 11];
+        let top = [1, 2, 3];
+        assert_eq!(recall_at_k(&top, &truth), 0.0);
+        assert_eq!(ndcg_at_k(&top, &truth), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_fraction_of_truth() {
+        let truth = [1, 2, 3, 4];
+        let top = [1, 9, 3];
+        assert!((recall_at_k(&top, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_is_position_aware() {
+        let truth = [5];
+        // Hit at rank 1 vs hit at rank 3.
+        let early = ndcg_at_k(&[5, 1, 2], &truth);
+        let late = ndcg_at_k(&[1, 2, 5], &truth);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-12, "single hit at rank 1 is ideal");
+        assert!((late - 1.0 / 4f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_idcg_truncates_at_k() {
+        // |truth| = 5 but K = 2: ideal is 2 leading hits.
+        let truth = [1, 2, 3, 4, 5];
+        let top = [1, 2];
+        assert!((ndcg_at_k(&top, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_with_k_smaller_than_truth_is_bounded() {
+        let truth = [1, 2, 3, 4, 5];
+        let top = [1, 2];
+        assert!((recall_at_k(&top, &truth) - 0.4).abs() < 1e-12);
+    }
+}

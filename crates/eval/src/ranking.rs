@@ -1,0 +1,274 @@
+//! The full-ranking evaluator.
+//!
+//! For every user with ground truth in the target split, the evaluator asks
+//! the model to score **all** items, masks items the user already
+//! interacted with in earlier splits, selects the top-K, and accumulates
+//! Recall@K / NDCG@K. Users are processed in parallel with scoped threads.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use logirec_data::{Dataset, Split};
+
+use crate::metrics::{ndcg_at_k, recall_at_k};
+
+/// A trained model that can score every item for a user. Higher is better
+/// (distance-based models should negate their distances).
+pub trait Ranker: Sync {
+    /// Fills `out[v]` with the score of item `v` for user `u`;
+    /// `out.len() == n_items`.
+    fn score_user(&self, u: usize, out: &mut [f64]);
+}
+
+impl<F: Fn(usize, &mut [f64]) + Sync> Ranker for F {
+    fn score_user(&self, u: usize, out: &mut [f64]) {
+        self(u, out)
+    }
+}
+
+/// Evaluation output: mean metrics per cutoff plus the per-user Recall
+/// vectors used for significance testing.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// `recall[k]` = mean Recall@k over evaluated users.
+    pub recall: BTreeMap<usize, f64>,
+    /// `ndcg[k]` = mean NDCG@k.
+    pub ndcg: BTreeMap<usize, f64>,
+    /// Per-user Recall at the largest cutoff, aligned with `users`.
+    pub per_user_recall: Vec<f64>,
+    /// Per-user NDCG at the largest cutoff, aligned with `users`.
+    pub per_user_ndcg: Vec<f64>,
+    /// The users that were evaluated (non-empty ground truth).
+    pub users: Vec<usize>,
+}
+
+impl EvalResult {
+    /// Convenience accessor: Recall@k (panics if `k` was not requested).
+    pub fn recall_at(&self, k: usize) -> f64 {
+        self.recall[&k]
+    }
+
+    /// Convenience accessor: NDCG@k.
+    pub fn ndcg_at(&self, k: usize) -> f64 {
+        self.ndcg[&k]
+    }
+}
+
+/// Evaluates `ranker` on `split` of `dataset` at the given cutoffs.
+///
+/// Masking: when evaluating `Test`, items in Train ∪ Validation are removed
+/// from the candidate set; when evaluating `Validation`, Train items are
+/// removed. `n_threads` ≥ 1 controls the scoped-thread fan-out.
+pub fn evaluate(
+    ranker: &dyn Ranker,
+    dataset: &Dataset,
+    split: Split,
+    ks: &[usize],
+    n_threads: usize,
+) -> EvalResult {
+    assert!(!ks.is_empty(), "at least one cutoff required");
+    let max_k = *ks.iter().max().expect("nonempty");
+    let target = dataset.split(split);
+    let users: Vec<usize> =
+        (0..dataset.n_users()).filter(|&u| !target.items_of(u).is_empty()).collect();
+    let n_items = dataset.n_items();
+
+    // Per-user metric rows, written by slot so aggregation happens in a
+    // deterministic order afterwards (thread-local partial sums would make
+    // the means depend on the thread count through float associativity).
+    // Row layout: [recall@k0.., ndcg@k0.., recall@max_k, ndcg@max_k].
+    let row_width = 2 * ks.len() + 2;
+    let per_user_rows = Mutex::new(vec![0.0f64; users.len() * row_width]);
+
+    let n_threads = n_threads.max(1).min(users.len().max(1));
+    let chunk = users.len().div_ceil(n_threads).max(1);
+    crossbeam::scope(|scope| {
+        for (ci, chunk_users) in users.chunks(chunk).enumerate() {
+            let per_user_rows = &per_user_rows;
+            let offset = ci * chunk;
+            scope.spawn(move |_| {
+                let mut scores = vec![0.0f64; n_items];
+                let mut local = vec![0.0f64; chunk_users.len() * row_width];
+                for (slot, &u) in chunk_users.iter().enumerate() {
+                    ranker.score_user(u, &mut scores);
+                    // Mask known positives from earlier splits.
+                    for &v in dataset.train.items_of(u) {
+                        scores[v] = f64::NEG_INFINITY;
+                    }
+                    if split == Split::Test {
+                        for &v in dataset.validation.items_of(u) {
+                            scores[v] = f64::NEG_INFINITY;
+                        }
+                    }
+                    let top = top_k_indices(&scores, max_k);
+                    let truth = dataset.split(split).items_of(u);
+                    let row = &mut local[slot * row_width..(slot + 1) * row_width];
+                    for (i, &k) in ks.iter().enumerate() {
+                        let list = &top[..k.min(top.len())];
+                        row[i] = recall_at_k(list, truth);
+                        row[ks.len() + i] = ndcg_at_k(list, truth);
+                    }
+                    row[2 * ks.len()] = recall_at_k(&top, truth);
+                    row[2 * ks.len() + 1] = ndcg_at_k(&top, truth);
+                }
+                let mut rows = per_user_rows.lock().expect("rows poisoned");
+                let start = offset * row_width;
+                rows[start..start + local.len()].copy_from_slice(&local);
+            });
+        }
+    })
+    .expect("evaluation threads panicked");
+
+    let rows = per_user_rows.into_inner().expect("rows poisoned");
+    let n = users.len().max(1) as f64;
+    let mut recall_sum = vec![0.0; ks.len()];
+    let mut ndcg_sum = vec![0.0; ks.len()];
+    let mut per_user_recall = vec![0.0; users.len()];
+    let mut per_user_ndcg = vec![0.0; users.len()];
+    for slot in 0..users.len() {
+        let row = &rows[slot * row_width..(slot + 1) * row_width];
+        for i in 0..ks.len() {
+            recall_sum[i] += row[i];
+            ndcg_sum[i] += row[ks.len() + i];
+        }
+        per_user_recall[slot] = row[2 * ks.len()];
+        per_user_ndcg[slot] = row[2 * ks.len() + 1];
+    }
+    EvalResult {
+        recall: ks.iter().enumerate().map(|(i, &k)| (k, recall_sum[i] / n)).collect(),
+        ndcg: ks.iter().enumerate().map(|(i, &k)| (k, ndcg_sum[i] / n)).collect(),
+        per_user_recall,
+        per_user_ndcg,
+        users,
+    }
+}
+
+/// Indices of the `k` largest scores, best first. Ties break toward the
+/// smaller index so results are deterministic.
+pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // Maintain a min-heap of the best k (value, Reverse(index)) pairs via a
+    // sorted insertion buffer — k is tiny (≤ 20 in the paper's protocol), so
+    // linear insertion beats a heap's constant factors.
+    let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        if s == f64::NEG_INFINITY {
+            continue;
+        }
+        if best.len() < k || s > best[best.len() - 1].0 {
+            let pos = best
+                .binary_search_by(|probe| {
+                    probe.0.partial_cmp(&s).expect("no NaN scores").reverse()
+                })
+                .unwrap_or_else(|e| e);
+            // On equal score, keep earlier index first: advance past equals.
+            let mut pos = pos;
+            while pos < best.len() && best[pos].0 == s && best[pos].1 < i {
+                pos += 1;
+            }
+            best.insert(pos, (s, i));
+            if best.len() > k {
+                best.pop();
+            }
+        }
+    }
+    best.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logirec_data::{DatasetSpec, Scale};
+
+    #[test]
+    fn top_k_selects_largest_in_order() {
+        let scores = [0.1, 5.0, 3.0, 4.0, -1.0];
+        assert_eq!(top_k_indices(&scores, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&scores, 10).len(), 5);
+        assert!(top_k_indices(&scores, 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_skips_masked_scores() {
+        let scores = [f64::NEG_INFINITY, 2.0, f64::NEG_INFINITY, 1.0];
+        assert_eq!(top_k_indices(&scores, 4), vec![1, 3]);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_index() {
+        let scores = [1.0, 2.0, 2.0, 2.0];
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 2]);
+    }
+
+    /// An oracle that scores a user's test items highest must achieve
+    /// recall = 1, and a random scorer must do much worse.
+    #[test]
+    fn oracle_beats_random_on_synthetic_data() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(1);
+        let oracle = |u: usize, out: &mut [f64]| {
+            out.fill(0.0);
+            for &v in ds.test.items_of(u) {
+                out[v] = 10.0;
+            }
+        };
+        let res = evaluate(&oracle, &ds, Split::Test, &[10, 20], 2);
+        assert!(res.recall_at(20) > 0.95, "oracle recall {}", res.recall_at(20));
+        assert!(res.ndcg_at(20) > 0.95);
+
+        let anti = |_u: usize, out: &mut [f64]| {
+            for (v, o) in out.iter_mut().enumerate() {
+                *o = -(v as f64); // fixed arbitrary order
+            }
+        };
+        let res_bad = evaluate(&anti, &ds, Split::Test, &[10, 20], 2);
+        assert!(res_bad.recall_at(20) < res.recall_at(20) * 0.8);
+    }
+
+    #[test]
+    fn masking_excludes_train_items() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(2);
+        // Score train items maximally: they must be masked out, so recall
+        // stays low.
+        let cheater = |u: usize, out: &mut [f64]| {
+            out.fill(0.0);
+            for &v in ds.train.items_of(u) {
+                out[v] = 100.0;
+            }
+        };
+        let res = evaluate(&cheater, &ds, Split::Test, &[10], 1);
+        // With all mass on masked items the top-k is arbitrary among 0-score
+        // items; recall should be far from 1.
+        assert!(res.recall_at(10) < 0.5);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let ds = DatasetSpec::cd(Scale::Tiny).generate(3);
+        let scorer = |u: usize, out: &mut [f64]| {
+            for (v, o) in out.iter_mut().enumerate() {
+                *o = ((u * 31 + v * 17) % 97) as f64;
+            }
+        };
+        let a = evaluate(&scorer, &ds, Split::Test, &[10, 20], 1);
+        let b = evaluate(&scorer, &ds, Split::Test, &[10, 20], 4);
+        assert!((a.recall_at(10) - b.recall_at(10)).abs() < 1e-12);
+        assert!((a.ndcg_at(20) - b.ndcg_at(20)).abs() < 1e-12);
+        assert_eq!(a.per_user_recall, b.per_user_recall);
+    }
+
+    #[test]
+    fn validation_split_masks_only_train() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(4);
+        let oracle = |u: usize, out: &mut [f64]| {
+            out.fill(0.0);
+            for &v in ds.validation.items_of(u) {
+                out[v] = 10.0;
+            }
+        };
+        let res = evaluate(&oracle, &ds, Split::Validation, &[20], 2);
+        assert!(res.recall_at(20) > 0.9);
+    }
+}

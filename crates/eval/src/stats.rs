@@ -1,0 +1,196 @@
+//! Statistics: Wilcoxon signed-rank test and mean ± std aggregation.
+//!
+//! The paper marks LogiRec++'s improvements with `*` "according to the
+//! Wilcoxon signed-rank test" and reports every metric as mean ± std over
+//! repeated runs; both utilities live here.
+
+/// Outcome of a two-sided Wilcoxon signed-rank test on paired samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Wilcoxon {
+    /// The smaller of W⁺ / W⁻ rank sums.
+    pub w: f64,
+    /// Number of non-zero-difference pairs actually used.
+    pub n_used: usize,
+    /// Normal-approximation z statistic (tie-corrected).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+}
+
+impl Wilcoxon {
+    /// True when the test rejects equality at the given level.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.n_used >= 6 && self.p_two_sided < alpha
+    }
+}
+
+/// Two-sided Wilcoxon signed-rank test for paired samples `a` vs `b`.
+///
+/// ```
+/// use logirec_eval::wilcoxon_signed_rank;
+/// let a: Vec<f64> = (0..30).map(|i| i as f64 + 0.5).collect();
+/// let b: Vec<f64> = (0..30).map(|i| i as f64).collect();
+/// let w = wilcoxon_signed_rank(&a, &b).unwrap();
+/// assert!(w.significant(0.05)); // a uniformly above b
+/// ```
+///
+/// Zero differences are dropped (Wilcoxon's original treatment); ties in
+/// `|diff|` receive average ranks with the standard variance correction.
+/// Returns `None` when fewer than one non-zero pair remains.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Option<Wilcoxon> {
+    assert_eq!(a.len(), b.len(), "paired test requires equal lengths");
+    let mut diffs: Vec<f64> =
+        a.iter().zip(b).map(|(x, y)| x - y).filter(|d| *d != 0.0).collect();
+    let n = diffs.len();
+    if n == 0 {
+        return None;
+    }
+    // Rank |diff| ascending with average ranks for ties.
+    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("finite diffs"));
+    let mut ranks = vec![0.0; n];
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[j + 1].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+    let w_plus: f64 =
+        diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, r)| *r).sum();
+    let total = n as f64 * (n as f64 + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+    let w = w_plus.min(w_minus);
+
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    let z = if var > 0.0 { (w_plus - mean) / var.sqrt() } else { 0.0 };
+    let p = 2.0 * (1.0 - std_normal_cdf(z.abs()));
+    Some(Wilcoxon { w, n_used: n, z, p_two_sided: p.clamp(0.0, 1.0) })
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (|error| < 1.5e-7, plenty for significance thresholds).
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Mean and sample standard deviation of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single sample).
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Formats as the paper's `mm.mm±s.ss` percent style given a scale
+    /// factor (100 for fractions → percent).
+    pub fn format_percent(&self) -> String {
+        format!("{:.2}±{:.2}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+/// Computes mean ± sample std; panics on empty input.
+pub fn mean_std(xs: &[f64]) -> MeanStd {
+    assert!(!xs.is_empty(), "mean_std of empty slice");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let std = if xs.len() < 2 {
+        0.0
+    } else {
+        (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)).sqrt()
+    };
+    MeanStd { mean, std }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((std_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((std_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wilcoxon_detects_consistent_improvement() {
+        // b is consistently worse than a by a noisy margin.
+        let a: Vec<f64> = (0..50).map(|i| 0.5 + 0.01 * (i % 7) as f64 + 0.05).collect();
+        let b: Vec<f64> = (0..50).map(|i| 0.5 + 0.01 * (i % 7) as f64).collect();
+        let w = wilcoxon_signed_rank(&a, &b).expect("pairs exist");
+        assert!(w.significant(0.05), "p = {}", w.p_two_sided);
+        assert!(w.z > 0.0);
+    }
+
+    #[test]
+    fn wilcoxon_accepts_equality_of_identical_noise() {
+        // Symmetric differences → no significance.
+        let a: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let w = wilcoxon_signed_rank(&a, &b).expect("pairs exist");
+        assert!(!w.significant(0.05), "p = {}", w.p_two_sided);
+    }
+
+    #[test]
+    fn wilcoxon_drops_zero_differences() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 2.5, 3.0];
+        let w = wilcoxon_signed_rank(&a, &b).expect("pairs exist");
+        assert_eq!(w.n_used, 2);
+    }
+
+    #[test]
+    fn wilcoxon_none_on_all_equal() {
+        let a = [1.0, 1.0];
+        assert!(wilcoxon_signed_rank(&a, &a).is_none());
+    }
+
+    #[test]
+    fn wilcoxon_textbook_example() {
+        // Classic example (Wilcoxon 1945-style): n = 10 paired samples.
+        let a = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+        let b = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let w = wilcoxon_signed_rank(&a, &b).expect("pairs exist");
+        // One zero difference dropped → n = 9; textbook W = 18.
+        assert_eq!(w.n_used, 9);
+        assert!((w.w - 18.0).abs() < 1e-9, "W = {}", w.w);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let m = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((m.std - 2.138).abs() < 1e-3);
+        let single = mean_std(&[3.0]);
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn format_percent_matches_paper_style() {
+        let m = MeanStd { mean: 0.0667, std: 0.0005 };
+        assert_eq!(m.format_percent(), "6.67±0.05");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of metrics, top-K selection, and statistics.
+
+use logirec_eval::ranking::top_k_indices;
+use logirec_eval::{mean_std, ndcg_at_k, recall_at_k, wilcoxon_signed_rank};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn top_k_matches_full_sort(scores in prop::collection::vec(-100.0f64..100.0, 1..200), k in 1usize..30) {
+        let top = top_k_indices(&scores, k);
+        // Reference: argsort descending, stable by index.
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+        });
+        idx.truncate(k.min(scores.len()));
+        prop_assert_eq!(top, idx);
+    }
+
+    #[test]
+    fn metrics_are_bounded(
+        top in prop::collection::btree_set(0usize..50, 0..20),
+        truth in prop::collection::btree_set(0usize..50, 0..20),
+    ) {
+        // Top-k lists are duplicate-free by contract (they are indices of
+        // distinct items); order within the set is irrelevant to recall
+        // and only shifts NDCG within [0, 1].
+        let top: Vec<usize> = top.into_iter().collect();
+        let truth: Vec<usize> = truth.into_iter().collect();
+        let r = recall_at_k(&top, &truth);
+        let n = ndcg_at_k(&top, &truth);
+        prop_assert!((0.0..=1.0).contains(&r), "recall {r}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&n), "ndcg {n}");
+        // Recall and NDCG are zero together exactly when there are no hits.
+        let hits = top.iter().filter(|v| truth.binary_search(v).is_ok()).count();
+        prop_assert_eq!(r == 0.0 && !truth.is_empty(), hits == 0 && !truth.is_empty());
+    }
+
+    #[test]
+    fn ndcg_improves_when_hit_moves_earlier(
+        truth_item in 0usize..20,
+        pos in 1usize..10,
+    ) {
+        // A single relevant item at position `pos` vs position `pos-1`.
+        let make_list = |p: usize| -> Vec<usize> {
+            let mut l: Vec<usize> = (20..30).collect();
+            l.insert(p, truth_item);
+            l
+        };
+        let truth = vec![truth_item];
+        let later = ndcg_at_k(&make_list(pos), &truth);
+        let earlier = ndcg_at_k(&make_list(pos - 1), &truth);
+        prop_assert!(earlier > later);
+    }
+
+    #[test]
+    fn wilcoxon_is_antisymmetric(
+        pairs in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 8..100),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        match (wilcoxon_signed_rank(&a, &b), wilcoxon_signed_rank(&b, &a)) {
+            (Some(ab), Some(ba)) => {
+                prop_assert!((ab.p_two_sided - ba.p_two_sided).abs() < 1e-9);
+                prop_assert!((ab.z + ba.z).abs() < 1e-9, "z antisymmetric");
+                prop_assert!((ab.w - ba.w).abs() < 1e-9, "min rank sum is symmetric");
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "one direction degenerate, the other not"),
+        }
+    }
+
+    #[test]
+    fn wilcoxon_detects_uniform_shift(base in prop::collection::vec(0.0f64..1.0, 30..80), shift in 0.01f64..0.5) {
+        let shifted: Vec<f64> = base.iter().map(|x| x + shift).collect();
+        let w = wilcoxon_signed_rank(&shifted, &base).expect("nonzero diffs");
+        prop_assert!(w.significant(0.05), "uniform +{shift} must be significant, p = {}", w.p_two_sided);
+        prop_assert!(w.z > 0.0);
+    }
+
+    #[test]
+    fn mean_std_shift_and_scale(xs in prop::collection::vec(-10.0f64..10.0, 2..50), shift in -5.0f64..5.0) {
+        let m = mean_std(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let ms = mean_std(&shifted);
+        prop_assert!((ms.mean - (m.mean + shift)).abs() < 1e-9);
+        prop_assert!((ms.std - m.std).abs() < 1e-9, "std is shift-invariant");
+        let doubled: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        let md = mean_std(&doubled);
+        prop_assert!((md.std - 2.0 * m.std).abs() < 1e-9, "std scales linearly");
+    }
+}

@@ -1,0 +1,236 @@
+//! Additional hyperbolic operations a complete geometry library ships:
+//! weighted Lorentzian midpoints (the "Einstein midpoint" aggregation the
+//! paper's related work cites via Chami et al.), parallel transport,
+//! Möbius scalar multiplication and gyration, and Klein-model
+//! conversions. None are required by LogiRec's training path; they
+//! support downstream users (e.g. midpoint-based user profiles for
+//! cold-start, transport-based feature sharing).
+
+use logirec_linalg::ops;
+
+use crate::{lorentz, poincare, MIN_NORM};
+
+/// Weighted Lorentzian centroid (a.k.a. Einstein midpoint computed in the
+/// Lorentz model): normalize `Σ wᵢ xᵢ` back onto the hyperboloid,
+/// `m = Σ wᵢ xᵢ / sqrt(−⟨Σ wᵢ xᵢ, Σ wᵢ xᵢ⟩_L)`.
+///
+/// Weights must be non-negative with a positive sum. For points on `H^d`
+/// the weighted sum is always time-like, so the normalization is
+/// well-defined; the degenerate all-zero-weight case returns the origin.
+pub fn lorentz_midpoint(points: &[&[f64]], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(points.len(), weights.len(), "one weight per point");
+    assert!(!points.is_empty(), "midpoint of an empty set");
+    let dim = points[0].len();
+    let mut sum = vec![0.0; dim];
+    for (p, &w) in points.iter().zip(weights) {
+        debug_assert!(w >= 0.0, "weights must be non-negative");
+        ops::axpy(w, p, &mut sum);
+    }
+    let norm2 = -lorentz::inner(&sum, &sum);
+    if norm2 <= MIN_NORM {
+        return lorentz::origin(dim - 1);
+    }
+    ops::scale(&mut sum, 1.0 / norm2.sqrt());
+    // Absorb any residual drift.
+    lorentz::project(&mut sum);
+    sum
+}
+
+/// Unweighted Lorentzian midpoint.
+pub fn lorentz_mean(points: &[&[f64]]) -> Vec<f64> {
+    let w = vec![1.0; points.len()];
+    lorentz_midpoint(points, &w)
+}
+
+/// Parallel transport of a tangent vector `v ∈ T_o H^d` (time component
+/// zero) from the origin to the tangent space at `x ∈ H^d`:
+/// `PT_{o→x}(v) = v + ⟨x, v⟩_L / (1 + x₀) · (o + x)`.
+pub fn transport_from_origin(x: &[f64], v: &[f64]) -> Vec<f64> {
+    debug_assert!((v[0]).abs() < 1e-9, "v must be tangent at the origin");
+    let xv = lorentz::inner(x, v);
+    let denom = 1.0 + x[0];
+    let mut out = v.to_vec();
+    // o + x has time component 1 + x₀ and spatial components x₁.. .
+    out[0] += xv / denom * (1.0 + x[0]);
+    for i in 1..out.len() {
+        out[i] += xv / denom * x[i];
+    }
+    out
+}
+
+/// Möbius scalar multiplication in the Poincaré ball:
+/// `r ⊗ x = tanh(r·atanh(‖x‖)) · x/‖x‖` — the point at `r` times the
+/// hyperbolic distance from the origin, along the same ray.
+pub fn mobius_scalar(r: f64, x: &[f64]) -> Vec<f64> {
+    let n = ops::norm(x);
+    if n < MIN_NORM {
+        return x.to_vec();
+    }
+    let nc = n.min(1.0 - crate::BALL_EPS);
+    let scaled = (r * nc.atanh()).tanh();
+    let mut out = ops::scaled(x, scaled / n);
+    poincare::project(&mut out);
+    out
+}
+
+/// Gyration operator `gyr[a, b] c = ⊖(a ⊕ b) ⊕ (a ⊕ (b ⊕ c))` — the
+/// correction for the non-associativity of Möbius addition.
+pub fn gyration(a: &[f64], b: &[f64], c: &[f64]) -> Vec<f64> {
+    let ab = poincare::mobius_add(a, b);
+    let neg_ab = ops::scaled(&ab, -1.0);
+    let bc = poincare::mobius_add(b, c);
+    let abc = poincare::mobius_add(a, &bc);
+    poincare::mobius_add(&neg_ab, &abc)
+}
+
+/// Poincaré → Klein model: `k = 2p / (1 + ‖p‖²)`.
+pub fn poincare_to_klein(p: &[f64]) -> Vec<f64> {
+    let q = ops::norm_sq(p);
+    ops::scaled(p, 2.0 / (1.0 + q))
+}
+
+/// Klein → Poincaré model: `p = k / (1 + sqrt(1 − ‖k‖²))`.
+pub fn klein_to_poincare(k: &[f64]) -> Vec<f64> {
+    let q = ops::norm_sq(k).min(1.0);
+    ops::scaled(k, 1.0 / (1.0 + (1.0 - q).sqrt()))
+}
+
+/// The Einstein midpoint computed natively in the Klein model with the
+/// Lorentz gamma factors `γᵢ = 1/sqrt(1 − ‖kᵢ‖²)`:
+/// `mid = Σ γᵢ wᵢ kᵢ / Σ γᵢ wᵢ`.
+pub fn einstein_midpoint_klein(points: &[&[f64]], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(points.len(), weights.len());
+    assert!(!points.is_empty());
+    let dim = points[0].len();
+    let mut num = vec![0.0; dim];
+    let mut den = 0.0;
+    for (k, &w) in points.iter().zip(weights) {
+        let q = ops::norm_sq(k).min(1.0 - 1e-12);
+        let gamma = 1.0 / (1.0 - q).sqrt();
+        ops::axpy(gamma * w, k, &mut num);
+        den += gamma * w;
+    }
+    if den <= MIN_NORM {
+        return vec![0.0; dim];
+    }
+    ops::scale(&mut num, 1.0 / den);
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn midpoint_of_identical_points_is_the_point() {
+        let x = lorentz::exp_origin(&[0.4, -0.7]);
+        let m = lorentz_mean(&[&x, &x, &x]);
+        for (a, b) in m.iter().zip(&x) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn midpoint_lies_on_manifold_and_between() {
+        let a = lorentz::exp_origin(&[1.0, 0.0]);
+        let b = lorentz::exp_origin(&[-1.0, 0.0]);
+        let m = lorentz_mean(&[&a, &b]);
+        assert!(lorentz::on_manifold(&m, 1e-9));
+        // Symmetric points average to the origin.
+        assert_close(m[0], 1.0, 1e-9);
+        assert_close(lorentz::distance(&m, &lorentz::origin(2)), 0.0, 1e-6);
+        // And the midpoint is equidistant from both.
+        let c = lorentz::exp_origin(&[0.5, 0.8]);
+        let m2 = lorentz_mean(&[&a, &c]);
+        assert_close(lorentz::distance(&m2, &a), lorentz::distance(&m2, &c), 1e-8);
+    }
+
+    #[test]
+    fn weighted_midpoint_moves_toward_heavier_point() {
+        let a = lorentz::exp_origin(&[1.0, 0.0]);
+        let b = lorentz::exp_origin(&[-1.0, 0.0]);
+        let m = lorentz_midpoint(&[&a, &b], &[3.0, 1.0]);
+        assert!(
+            lorentz::distance(&m, &a) < lorentz::distance(&m, &b),
+            "heavier weight should pull the midpoint"
+        );
+    }
+
+    #[test]
+    fn degenerate_weights_return_origin() {
+        let a = lorentz::exp_origin(&[1.0, 0.0]);
+        let m = lorentz_midpoint(&[&a], &[0.0]);
+        assert_close(m[0], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn transport_preserves_tangency_and_norm() {
+        let x = lorentz::exp_origin(&[0.6, -0.3, 0.2]);
+        let v = vec![0.0, 0.5, 1.0, -0.25];
+        let t = transport_from_origin(&x, &v);
+        // Tangent at x.
+        assert_close(lorentz::inner(&x, &t), 0.0, 1e-9);
+        // Parallel transport is an isometry of tangent spaces.
+        assert_close(lorentz::inner(&t, &t), lorentz::inner(&v, &v), 1e-9);
+    }
+
+    #[test]
+    fn mobius_scalar_matches_distance_scaling() {
+        let x = [0.3, 0.2];
+        let d = poincare::distance_to_origin(&x);
+        let y = mobius_scalar(2.0, &x);
+        assert_close(poincare::distance_to_origin(&y), 2.0 * d, 1e-9);
+        // 1 ⊗ x = x and 0 ⊗ x = 0.
+        let same = mobius_scalar(1.0, &x);
+        assert_close(same[0], x[0], 1e-12);
+        let zero = mobius_scalar(0.0, &x);
+        assert!(ops::norm(&zero) < 1e-12);
+    }
+
+    #[test]
+    fn gyration_is_an_isometry_fixing_zero() {
+        let a = [0.2, -0.1];
+        let b = [0.15, 0.3];
+        let c = [0.25, 0.05];
+        let g = gyration(&a, &b, &c);
+        // Gyration preserves the norm (it is a rotation).
+        assert_close(ops::norm(&g), ops::norm(&c), 1e-9);
+        let zero = gyration(&a, &b, &[0.0, 0.0]);
+        assert!(ops::norm(&zero) < 1e-9);
+    }
+
+    #[test]
+    fn klein_round_trip() {
+        let p = [0.45, -0.3, 0.1];
+        let k = poincare_to_klein(&p);
+        assert!(ops::norm(&k) < 1.0, "Klein points live in the unit ball");
+        let back = klein_to_poincare(&k);
+        for (a, b) in back.iter().zip(&p) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn einstein_midpoint_agrees_with_lorentz_midpoint() {
+        // The Einstein midpoint in Klein coordinates equals the projected
+        // Lorentzian centroid.
+        let za = [0.7, -0.2];
+        let zb = [-0.3, 0.5];
+        let la = lorentz::exp_origin(&za);
+        let lb = lorentz::exp_origin(&zb);
+        let lm = lorentz_mean(&[&la, &lb]);
+        let pm = crate::maps::lorentz_to_poincare(&lm);
+
+        let ka = poincare_to_klein(&crate::maps::lorentz_to_poincare(&la));
+        let kb = poincare_to_klein(&crate::maps::lorentz_to_poincare(&lb));
+        let km = einstein_midpoint_klein(&[&ka, &kb], &[1.0, 1.0]);
+        let pm2 = klein_to_poincare(&km);
+        for (a, b) in pm.iter().zip(&pm2) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+}

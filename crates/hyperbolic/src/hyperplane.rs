@@ -1,0 +1,255 @@
+//! Poincaré hyperplanes and their enclosing d-balls (Section III-A).
+//!
+//! A Poincaré hyperplane is uniquely determined by its closest point `c ≠ 0`
+//! to the origin. The Euclidean d-ball whose boundary carries the hyperplane
+//! (and intersects the unit sphere perpendicularly) is
+//!
+//! `o_c = c · (1 + ‖c‖²) / (2‖c‖²)`,  `r_c = (1 − ‖c‖²) / (2‖c‖)`.
+//!
+//! **Paper typo:** the paper prints `o_c = c(1+‖c‖²)/(2‖c‖)`, but
+//! orthogonality to the unit sphere requires `‖o_c‖² = 1 + r_c²`, which only
+//! the `2‖c‖²` form satisfies (verified in `enclosing_ball_is_orthogonal`).
+//!
+//! Tags are modeled as hyperplanes; items as points. The three logical
+//! relations then become the geometric predicates of Lemmas 1–3, which
+//! `logirec-core` turns into hinge losses (Eq. 3–5).
+
+use logirec_linalg::ops;
+
+use crate::{BALL_EPS, MIN_NORM};
+
+/// Minimum norm of a hyperplane's defining point `c`. `c = 0` does not
+/// define a hyperplane (the radius diverges), so optimizer steps clamp the
+/// norm into `[MIN_CENTER_NORM, 1 − BALL_EPS]`.
+pub const MIN_CENTER_NORM: f64 = 1e-3;
+
+/// The enclosing Euclidean d-ball `B(o, r)` of a Poincaré hyperplane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ball {
+    /// Euclidean center `o_c` (lies outside the unit ball).
+    pub center: Vec<f64>,
+    /// Euclidean radius `r_c`.
+    pub radius: f64,
+}
+
+impl Ball {
+    /// Derives the enclosing ball from the hyperplane's defining point `c`.
+    ///
+    /// `c` must be nonzero and inside the unit ball; callers uphold this via
+    /// [`clamp_center`].
+    ///
+    /// ```
+    /// use logirec_hyperbolic::Ball;
+    /// let b = Ball::from_center(&[0.5, 0.0]);
+    /// // The carrier sphere is orthogonal to the unit sphere: ‖o‖² = 1 + r².
+    /// let o2: f64 = b.center.iter().map(|x| x * x).sum();
+    /// assert!((o2 - (1.0 + b.radius * b.radius)).abs() < 1e-9);
+    /// ```
+    pub fn from_center(c: &[f64]) -> Self {
+        let s2 = ops::norm_sq(c).clamp(MIN_CENTER_NORM * MIN_CENTER_NORM, 1.0 - BALL_EPS);
+        let s = s2.sqrt();
+        let center = ops::scaled(c, (1.0 + s2) / (2.0 * s2));
+        let radius = (1.0 - s2) / (2.0 * s);
+        Self { center, radius }
+    }
+
+    /// Lemma 1 (membership): point `v` lies inside this ball.
+    pub fn contains_point(&self, v: &[f64]) -> bool {
+        ops::dist(v, &self.center) < self.radius
+    }
+
+    /// Lemma 2 (hierarchy): this ball geometrically contains `other`
+    /// (`‖o_i − o_j‖ + r_j < r_i` with `self = i`).
+    pub fn contains_ball(&self, other: &Ball) -> bool {
+        ops::dist(&self.center, &other.center) + other.radius < self.radius
+    }
+
+    /// Lemma 3 (exclusion): this ball is disjoint from `other`
+    /// (`r_i + r_j < ‖o_i − o_j‖`).
+    pub fn disjoint_from(&self, other: &Ball) -> bool {
+        self.radius + other.radius < ops::dist(&self.center, &other.center)
+    }
+
+    /// Margin of Lemma 1: `‖v − o‖ − r` (negative inside, positive outside).
+    /// `max(0, ·)` of this is the membership loss L_Mem (Eq. 3).
+    pub fn membership_margin(&self, v: &[f64]) -> f64 {
+        ops::dist(v, &self.center) - self.radius
+    }
+
+    /// Margin of Lemma 2 for `self ⊃ other`: `‖o_i − o_j‖ + r_j − r_i`.
+    /// `max(0, ·)` of this is the hierarchy loss L_Hie (Eq. 4).
+    pub fn hierarchy_margin(&self, other: &Ball) -> f64 {
+        ops::dist(&self.center, &other.center) + other.radius - self.radius
+    }
+
+    /// Margin of Lemma 3: `r_i + r_j − ‖o_i − o_j‖`.
+    /// `max(0, ·)` of this is the exclusion loss L_Ex (Eq. 5).
+    pub fn exclusion_margin(&self, other: &Ball) -> f64 {
+        self.radius + other.radius - ops::dist(&self.center, &other.center)
+    }
+}
+
+/// Clamps a hyperplane defining point in place so `‖c‖ ∈
+/// [MIN_CENTER_NORM, 1 − BALL_EPS]`. Applied after every optimizer step on a
+/// tag embedding.
+pub fn clamp_center(c: &mut [f64]) {
+    let n = ops::norm(c);
+    if n < MIN_CENTER_NORM {
+        if n < MIN_NORM {
+            // Degenerate zero vector: nudge deterministically along e₀.
+            c[0] = MIN_CENTER_NORM;
+            for v in &mut c[1..] {
+                *v = 0.0;
+            }
+        } else {
+            ops::scale(c, MIN_CENTER_NORM / n);
+        }
+    } else if n > 1.0 - BALL_EPS {
+        ops::scale(c, (1.0 - BALL_EPS) / n);
+    }
+}
+
+/// VJP of the `c ↦ (o_c, r_c)` derivation: given gradients `g_o ∈ R^d`
+/// w.r.t. the ball center and `g_r` w.r.t. the radius, returns the gradient
+/// w.r.t. the defining point `c`.
+///
+/// With `s² = ‖c‖²`, `g(s²) = (1+s²)/(2s²)` and `r(s) = (1−s²)/(2s)`:
+/// `∂o_i/∂c_j = g δ_ij − c_i c_j / s⁴` and `dr/ds = −(1+s²)/(2s²)`.
+pub fn ball_vjp(c: &[f64], g_o: &[f64], g_r: f64) -> Vec<f64> {
+    let s2 = ops::norm_sq(c).clamp(MIN_CENTER_NORM * MIN_CENTER_NORM, 1.0 - BALL_EPS);
+    let s = s2.sqrt();
+    let g = (1.0 + s2) / (2.0 * s2);
+    let cdotgo = ops::dot(c, g_o);
+    let mut out = ops::scaled(g_o, g);
+    // Center term: −(c·g_o)/s⁴ · c.
+    let mut coeff = -cdotgo / (s2 * s2);
+    // Radius term: g_r · dr/ds · c/s = g_r · (−(1+s²)/(2s²)) · c/s.
+    coeff += g_r * (-(1.0 + s2) / (2.0 * s2)) / s;
+    ops::axpy(coeff, c, &mut out);
+    out
+}
+
+/// The shortest Poincaré distance from the hyperplane defined by `c` to the
+/// origin — `d_P(0, c)` since `c` is the hyperplane's closest point. Small
+/// for coarse-grained (abstract) tags, large for fine-grained tags
+/// (Section V-B's granularity argument).
+pub fn hyperplane_distance_to_origin(c: &[f64]) -> f64 {
+    crate::poincare::distance_to_origin(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn enclosing_ball_is_orthogonal() {
+        // ‖o_c‖² = 1 + r_c² ⇔ the sphere meets the unit sphere at right
+        // angles — the defining property of a Poincaré hyperplane carrier.
+        for c in [[0.5f64, 0.0], [0.1, 0.2], [0.0, -0.9], [0.6, 0.6]] {
+            let b = Ball::from_center(&c);
+            assert_close(ops::norm_sq(&b.center), 1.0 + b.radius * b.radius, 1e-9);
+        }
+    }
+
+    #[test]
+    fn defining_point_lies_on_the_boundary_sphere() {
+        // c is the closest point of the hyperplane to the origin, so it lies
+        // on the carrier sphere: ‖c − o_c‖ = r_c.
+        let c = [0.3, -0.4];
+        let b = Ball::from_center(&c);
+        assert_close(ops::dist(&c, &b.center), b.radius, 1e-12);
+    }
+
+    #[test]
+    fn radius_grows_as_center_approaches_origin() {
+        let coarse = Ball::from_center(&[0.1, 0.0]);
+        let fine = Ball::from_center(&[0.8, 0.0]);
+        assert!(coarse.radius > fine.radius, "abstract tags get bigger regions");
+        assert!(
+            hyperplane_distance_to_origin(&[0.1, 0.0])
+                < hyperplane_distance_to_origin(&[0.8, 0.0])
+        );
+    }
+
+    #[test]
+    fn membership_predicate_and_margin_agree() {
+        let b = Ball::from_center(&[0.5, 0.0]);
+        // A point between c and the boundary along +x is inside the ball.
+        let inside = [0.7, 0.0];
+        let outside = [-0.5, 0.0];
+        assert!(b.contains_point(&inside));
+        assert!(b.membership_margin(&inside) < 0.0);
+        assert!(!b.contains_point(&outside));
+        assert!(b.membership_margin(&outside) > 0.0);
+    }
+
+    #[test]
+    fn hierarchy_predicate_matches_nested_construction() {
+        // A hyperplane closer to the boundary along the same ray gives a
+        // smaller ball nested inside the coarser one.
+        let parent = Ball::from_center(&[0.3, 0.0]);
+        let child = Ball::from_center(&[0.6, 0.0]);
+        assert!(parent.contains_ball(&child));
+        assert!(parent.hierarchy_margin(&child) < 0.0);
+        assert!(!child.contains_ball(&parent));
+        assert!(child.hierarchy_margin(&parent) > 0.0);
+    }
+
+    #[test]
+    fn exclusion_predicate_matches_opposite_construction() {
+        // Hyperplanes on opposite sides of the ball are disjoint.
+        let a = Ball::from_center(&[0.7, 0.0]);
+        let b = Ball::from_center(&[-0.7, 0.0]);
+        assert!(a.disjoint_from(&b));
+        assert!(a.exclusion_margin(&b) < 0.0);
+        // A ball is never disjoint from itself.
+        assert!(!a.disjoint_from(&a.clone()));
+        assert!(a.exclusion_margin(&a.clone()) > 0.0);
+    }
+
+    #[test]
+    fn clamp_center_enforces_both_bounds() {
+        let mut tiny = vec![1e-8, 0.0];
+        clamp_center(&mut tiny);
+        assert_close(ops::norm(&tiny), MIN_CENTER_NORM, 1e-9);
+
+        let mut zero = vec![0.0, 0.0];
+        clamp_center(&mut zero);
+        assert_close(ops::norm(&zero), MIN_CENTER_NORM, 1e-12);
+
+        let mut big = vec![3.0, 4.0];
+        clamp_center(&mut big);
+        assert_close(ops::norm(&big), 1.0 - BALL_EPS, 1e-12);
+
+        let mut fine = vec![0.5, 0.5];
+        let before = fine.clone();
+        clamp_center(&mut fine);
+        assert_eq!(fine, before, "in-range centers are untouched");
+    }
+
+    #[test]
+    fn ball_vjp_matches_finite_differences() {
+        let c = [0.42, -0.31, 0.2];
+        let g_o = [1.3, -0.7, 0.25];
+        let g_r = -0.9;
+        // f(c) = g_o · o_c + g_r · r_c
+        let f = |c: &[f64]| {
+            let b = Ball::from_center(c);
+            ops::dot(&b.center, &g_o) + g_r * b.radius
+        };
+        let grad = ball_vjp(&c, &g_o, g_r);
+        let h = 1e-7;
+        for i in 0..3 {
+            let mut cp = c.to_vec();
+            let mut cm = c.to_vec();
+            cp[i] += h;
+            cm[i] -= h;
+            let num = (f(&cp) - f(&cm)) / (2.0 * h);
+            assert_close(grad[i], num, 1e-5);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The Lorentz (hyperboloid) model
+//! `H^d = { x ∈ R^{d+1} : ⟨x,x⟩_L = −1, x₀ > 0 }`.
+//!
+//! Note on the sign convention: the paper (Section III-A) writes the
+//! constraint as `⟨x,x⟩_L = 1`, but with its own inner product
+//! `⟨x,y⟩_L = −x₀y₀ + Σ xᵢyᵢ` the hyperboloid satisfies `⟨x,x⟩_L = −1`
+//! (e.g. the origin `o = (1,0,…,0)` has `⟨o,o⟩_L = −1`). We use the standard
+//! `⟨x,x⟩_L = −1` form, which also makes the distance
+//! `d_H(x,y) = acosh(−⟨x,y⟩_L)` (the paper's Eq. 9 expands to exactly this).
+//!
+//! Vectors are stored as `d+1` ambient coordinates with the time component
+//! first. Tangent vectors at the origin have time component zero, so the GCN
+//! in `logirec-core` stores only their `d` spatial components.
+
+use logirec_linalg::ops;
+
+use crate::MIN_NORM;
+
+/// Lorentzian inner product `⟨x,y⟩_L = −x₀y₀ + Σ_{i≥1} xᵢyᵢ`.
+#[inline]
+pub fn inner(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    -x[0] * y[0] + ops::dot(&x[1..], &y[1..])
+}
+
+/// The hyperboloid origin `o = (1, 0, …, 0)` in `d+1` ambient coordinates.
+pub fn origin(dim: usize) -> Vec<f64> {
+    let mut o = vec![0.0; dim + 1];
+    o[0] = 1.0;
+    o
+}
+
+/// Projects ambient coordinates onto the hyperboloid by recomputing the time
+/// component from the spatial ones: `x₀ = sqrt(1 + ‖x₁..d‖²)`.
+///
+/// This is the cheap retraction applied after every Lorentz RSGD step to
+/// absorb floating-point drift off the manifold.
+pub fn project(x: &mut [f64]) {
+    x[0] = (1.0 + ops::norm_sq(&x[1..])).sqrt();
+}
+
+/// True when `x` lies on the hyperboloid up to tolerance.
+pub fn on_manifold(x: &[f64], tol: f64) -> bool {
+    x[0] > 0.0 && (inner(x, x) + 1.0).abs() <= tol
+}
+
+/// Lorentz distance `d_H(x,y) = acosh(−⟨x,y⟩_L)` (Section III-A / Eq. 9).
+///
+/// ```
+/// use logirec_hyperbolic::lorentz;
+/// let x = lorentz::exp_origin(&[0.6, 0.8]); // distance 1 from the origin
+/// assert!((lorentz::distance(&lorentz::origin(2), &x) - 1.0).abs() < 1e-9);
+/// ```
+pub fn distance(x: &[f64], y: &[f64]) -> f64 {
+    ops::acosh_clamped(-inner(x, y))
+}
+
+/// Distance to the origin: `acosh(x₀)` — the granularity score GR (Eq. 13).
+#[inline]
+pub fn distance_to_origin(x: &[f64]) -> f64 {
+    ops::acosh_clamped(x[0])
+}
+
+/// Ambient Euclidean gradients of [`distance`] w.r.t. both arguments, scaled
+/// by `upstream`.
+///
+/// With `s = −⟨x,y⟩_L`, `d = acosh(s)` and `∂s/∂x = (y₀, −y₁, …, −y_d)`.
+/// Feed the results through [`crate::rsgd::lorentz_step`], which converts
+/// ambient gradients to Riemannian ones (Eq. 16).
+pub fn distance_vjp(x: &[f64], y: &[f64], upstream: f64) -> (Vec<f64>, Vec<f64>) {
+    let s = -inner(x, y);
+    let ds = upstream / ((s * s - 1.0).sqrt()).max(MIN_NORM);
+    let mut gx = vec![0.0; x.len()];
+    let mut gy = vec![0.0; y.len()];
+    gx[0] = ds * y[0];
+    gy[0] = ds * x[0];
+    for i in 1..x.len() {
+        gx[i] = -ds * y[i];
+        gy[i] = -ds * x[i];
+    }
+    (gx, gy)
+}
+
+/// Exponential map at the origin (Eq. 8), taking the **spatial** tangent
+/// coordinates `z ∈ R^d` (the time component of a tangent vector at `o` is
+/// zero) to a point on `H^d` in `d+1` ambient coordinates:
+///
+/// `exp_o(z) = (cosh‖z‖, sinh(‖z‖)·z/‖z‖)`.
+pub fn exp_origin(z: &[f64]) -> Vec<f64> {
+    let n = ops::norm(z);
+    let mut out = vec![0.0; z.len() + 1];
+    out[0] = n.cosh();
+    let scale = sinhc(n);
+    for (o, zi) in out[1..].iter_mut().zip(z) {
+        *o = scale * zi;
+    }
+    out
+}
+
+/// Logarithmic map at the origin (Eq. 6), returning the spatial tangent
+/// coordinates `z ∈ R^d` of `log_o(u)`:
+///
+/// `log_o(u) = acosh(u₀) · u_s / ‖u_s‖`, where `u_s` are the spatial
+/// coordinates (the general formula in Eq. 6 reduces to this at `o`).
+pub fn log_origin(u: &[f64]) -> Vec<f64> {
+    let us = &u[1..];
+    let m = ops::norm(us);
+    if m < MIN_NORM {
+        return us.to_vec();
+    }
+    let a = ops::acosh_clamped(u[0]);
+    ops::scaled(us, a / m)
+}
+
+/// VJP of [`exp_origin`]: given the ambient gradient `g ∈ R^{d+1}` w.r.t.
+/// the output point, returns the gradient w.r.t. the spatial tangent input
+/// `z ∈ R^d`.
+pub fn exp_origin_vjp(z: &[f64], g: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(g.len(), z.len() + 1);
+    let n = ops::norm(z);
+    let gs = &g[1..];
+    if n < MIN_NORM {
+        // exp_o(z) ≈ (1 + n²/2, z): d(out₀)/dz ≈ z → 0, spatial Jacobian ≈ I.
+        return gs.to_vec();
+    }
+    let sh = n.sinh();
+    let ch = n.cosh();
+    let shc = sh / n;
+    // ∂out₀/∂z_j  = sinh(n)·z_j/n
+    // ∂out_i/∂z_j = (sinh n / n) δ_ij + z_i z_j (n cosh n − sinh n)/n³
+    let zdotg = ops::dot(z, gs);
+    let k = (n * ch - sh) / (n * n * n);
+    let mut out = ops::scaled(gs, shc);
+    let coeff = g[0] * shc + zdotg * k;
+    ops::axpy(coeff, z, &mut out);
+    // The g[0]·sinh(n)/n·z_j term is folded in via `coeff` above:
+    // coeff·z_j = g₀·(sinh n/n)·z_j + (z·g_s)·k·z_j.
+    out
+}
+
+/// VJP of [`log_origin`]: given the gradient `g ∈ R^d` w.r.t. the tangent
+/// output, returns the **ambient** gradient w.r.t. the input point
+/// `u ∈ R^{d+1}`.
+pub fn log_origin_vjp(u: &[f64], g: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(g.len() + 1, u.len());
+    let us = &u[1..];
+    let m = ops::norm(us);
+    let mut out = vec![0.0; u.len()];
+    if m < MIN_NORM {
+        // Near the origin log_o(u) ≈ u_s.
+        out[1..].copy_from_slice(g);
+        return out;
+    }
+    let a = ops::acosh_clamped(u[0]);
+    // ∂z_j/∂u₀ = u_j / (m·sqrt(u₀²−1))
+    let root = (u[0] * u[0] - 1.0).sqrt().max(MIN_NORM);
+    let udotg = ops::dot(us, g);
+    out[0] = udotg / (m * root);
+    // ∂z_j/∂u_i = a(δ_ij/m − u_i u_j/m³)
+    let am = a / m;
+    let am3 = a / (m * m * m);
+    for i in 0..g.len() {
+        out[i + 1] = am * g[i] - am3 * udotg * us[i];
+    }
+    out
+}
+
+/// Exponential map at an arbitrary point `x ∈ H^d` (Eq. 18):
+/// `exp_x(v) = cosh(‖v‖_L)·x + sinh(‖v‖_L)·v/‖v‖_L`,
+/// where `v` is a tangent vector at `x` (so `⟨x,v⟩_L = 0` and
+/// `‖v‖_L = sqrt(⟨v,v⟩_L)` is real).
+pub fn exp_point(x: &[f64], v: &[f64]) -> Vec<f64> {
+    let vv = inner(v, v).max(0.0);
+    let n = vv.sqrt();
+    if n < MIN_NORM {
+        return x.to_vec();
+    }
+    let mut out = ops::scaled(x, n.cosh());
+    ops::axpy(n.sinh() / n, v, &mut out);
+    project(&mut out);
+    out
+}
+
+/// Projects an ambient vector `h` onto the tangent space at `x`:
+/// `proj_x(h) = h + ⟨x,h⟩_L · x`.
+pub fn tangent_project(x: &[f64], h: &[f64]) -> Vec<f64> {
+    let xh = inner(x, h);
+    let mut out = h.to_vec();
+    ops::axpy(xh, x, &mut out);
+    out
+}
+
+/// `sinh(n)/n`, with the Taylor limit at small `n`.
+#[inline]
+fn sinhc(n: f64) -> f64 {
+    if n < 1e-6 {
+        1.0 + n * n / 6.0
+    } else {
+        n.sinh() / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn origin_is_on_manifold() {
+        let o = origin(5);
+        assert!(on_manifold(&o, 1e-12));
+        assert_close(inner(&o, &o), -1.0, 1e-15);
+    }
+
+    #[test]
+    fn project_restores_constraint() {
+        let mut x = vec![0.0, 0.5, -1.25, 2.0];
+        project(&mut x);
+        assert!(on_manifold(&x, 1e-12));
+    }
+
+    #[test]
+    fn exp_origin_lands_on_manifold() {
+        let z = [0.7, -0.3, 1.2];
+        let u = exp_origin(&z);
+        assert!(on_manifold(&u, 1e-10));
+    }
+
+    #[test]
+    fn exp_log_origin_roundtrip() {
+        let z = [0.4, -0.9, 0.05, 1.3];
+        let u = exp_origin(&z);
+        let back = log_origin(&u);
+        for (a, b) in back.iter().zip(&z) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_origin_of_origin_is_zero() {
+        let o = origin(3);
+        let z = log_origin(&o);
+        assert!(ops::norm(&z) < 1e-12);
+    }
+
+    #[test]
+    fn distance_properties() {
+        let z1 = [0.2, 0.3];
+        let z2 = [-0.5, 0.7];
+        let x = exp_origin(&z1);
+        let y = exp_origin(&z2);
+        assert_close(distance(&x, &x), 0.0, 1e-7);
+        assert_close(distance(&x, &y), distance(&y, &x), 1e-12);
+        assert!(distance(&x, &y) > 0.0);
+    }
+
+    #[test]
+    fn distance_to_origin_equals_tangent_norm() {
+        // d(o, exp_o(z)) = ‖z‖: geodesics from the origin have unit speed.
+        let z = [0.6, -0.8]; // ‖z‖ = 1
+        let u = exp_origin(&z);
+        assert_close(distance_to_origin(&u), 1.0, 1e-10);
+        assert_close(distance(&origin(2), &u), 1.0, 1e-10);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let a = exp_origin(&[0.1, 0.9]);
+        let b = exp_origin(&[-0.4, 0.2]);
+        let c = exp_origin(&[1.1, -0.3]);
+        assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn distance_vjp_matches_finite_differences_in_tangent_coords() {
+        // Differentiate through exp_origin ∘ distance so perturbations stay
+        // on the manifold.
+        let za = [0.3, -0.2, 0.5];
+        let zb = [-0.1, 0.4, 0.2];
+        let x = exp_origin(&za);
+        let y = exp_origin(&zb);
+        let (gx, _gy) = distance_vjp(&x, &y, 1.0);
+        let gz = exp_origin_vjp(&za, &gx);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut zp = za.to_vec();
+            let mut zm = za.to_vec();
+            zp[i] += h;
+            zm[i] -= h;
+            let num =
+                (distance(&exp_origin(&zp), &y) - distance(&exp_origin(&zm), &y)) / (2.0 * h);
+            assert_close(gz[i], num, 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_origin_vjp_matches_finite_differences() {
+        // Scalar function f(z) = w · log_o(exp_o(z)²-ish chain): perturb in
+        // tangent coordinates, map through exp, then log, then dot with w.
+        let z0 = [0.25, -0.7, 0.4];
+        let w = [1.0, -2.0, 0.5];
+        let f = |z: &[f64]| {
+            let u = exp_origin(z);
+            ops::dot(&log_origin(&u), &w)
+        };
+        let u0 = exp_origin(&z0);
+        let g_ambient = log_origin_vjp(&u0, &w);
+        let g_tangent = exp_origin_vjp(&z0, &g_ambient);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut zp = z0.to_vec();
+            let mut zm = z0.to_vec();
+            zp[i] += h;
+            zm[i] -= h;
+            let num = (f(&zp) - f(&zm)) / (2.0 * h);
+            assert_close(g_tangent[i], num, 1e-5);
+        }
+        // And since log ∘ exp = id, the chained gradient must equal w.
+        for (a, b) in g_tangent.iter().zip(&w) {
+            assert_close(*a, *b, 1e-8);
+        }
+    }
+
+    #[test]
+    fn exp_point_follows_geodesic() {
+        let x = origin(2);
+        // Tangent at origin with time component 0.
+        let v = vec![0.0, 0.3, 0.4]; // ‖v‖_L = 0.5
+        let y = exp_point(&x, &v);
+        assert!(on_manifold(&y, 1e-10));
+        assert_close(distance(&x, &y), 0.5, 1e-10);
+    }
+
+    #[test]
+    fn tangent_project_gives_orthogonal_vector() {
+        let x = exp_origin(&[0.5, -0.2]);
+        let h = vec![0.3, 1.0, -0.7];
+        let v = tangent_project(&x, &h);
+        assert_close(inner(&x, &v), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn exp_origin_vjp_small_norm_limit() {
+        let z = [1e-12, 0.0];
+        let g = [0.5, 1.0, 2.0];
+        let gz = exp_origin_vjp(&z, &g);
+        assert_close(gz[0], 1.0, 1e-9);
+        assert_close(gz[1], 2.0, 1e-9);
+    }
+}

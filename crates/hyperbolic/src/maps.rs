@@ -1,0 +1,162 @@
+//! Diffeomorphisms between the Poincaré and Lorentz models (Eq. 1–2).
+//!
+//! LogiRec learns item embeddings in the Poincaré ball (where the logical
+//! relation losses live) and maps them into the Lorentz model with `p⁻¹` for
+//! the GCN + ranking loss; `p` maps Lorentz points back for visualization and
+//! the granularity analysis. `p` and `p⁻¹` are mutually inverse bijections
+//! between `P^d` and `H^d`.
+
+use logirec_linalg::ops;
+
+use crate::MIN_NORM;
+
+#[cfg(test)]
+use crate::{lorentz, poincare};
+
+/// `p : H^d → P^d` (Eq. 1): `p(x₀, x₁, …, x_d) = (x₁, …, x_d)/(x₀ + 1)`.
+pub fn lorentz_to_poincare(x: &[f64]) -> Vec<f64> {
+    let denom = x[0] + 1.0;
+    ops::scaled(&x[1..], 1.0 / denom)
+}
+
+/// `p⁻¹ : P^d → H^d` (Eq. 2):
+/// `p⁻¹(x) = ((1 + ‖x‖²), 2x₁, …, 2x_d) / (1 − ‖x‖²)`.
+pub fn poincare_to_lorentz(x: &[f64]) -> Vec<f64> {
+    let q = ops::norm_sq(x).min(1.0 - crate::BALL_EPS);
+    let denom = 1.0 - q;
+    let mut out = vec![0.0; x.len() + 1];
+    out[0] = (1.0 + q) / denom;
+    for (o, xi) in out[1..].iter_mut().zip(x) {
+        *o = 2.0 * xi / denom;
+    }
+    out
+}
+
+/// VJP of [`poincare_to_lorentz`]: given the ambient gradient
+/// `g ∈ R^{d+1}` w.r.t. the Lorentz output, returns the Euclidean gradient
+/// w.r.t. the Poincaré input `x ∈ R^d`.
+///
+/// With `q = ‖x‖²`, `D = 1 − q`:
+/// `∂y₀/∂x_j = 4x_j/D²`, `∂y_i/∂x_j = 2δ_ij/D + 4x_i x_j/D²`.
+pub fn poincare_to_lorentz_vjp(x: &[f64], g: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(g.len(), x.len() + 1);
+    let q = ops::norm_sq(x);
+    let d = (1.0 - q).max(MIN_NORM);
+    let d2 = d * d;
+    let gs = &g[1..];
+    let xdotg = ops::dot(x, gs);
+    let mut out = ops::scaled(gs, 2.0 / d);
+    let coeff = 4.0 * g[0] / d2 + 4.0 * xdotg / d2;
+    ops::axpy(coeff, x, &mut out);
+    out
+}
+
+/// VJP of [`lorentz_to_poincare`]: given the gradient `g ∈ R^d` w.r.t. the
+/// Poincaré output, returns the ambient gradient w.r.t. the Lorentz input.
+///
+/// `∂y_i/∂x₀ = −x_i/(x₀+1)²`, `∂y_i/∂x_j = δ_ij/(x₀+1)` for `j ≥ 1`.
+pub fn lorentz_to_poincare_vjp(x: &[f64], g: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(g.len() + 1, x.len());
+    let denom = x[0] + 1.0;
+    let mut out = vec![0.0; x.len()];
+    out[0] = -ops::dot(&x[1..], g) / (denom * denom);
+    for (o, gi) in out[1..].iter_mut().zip(g) {
+        *o = gi / denom;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn p_inv_lands_on_hyperboloid() {
+        let x = [0.3, -0.5, 0.1];
+        let y = poincare_to_lorentz(&x);
+        assert!(lorentz::on_manifold(&y, 1e-10));
+    }
+
+    #[test]
+    fn p_lands_in_ball() {
+        let u = lorentz::exp_origin(&[1.5, -2.0]);
+        let x = lorentz_to_poincare(&u);
+        assert!(poincare::in_ball(&x));
+    }
+
+    #[test]
+    fn diffeomorphisms_are_mutually_inverse() {
+        let x = [0.4, 0.2, -0.3];
+        let back = lorentz_to_poincare(&poincare_to_lorentz(&x));
+        for (a, b) in back.iter().zip(&x) {
+            assert_close(*a, *b, 1e-12);
+        }
+        let u = lorentz::exp_origin(&[0.8, -0.1, 0.6]);
+        let back = poincare_to_lorentz(&lorentz_to_poincare(&u));
+        for (a, b) in back.iter().zip(&u) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn origin_maps_to_origin() {
+        let o_p = [0.0, 0.0];
+        let o_h = poincare_to_lorentz(&o_p);
+        assert_close(o_h[0], 1.0, 1e-15);
+        assert_close(o_h[1], 0.0, 1e-15);
+        let back = lorentz_to_poincare(&lorentz::origin(2));
+        assert!(ops::norm(&back) < 1e-15);
+    }
+
+    #[test]
+    fn maps_are_isometries() {
+        // d_P(x, y) must equal d_H(p⁻¹(x), p⁻¹(y)).
+        let x = [0.3, -0.2];
+        let y = [-0.1, 0.55];
+        let dp = poincare::distance(&x, &y);
+        let dh = lorentz::distance(&poincare_to_lorentz(&x), &poincare_to_lorentz(&y));
+        assert_close(dp, dh, 1e-9);
+    }
+
+    #[test]
+    fn p_inv_vjp_matches_finite_differences() {
+        let x = [0.31, -0.44, 0.12];
+        let g = [0.7, -1.3, 0.4, 2.0];
+        let grad = poincare_to_lorentz_vjp(&x, &g);
+        let f = |x: &[f64]| ops::dot(&poincare_to_lorentz(x), &g);
+        let h = 1e-7;
+        for i in 0..3 {
+            let mut xp = x.to_vec();
+            let mut xm = x.to_vec();
+            xp[i] += h;
+            xm[i] -= h;
+            let num = (f(&xp) - f(&xm)) / (2.0 * h);
+            assert_close(grad[i], num, 1e-5);
+        }
+    }
+
+    #[test]
+    fn p_vjp_matches_finite_differences() {
+        // Perturb in tangent coordinates via exp_origin to stay on H^d, and
+        // compare against chained analytic VJPs.
+        let z0 = [0.5, -0.3];
+        let g = [1.0, -0.5];
+        let f = |z: &[f64]| ops::dot(&lorentz_to_poincare(&lorentz::exp_origin(z)), &g);
+        let u = lorentz::exp_origin(&z0);
+        let g_ambient = lorentz_to_poincare_vjp(&u, &g);
+        let g_tan = lorentz::exp_origin_vjp(&z0, &g_ambient);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut zp = z0.to_vec();
+            let mut zm = z0.to_vec();
+            zp[i] += h;
+            zm[i] -= h;
+            let num = (f(&zp) - f(&zm)) / (2.0 * h);
+            assert_close(g_tan[i], num, 1e-5);
+        }
+    }
+}

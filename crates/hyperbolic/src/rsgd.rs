@@ -1,0 +1,145 @@
+//! Riemannian stochastic gradient descent (Section V-C, Eq. 16–18).
+//!
+//! Both hyperbolic models need their Euclidean (ambient) loss gradients
+//! converted to Riemannian gradients before an exponential-map update:
+//!
+//! * **Poincaré**: the metric is conformal, so the Riemannian gradient is
+//!   the Euclidean one rescaled by `((1 − ‖x‖²)/2)²` (the inverse metric);
+//!   the update retracts with the Möbius exponential (Eq. 17).
+//! * **Lorentz**: apply the inverse metric `g_L⁻¹ = diag(−1, 1, …, 1)` and
+//!   project onto the tangent space at `x` (this is what the paper's
+//!   `(I − X Xᵀ)∇` in Eq. 16 computes on the hyperboloid); the update uses
+//!   the hyperboloid exponential (Eq. 18) followed by a re-projection.
+
+use logirec_linalg::ops;
+
+use crate::{hyperplane, lorentz, poincare};
+
+/// Converts a Euclidean gradient at a Poincaré point to the Riemannian
+/// gradient: `grad = ((1 − ‖x‖²)/2)² · ∇`.
+pub fn poincare_riemannian_grad(x: &[f64], egrad: &[f64]) -> Vec<f64> {
+    let factor = (1.0 - ops::norm_sq(x)).max(0.0) / 2.0;
+    ops::scaled(egrad, factor * factor)
+}
+
+/// One RSGD step on a Poincaré parameter: rescale, retract via the paper's
+/// Möbius exponential (Eq. 17), and project back into the ball.
+pub fn poincare_step(x: &mut [f64], egrad: &[f64], lr: f64) {
+    let mut rgrad = poincare_riemannian_grad(x, egrad);
+    ops::scale(&mut rgrad, -lr);
+    let updated = poincare::exp_map_paper(x, &rgrad);
+    x.copy_from_slice(&updated);
+}
+
+/// One RSGD step on a hyperplane defining point `c`: same as
+/// [`poincare_step`] but additionally keeps `‖c‖` in the valid hyperplane
+/// range (nonzero, inside the ball).
+pub fn hyperplane_step(c: &mut [f64], egrad: &[f64], lr: f64) {
+    poincare_step(c, egrad, lr);
+    hyperplane::clamp_center(c);
+}
+
+/// Converts an ambient Euclidean gradient at a Lorentz point to the
+/// Riemannian gradient (Eq. 16): apply `g_L⁻¹` (negate the time component),
+/// then project onto the tangent space at `x`.
+pub fn lorentz_riemannian_grad(x: &[f64], egrad: &[f64]) -> Vec<f64> {
+    let mut h = egrad.to_vec();
+    h[0] = -h[0];
+    lorentz::tangent_project(x, &h)
+}
+
+/// One RSGD step on a Lorentz parameter: Riemannian gradient, exponential
+/// map along `−lr · grad` (Eq. 18), then hyperboloid re-projection.
+pub fn lorentz_step(x: &mut [f64], egrad: &[f64], lr: f64) {
+    let mut rgrad = lorentz_riemannian_grad(x, egrad);
+    ops::scale(&mut rgrad, -lr);
+    let updated = lorentz::exp_point(x, &rgrad);
+    x.copy_from_slice(&updated);
+    if !ops::all_finite(x) {
+        // A pathological step (e.g. enormous gradient on a boundary point)
+        // must never poison the embedding table; reset to the origin.
+        let o = lorentz::origin(x.len() - 1);
+        x.copy_from_slice(&o);
+    }
+}
+
+/// Plain Euclidean SGD step, used by the Euclidean baselines and the
+/// "w/o Hyper" ablation so every method shares one optimizer surface.
+pub fn euclidean_step(x: &mut [f64], egrad: &[f64], lr: f64) {
+    ops::axpy(-lr, egrad, x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing d_P(x, target)² by RSGD should converge to the target.
+    #[test]
+    fn poincare_rsgd_converges_to_target() {
+        let target = [0.4, -0.3];
+        let mut x = vec![0.01, 0.02];
+        for _ in 0..500 {
+            let d = poincare::distance(&x, &target);
+            let (gx, _) = poincare::distance_vjp(&x, &target, 2.0 * d);
+            poincare_step(&mut x, &gx, 0.05);
+        }
+        assert!(
+            poincare::distance(&x, &target) < 1e-3,
+            "converged to {x:?}, d = {}",
+            poincare::distance(&x, &target)
+        );
+    }
+
+    /// Minimizing d_H(x, target)² by Lorentz RSGD should converge too, and
+    /// every iterate must stay on the hyperboloid.
+    #[test]
+    fn lorentz_rsgd_converges_and_stays_on_manifold() {
+        let target = lorentz::exp_origin(&[0.8, -0.5]);
+        let mut x = lorentz::origin(2);
+        for _ in 0..500 {
+            let d = lorentz::distance(&x, &target);
+            let (gx, _) = lorentz::distance_vjp(&x, &target, 2.0 * d);
+            lorentz_step(&mut x, &gx, 0.05);
+            assert!(lorentz::on_manifold(&x, 1e-9), "left the manifold: {x:?}");
+        }
+        assert!(lorentz::distance(&x, &target) < 1e-3);
+    }
+
+    #[test]
+    fn hyperplane_step_keeps_center_valid() {
+        let mut c = vec![0.002, 0.0];
+        // A gradient pushing the center through the origin.
+        let g = vec![10.0, 0.0];
+        for _ in 0..50 {
+            hyperplane_step(&mut c, &g, 0.1);
+            let n = ops::norm(&c);
+            assert!(
+                (hyperplane::MIN_CENTER_NORM - 1e-12..=1.0).contains(&n),
+                "center norm escaped: {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn riemannian_grad_shrinks_near_boundary() {
+        let g = [1.0, 0.0];
+        let near_center = poincare_riemannian_grad(&[0.0, 0.0], &g);
+        let near_edge = poincare_riemannian_grad(&[0.99, 0.0], &g);
+        assert!(ops::norm(&near_center) > ops::norm(&near_edge) * 100.0);
+    }
+
+    #[test]
+    fn lorentz_riemannian_grad_is_tangent() {
+        let x = lorentz::exp_origin(&[0.3, 0.7, -0.2]);
+        let egrad = vec![0.5, -1.0, 0.25, 2.0];
+        let r = lorentz_riemannian_grad(&x, &egrad);
+        assert!(lorentz::inner(&x, &r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_step_is_plain_sgd() {
+        let mut x = vec![1.0, 2.0];
+        euclidean_step(&mut x, &[0.5, -0.5], 0.1);
+        assert_eq!(x, vec![0.95, 2.05]);
+    }
+}

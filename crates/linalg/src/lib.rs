@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Dense numeric substrate for the LogiRec reproduction.
+//!
+//! Every model in this workspace stores its parameters as rows of an
+//! [`Embedding`] matrix and manipulates them with the free functions in
+//! [`ops`]. Keeping the numeric kernel in one tiny crate lets the geometry,
+//! model, and baseline crates share identical, well-tested primitives.
+//!
+//! All arithmetic is `f64`: hyperbolic maps amplify rounding error near the
+//! boundary of the Poincaré ball, and the paper's optimization (Riemannian
+//! SGD with exponential maps) is far more stable in double precision.
+
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+
+pub use matrix::Embedding;
+pub use rng::SplitMix64;

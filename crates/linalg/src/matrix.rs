@@ -1,0 +1,191 @@
+//! Row-major embedding storage.
+//!
+//! An [`Embedding`] is an `n × d` matrix whose rows are the latent vectors of
+//! users, items, or tags. It is deliberately minimal: contiguous storage,
+//! row views, and the initialization schemes the paper's models need.
+
+use crate::ops;
+use crate::rng::SplitMix64;
+
+/// Dense row-major `n × d` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    rows: usize,
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl Embedding {
+    /// Zero-initialized `rows × dim` matrix.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        Self { rows, dim, data: vec![0.0; rows * dim] }
+    }
+
+    /// Uniform init in `[-scale, scale)`, the classic MF/GCN initialization.
+    pub fn uniform(rows: usize, dim: usize, scale: f64, rng: &mut SplitMix64) -> Self {
+        let mut m = Self::zeros(rows, dim);
+        for v in &mut m.data {
+            *v = rng.uniform(-scale, scale);
+        }
+        m
+    }
+
+    /// Gaussian init with standard deviation `std`.
+    pub fn normal(rows: usize, dim: usize, std: f64, rng: &mut SplitMix64) -> Self {
+        let mut m = Self::zeros(rows, dim);
+        for v in &mut m.data {
+            *v = rng.normal() * std;
+        }
+        m
+    }
+
+    /// "Burn-in" init used for Poincaré embeddings (Nickel & Kiela 2017):
+    /// uniform in a small ball of radius `radius` around the origin so every
+    /// point starts well inside the unit ball with room to spread out.
+    pub fn poincare_burn_in(rows: usize, dim: usize, radius: f64, rng: &mut SplitMix64) -> Self {
+        let mut m = Self::uniform(rows, dim, radius, rng);
+        for r in 0..rows {
+            ops::clip_norm(m.row_mut(r), radius);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension (columns).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Two disjoint mutable rows; panics if `i == j`.
+    pub fn rows_mut2(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(i, j, "rows_mut2 requires distinct rows");
+        let d = self.dim;
+        if i < j {
+            let (a, b) = self.data.split_at_mut(j * d);
+            (&mut a[i * d..(i + 1) * d], &mut b[..d])
+        } else {
+            let (a, b) = self.data.split_at_mut(i * d);
+            (&mut b[..d], &mut a[j * d..(j + 1) * d])
+        }
+    }
+
+    /// Flat view of the whole buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable view of the whole buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Iterator over row views.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Frobenius norm of the whole matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        ops::norm(&self.data)
+    }
+
+    /// True when all entries are finite — the invariant every optimizer step
+    /// in this workspace must maintain.
+    pub fn all_finite(&self) -> bool {
+        ops::all_finite(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_accessors() {
+        let m = Embedding::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.as_slice().len(), 12);
+    }
+
+    #[test]
+    fn row_views_are_disjoint_and_ordered() {
+        let mut m = Embedding::zeros(3, 2);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+        m.row_mut(2).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn rows_mut2_both_orders() {
+        let mut m = Embedding::zeros(4, 2);
+        {
+            let (a, b) = m.rows_mut2(1, 3);
+            a[0] = 1.0;
+            b[0] = 3.0;
+        }
+        {
+            let (a, b) = m.rows_mut2(3, 1);
+            assert_eq!(a[0], 3.0);
+            assert_eq!(b[0], 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn rows_mut2_rejects_same_row() {
+        let mut m = Embedding::zeros(2, 2);
+        let _ = m.rows_mut2(1, 1);
+    }
+
+    #[test]
+    fn uniform_init_stays_in_range() {
+        let mut rng = SplitMix64::new(1);
+        let m = Embedding::uniform(100, 8, 0.1, &mut rng);
+        assert!(m.as_slice().iter().all(|v| (-0.1..0.1).contains(v)));
+    }
+
+    #[test]
+    fn burn_in_rows_stay_inside_radius() {
+        let mut rng = SplitMix64::new(2);
+        let m = Embedding::poincare_burn_in(50, 16, 1e-3, &mut rng);
+        for r in m.iter_rows() {
+            assert!(crate::ops::norm(r) <= 1e-3 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_matches_flat_norm() {
+        let mut rng = SplitMix64::new(3);
+        let m = Embedding::normal(10, 5, 1.0, &mut rng);
+        assert!((m.frobenius_norm() - crate::ops::norm(m.as_slice())).abs() < 1e-15);
+        assert!(m.all_finite());
+    }
+}

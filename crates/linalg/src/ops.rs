@@ -1,0 +1,191 @@
+//! Free-standing vector kernels.
+//!
+//! All functions operate on slices and assume equal lengths; they panic (via
+//! `debug_assert!` + indexing) on mismatch in debug builds, which is the
+//! contract every caller in this workspace upholds by construction.
+
+/// Dot product `x · y`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Squared Euclidean norm `‖x‖²`.
+#[inline]
+pub fn norm_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Euclidean norm `‖x‖`.
+#[inline]
+pub fn norm(x: &[f64]) -> f64 {
+    norm_sq(x).sqrt()
+}
+
+/// Squared Euclidean distance `‖x − y‖²`.
+#[inline]
+pub fn dist_sq(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// Euclidean distance `‖x − y‖`.
+#[inline]
+pub fn dist(x: &[f64], y: &[f64]) -> f64 {
+    dist_sq(x, y).sqrt()
+}
+
+/// `out ← x`.
+#[inline]
+pub fn copy(out: &mut [f64], x: &[f64]) {
+    out.copy_from_slice(x);
+}
+
+/// `y ← y + a·x` (the BLAS `axpy`).
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(x: &mut [f64], a: f64) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Returns `x + y` as a fresh vector.
+#[inline]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Returns `x − y` as a fresh vector.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Returns `a·x` as a fresh vector.
+#[inline]
+pub fn scaled(x: &[f64], a: f64) -> Vec<f64> {
+    x.iter().map(|v| a * v).collect()
+}
+
+/// Fills `x` with zeros.
+#[inline]
+pub fn zero(x: &mut [f64]) {
+    x.fill(0.0);
+}
+
+/// Rescales `x` in place so that `‖x‖ ≤ max_norm`.
+///
+/// This is the norm clipping used by metric-learning baselines (CML keeps all
+/// embeddings in the unit ball) and by Poincaré parameters, which must stay
+/// strictly inside the unit ball.
+#[inline]
+pub fn clip_norm(x: &mut [f64], max_norm: f64) {
+    let n = norm(x);
+    if n > max_norm {
+        scale(x, max_norm / n);
+    }
+}
+
+/// True when every component is finite (neither NaN nor ±∞).
+#[inline]
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Numerically safe `acosh`: clamps the argument to `[1, ∞)` before applying
+/// `acosh`, absorbing the `1 − ε` values produced by floating-point noise in
+/// hyperbolic distance formulas.
+#[inline]
+pub fn acosh_clamped(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.acosh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms_agree() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm_sq(&x), 25.0);
+        assert_eq!(norm(&x), 5.0);
+    }
+
+    #[test]
+    fn dist_matches_manual_subtraction() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 6.0, 3.0];
+        assert_eq!(dist_sq(&x, &y), 25.0);
+        assert_eq!(dist(&x, &y), 5.0);
+        let d = sub(&x, &y);
+        assert_eq!(norm(&d), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, -2.0];
+        let mut y = [10.0, 10.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 9.0]);
+    }
+
+    #[test]
+    fn scale_and_scaled_match() {
+        let mut x = [2.0, -4.0];
+        let s = scaled(&x, -0.5);
+        scale(&mut x, -0.5);
+        assert_eq!(x.to_vec(), s);
+        assert_eq!(x, [-1.0, 2.0]);
+    }
+
+    #[test]
+    fn clip_norm_only_shrinks() {
+        let mut x = [3.0, 4.0];
+        clip_norm(&mut x, 10.0);
+        assert_eq!(x, [3.0, 4.0]);
+        clip_norm(&mut x, 1.0);
+        assert!((norm(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acosh_clamped_handles_sub_one_arguments() {
+        assert_eq!(acosh_clamped(0.999_999_9), 0.0);
+        assert_eq!(acosh_clamped(1.0), 0.0);
+        assert!((acosh_clamped(f64::cosh(2.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let x = [1.5, -2.5, 0.0];
+        let y = [0.25, 4.0, -1.0];
+        let s = add(&x, &y);
+        let back = sub(&s, &y);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[0.0, 1.0, -1.0]));
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the numeric kernels.
+
+use logirec_linalg::{ops, Embedding, SplitMix64};
+use proptest::prelude::*;
+
+fn vecs(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        prop::collection::vec(-100.0f64..100.0, n),
+        prop::collection::vec(-100.0f64..100.0, n),
+    )
+}
+
+proptest! {
+    #[test]
+    fn dot_is_symmetric_and_bilinear((x, y) in vecs(8), a in -5.0f64..5.0) {
+        prop_assert!((ops::dot(&x, &y) - ops::dot(&y, &x)).abs() < 1e-9);
+        let ax = ops::scaled(&x, a);
+        prop_assert!((ops::dot(&ax, &y) - a * ops::dot(&x, &y)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cauchy_schwarz((x, y) in vecs(8)) {
+        prop_assert!(ops::dot(&x, &y).abs() <= ops::norm(&x) * ops::norm(&y) + 1e-6);
+    }
+
+    #[test]
+    fn triangle_inequality((x, y) in vecs(8)) {
+        let s = ops::add(&x, &y);
+        prop_assert!(ops::norm(&s) <= ops::norm(&x) + ops::norm(&y) + 1e-9);
+    }
+
+    #[test]
+    fn dist_is_a_metric((x, y) in vecs(8)) {
+        prop_assert!(ops::dist(&x, &x) < 1e-12);
+        prop_assert!((ops::dist(&x, &y) - ops::dist(&y, &x)).abs() < 1e-9);
+        prop_assert!(ops::dist(&x, &y) >= 0.0);
+        prop_assert!((ops::dist_sq(&x, &y).sqrt() - ops::dist(&x, &y)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axpy_matches_definition((x, y) in vecs(8), a in -5.0f64..5.0) {
+        let mut z = y.clone();
+        ops::axpy(a, &x, &mut z);
+        for i in 0..8 {
+            prop_assert!((z[i] - (y[i] + a * x[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clip_norm_is_idempotent_and_bounded((x, _) in vecs(8), max in 0.1f64..10.0) {
+        let mut a = x.clone();
+        ops::clip_norm(&mut a, max);
+        prop_assert!(ops::norm(&a) <= max + 1e-9);
+        let once = a.clone();
+        ops::clip_norm(&mut a, max);
+        for (u, v) in a.iter().zip(&once) {
+            prop_assert!((u - v).abs() < 1e-12, "clip must be idempotent");
+        }
+        // Direction is preserved.
+        if ops::norm(&x) > 1e-9 {
+            let cos = ops::dot(&x, &a) / (ops::norm(&x) * ops::norm(&a)).max(1e-12);
+            prop_assert!(cos > 0.999_999 || ops::norm(&a) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn acosh_clamped_inverts_cosh(t in 0.0f64..20.0) {
+        prop_assert!((ops::acosh_clamped(t.cosh()) - t).abs() < 1e-6 * (1.0 + t));
+    }
+
+    #[test]
+    fn embedding_rows_are_independent(seed in 0u64..1000, r1 in 0usize..10, r2 in 0usize..10) {
+        prop_assume!(r1 != r2);
+        let mut rng = SplitMix64::new(seed);
+        let mut m = Embedding::normal(10, 4, 1.0, &mut rng);
+        let before = m.row(r2).to_vec();
+        m.row_mut(r1).fill(42.0);
+        prop_assert_eq!(m.row(r2), &before[..], "writing row {} touched row {}", r1, r2);
+    }
+
+    #[test]
+    fn splitmix_uniform_respects_bounds(seed in 0u64..1000, lo in -10.0f64..0.0, hi in 0.1f64..10.0) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..100 {
+            let v = rng.uniform(lo, hi);
+            prop_assert!((lo..hi).contains(&v));
+        }
+    }
+}

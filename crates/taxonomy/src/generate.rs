@@ -1,0 +1,164 @@
+//! Random taxonomy generator.
+//!
+//! The paper's datasets ship 4-level tag taxonomies of very different sizes
+//! (28 tags on Ciao up to 3051 on Clothing, Table I). This generator
+//! produces a taxonomy with an exact tag count, a chosen depth, and a skewed
+//! (realistic) branching structure: parents are sampled with Zipf-like
+//! weights so a few concepts grow large subtrees while most stay small —
+//! the shape that makes sibling-exclusion counts match the paper's datasets.
+
+use logirec_linalg::SplitMix64;
+
+use crate::tree::Taxonomy;
+
+/// Configuration for [`TaxonomyConfig::generate`].
+#[derive(Debug, Clone)]
+pub struct TaxonomyConfig {
+    /// Exact number of tags to generate.
+    pub tags: usize,
+    /// Number of levels η (the paper uses 4).
+    pub levels: usize,
+    /// Per-level geometric growth factor: level `l+1` gets ~`growth` times
+    /// as many tags as level `l`. 2.0–3.0 matches the paper's datasets.
+    pub growth: f64,
+    /// Zipf exponent for parent selection; 0 = uniform (balanced tree),
+    /// larger = more skew (a few big subtrees).
+    pub parent_skew: f64,
+}
+
+impl Default for TaxonomyConfig {
+    fn default() -> Self {
+        Self { tags: 100, levels: 4, growth: 2.5, parent_skew: 0.8 }
+    }
+}
+
+impl TaxonomyConfig {
+    /// Generates a deterministic random taxonomy.
+    ///
+    /// Panics when `tags < levels` (each level needs at least one tag) or
+    /// `levels == 0`.
+    pub fn generate(&self, rng: &mut SplitMix64) -> Taxonomy {
+        assert!(self.levels > 0, "taxonomy needs at least one level");
+        assert!(self.tags >= self.levels, "need at least one tag per level");
+
+        let sizes = self.level_sizes();
+        let mut records: Vec<(String, Option<usize>)> = Vec::with_capacity(self.tags);
+        // IDs of the previous level's tags.
+        let mut prev: Vec<usize> = Vec::new();
+        for (level_idx, &size) in sizes.iter().enumerate() {
+            let mut current = Vec::with_capacity(size);
+            // Zipf-ish weights over the previous level (by its local order).
+            let weights: Vec<f64> = (0..prev.len())
+                .map(|i| 1.0 / ((i + 1) as f64).powf(self.parent_skew))
+                .collect();
+            for j in 0..size {
+                let parent = if level_idx == 0 {
+                    None
+                } else if j < prev.len() {
+                    // Guarantee every parent level stays connected downward
+                    // where possible: the first `prev.len()` children are
+                    // spread one per parent.
+                    Some(prev[j])
+                } else {
+                    Some(prev[rng.weighted_index(&weights)])
+                };
+                let id = records.len();
+                records.push((format!("tag-L{}-{}", level_idx + 1, j), parent));
+                current.push(id);
+            }
+            prev = current;
+        }
+        Taxonomy::from_parents(records)
+    }
+
+    /// Splits `tags` across `levels` proportionally to `growth^level`,
+    /// guaranteeing ≥ 1 per level and an exact total.
+    fn level_sizes(&self) -> Vec<usize> {
+        let raw: Vec<f64> = (0..self.levels).map(|l| self.growth.powi(l as i32)).collect();
+        let total: f64 = raw.iter().sum();
+        let mut sizes: Vec<usize> =
+            raw.iter().map(|w| ((w / total) * self.tags as f64).floor().max(1.0) as usize).collect();
+        // Fix rounding drift on the largest level.
+        let assigned: usize = sizes.iter().sum();
+        let last = self.levels - 1;
+        if assigned < self.tags {
+            sizes[last] += self.tags - assigned;
+        } else {
+            let mut excess = assigned - self.tags;
+            for s in sizes.iter_mut().rev() {
+                let take = excess.min(s.saturating_sub(1));
+                *s -= take;
+                excess -= take;
+                if excess == 0 {
+                    break;
+                }
+            }
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_exact_tag_count_and_depth() {
+        let mut rng = SplitMix64::new(1);
+        for &tags in &[28usize, 379, 510, 3051] {
+            let cfg = TaxonomyConfig { tags, levels: 4, ..Default::default() };
+            let t = cfg.generate(&mut rng);
+            assert_eq!(t.len(), tags, "tag count for {tags}");
+            assert_eq!(t.max_level(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = TaxonomyConfig { tags: 64, ..Default::default() };
+        let a = cfg.generate(&mut SplitMix64::new(7));
+        let b = cfg.generate(&mut SplitMix64::new(7));
+        for t in 0..a.len() {
+            assert_eq!(a.parent(t), b.parent(t));
+        }
+    }
+
+    #[test]
+    fn every_non_root_has_valid_parent_one_level_up() {
+        let cfg = TaxonomyConfig { tags: 200, ..Default::default() };
+        let t = cfg.generate(&mut SplitMix64::new(3));
+        for tag in 0..t.len() {
+            match t.parent(tag) {
+                None => assert_eq!(t.level(tag), 1),
+                Some(p) => assert_eq!(t.level(p) + 1, t.level(tag)),
+            }
+        }
+    }
+
+    #[test]
+    fn level_sizes_grow_geometrically() {
+        let cfg = TaxonomyConfig { tags: 150, levels: 4, growth: 2.5, parent_skew: 0.8 };
+        let sizes = cfg.level_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 150);
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "sizes should be nondecreasing: {sizes:?}");
+    }
+
+    #[test]
+    fn tiny_taxonomy_one_tag_per_level() {
+        let cfg = TaxonomyConfig { tags: 4, levels: 4, ..Default::default() };
+        let t = cfg.generate(&mut SplitMix64::new(5));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.max_level(), 4);
+    }
+
+    #[test]
+    fn skewed_parents_produce_imbalanced_subtrees() {
+        let cfg = TaxonomyConfig { tags: 500, levels: 3, growth: 4.0, parent_skew: 1.2 };
+        let t = cfg.generate(&mut SplitMix64::new(11));
+        let roots = t.roots();
+        let sizes: Vec<usize> = roots.iter().map(|&r| t.descendants(r).len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max >= min * 2, "expected imbalance, got {sizes:?}");
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Tag taxonomy substrate.
+//!
+//! The paper extracts three *logical relations* from an existing tag
+//! taxonomy plus the item–tag matrix (Section IV-B, following Xiong et al.):
+//!
+//! * **membership** — item `v` carries tag `t`;
+//! * **hierarchy** — tag `t_j` is a child of tag `t_i`;
+//! * **exclusion** — two tags at the same level that share a parent and have
+//!   no common child are assumed mutually exclusive (the assumption the
+//!   paper calls *inaccurate and coarse*, motivating LogiRec++'s mining).
+//!
+//! This crate provides the taxonomy tree, relation extraction, the random
+//! taxonomy generator used by the synthetic benchmark datasets, and the tag
+//! frequency / exclusion-level machinery behind the consistency weighting
+//! (Eq. 11–12).
+
+pub mod generate;
+pub mod relations;
+pub mod tree;
+
+pub use generate::TaxonomyConfig;
+pub use relations::{ExclusionRule, LogicalRelations};
+pub use tree::{TagId, Taxonomy};

@@ -1,0 +1,273 @@
+//! Logical relation extraction (Section IV-B) and the tag-frequency /
+//! exclusion-level machinery used by the consistency weighting (Eq. 11–12).
+
+use std::collections::HashMap;
+
+use crate::tree::{TagId, Taxonomy};
+
+/// How exclusion pairs are derived from the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExclusionRule {
+    /// All same-parent sibling pairs are exclusive — the raw rule whose
+    /// inaccuracy (e.g. `<Heavy Metal>` vs `<Metal>`) motivates LogiRec++.
+    AllSiblings,
+    /// Sibling pairs are exclusive only when no item carries both tags
+    /// ("no common child" veto): overlapping concepts co-occur on items and
+    /// are therefore not marked exclusive.
+    SiblingsWithoutCommonItems,
+}
+
+/// The logical relations extracted from a taxonomy + item–tag matrix:
+/// the paper's three (membership / hierarchy / exclusion) plus the
+/// *intersection* relation its conclusion lists as future work —
+/// overlapping sibling concepts (e.g. `<Heavy Metal>` vs `<Metal>`)
+/// evidenced by shared items.
+#[derive(Debug, Clone)]
+pub struct LogicalRelations {
+    /// `(item, tag)` membership pairs — the item–tag matrix Q in COO form.
+    pub membership: Vec<(usize, TagId)>,
+    /// `(parent, child)` hierarchy pairs.
+    pub hierarchy: Vec<(TagId, TagId)>,
+    /// `(tag_i, tag_j, level)` exclusion pairs with `tag_i < tag_j`;
+    /// `level` is the shared taxonomy level of the pair (used by Eq. 12).
+    pub exclusion: Vec<(TagId, TagId, usize)>,
+    /// `(tag_i, tag_j, level)` intersection pairs with `tag_i < tag_j`:
+    /// same-parent siblings that share at least one item. Under
+    /// [`ExclusionRule::SiblingsWithoutCommonItems`] these are exactly the
+    /// sibling pairs vetoed out of `exclusion`; under
+    /// [`ExclusionRule::AllSiblings`] they are also listed in `exclusion`
+    /// (the raw rule's known inaccuracy).
+    pub intersection: Vec<(TagId, TagId, usize)>,
+}
+
+impl LogicalRelations {
+    /// Extracts relations from a taxonomy and per-item tag lists.
+    ///
+    /// `item_tags[v]` lists the tags of item `v` (its *membership* tags as
+    /// recorded in the dataset; ancestors are implied by hierarchy, not
+    /// duplicated here — matching how the paper counts `# Membership`).
+    pub fn extract(
+        taxonomy: &Taxonomy,
+        item_tags: &[Vec<TagId>],
+        rule: ExclusionRule,
+    ) -> Self {
+        let membership: Vec<(usize, TagId)> = item_tags
+            .iter()
+            .enumerate()
+            .flat_map(|(v, tags)| tags.iter().map(move |&t| (v, t)))
+            .collect();
+
+        let hierarchy = taxonomy.hierarchy_edges();
+
+        // Per-tag item sets for the common-item veto. Items are sorted by
+        // construction (enumerate order), so intersection is a merge.
+        let mut tag_items: Vec<Vec<usize>> = vec![Vec::new(); taxonomy.len()];
+        for &(v, t) in &membership {
+            tag_items[t].push(v);
+            // Items under a descendant tag are also under every ancestor,
+            // which is what makes overlapping *concepts* share items.
+            for a in taxonomy.ancestors(t) {
+                tag_items[a].push(v);
+            }
+        }
+        for items in &mut tag_items {
+            items.sort_unstable();
+            items.dedup();
+        }
+
+        let mut exclusion = Vec::new();
+        let mut intersection = Vec::new();
+        for group in taxonomy.sibling_groups() {
+            for (idx, &a) in group.iter().enumerate() {
+                for &b in &group[idx + 1..] {
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    let level = taxonomy.level(lo);
+                    let overlaps = sorted_intersect(&tag_items[a], &tag_items[b]);
+                    if overlaps {
+                        intersection.push((lo, hi, level));
+                    }
+                    let veto = match rule {
+                        ExclusionRule::AllSiblings => false,
+                        ExclusionRule::SiblingsWithoutCommonItems => overlaps,
+                    };
+                    if !veto {
+                        exclusion.push((lo, hi, level));
+                    }
+                }
+            }
+        }
+        Self { membership, hierarchy, exclusion, intersection }
+    }
+
+    /// Builds the `(tag_i, tag_j) → level` lookup used by the consistency
+    /// score; keys are ordered pairs with `tag_i < tag_j`.
+    pub fn exclusion_index(&self) -> HashMap<(TagId, TagId), usize> {
+        self.exclusion.iter().map(|&(a, b, l)| ((a, b), l)).collect()
+    }
+
+    /// Total relation counts `(membership, hierarchy, exclusion)` — the
+    /// bottom three rows of the paper's Table I.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.membership.len(), self.hierarchy.len(), self.exclusion.len())
+    }
+
+    /// Intersection pairs as `(tag_i, tag_j)` without levels, for the
+    /// extension loss L_Int.
+    pub fn intersection_pairs(&self) -> Vec<(TagId, TagId)> {
+        self.intersection.iter().map(|&(a, b, _)| (a, b)).collect()
+    }
+}
+
+/// True when two sorted slices share at least one element.
+fn sorted_intersect(a: &[usize], b: &[usize]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Normalized tag frequency (Eq. 11):
+/// `TF(t_i, T_u) = log(|T_{u,i}| + 1) / log(|T_u|)`,
+/// where `|T_{u,i}|` counts occurrences of tag `t_i` in the user's
+/// interacted tag list and `|T_u|` is the list's total length.
+///
+/// The denominator is clamped to `log 2` so single-tag lists do not divide
+/// by `log 1 = 0`.
+pub fn tag_frequency(occurrences: usize, list_len: usize) -> f64 {
+    let denom = (list_len.max(2) as f64).ln();
+    ((occurrences + 1) as f64).ln() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 1-style fixture: Rock(0), Classical(1); Punk(2), Alt(3) under
+    /// Rock; BritishAlt(4), AmericanAlt(5) under Alt; Baroque(6) under
+    /// Classical.
+    fn music() -> Taxonomy {
+        Taxonomy::from_parents(vec![
+            ("Rock".into(), None),
+            ("Classical".into(), None),
+            ("Punk Rock".into(), Some(0)),
+            ("Alternative Rock".into(), Some(0)),
+            ("British Alternative".into(), Some(3)),
+            ("American Alternative".into(), Some(3)),
+            ("Baroque".into(), Some(1)),
+        ])
+    }
+
+    #[test]
+    fn membership_is_flattened_coo() {
+        let t = music();
+        let item_tags = vec![vec![4], vec![2, 5], vec![6]];
+        let r = LogicalRelations::extract(&t, &item_tags, ExclusionRule::AllSiblings);
+        assert_eq!(r.membership, vec![(0, 4), (1, 2), (1, 5), (2, 6)]);
+    }
+
+    #[test]
+    fn hierarchy_matches_tree_edges() {
+        let t = music();
+        let r = LogicalRelations::extract(&t, &[], ExclusionRule::AllSiblings);
+        assert_eq!(r.hierarchy.len(), 5);
+    }
+
+    #[test]
+    fn all_siblings_rule_emits_every_pair_with_levels() {
+        let t = music();
+        let r = LogicalRelations::extract(&t, &[], ExclusionRule::AllSiblings);
+        // Pairs: (0,1)@1 roots, (2,3)@2, (4,5)@3.
+        assert_eq!(r.exclusion.len(), 3);
+        let idx = r.exclusion_index();
+        assert_eq!(idx.get(&(0, 1)), Some(&1));
+        assert_eq!(idx.get(&(2, 3)), Some(&2));
+        assert_eq!(idx.get(&(4, 5)), Some(&3));
+        assert_eq!(idx.get(&(0, 2)), None, "parent–child pairs are never exclusive");
+    }
+
+    #[test]
+    fn common_item_veto_removes_overlapping_siblings() {
+        let t = music();
+        // Item 0 carries both BritishAlt and AmericanAlt → that sibling pair
+        // is vetoed. Item 1 under Punk only; item 2 under Baroque.
+        let item_tags = vec![vec![4, 5], vec![2], vec![6]];
+        let r =
+            LogicalRelations::extract(&t, &item_tags, ExclusionRule::SiblingsWithoutCommonItems);
+        let idx = r.exclusion_index();
+        assert_eq!(idx.get(&(4, 5)), None, "co-occurring siblings not exclusive");
+        // Item 0's ancestors include Alt(3) and Rock(0); Punk(2) has item 1;
+        // they share no item → still exclusive.
+        assert_eq!(idx.get(&(2, 3)), Some(&2));
+        // Rock has items {0,1}, Classical has {2} → exclusive.
+        assert_eq!(idx.get(&(0, 1)), Some(&1));
+    }
+
+    #[test]
+    fn ancestor_items_propagate_for_veto() {
+        let t = music();
+        // One item under BritishAlt and one under Punk; Rock inherits both,
+        // so Rock–Classical share nothing, but give Classical the same item
+        // via Baroque on item 0 → Rock and Classical co-occur → vetoed.
+        let item_tags = vec![vec![4, 6], vec![2]];
+        let r =
+            LogicalRelations::extract(&t, &item_tags, ExclusionRule::SiblingsWithoutCommonItems);
+        let idx = r.exclusion_index();
+        assert_eq!(idx.get(&(0, 1)), None);
+    }
+
+    #[test]
+    fn counts_report_table1_rows() {
+        let t = music();
+        let item_tags = vec![vec![4], vec![2]];
+        let r = LogicalRelations::extract(&t, &item_tags, ExclusionRule::AllSiblings);
+        let (m, h, e) = r.counts();
+        assert_eq!((m, h, e), (2, 5, 3));
+    }
+
+    #[test]
+    fn intersection_captures_overlapping_siblings() {
+        let t = music();
+        // Item 0 carries both BritishAlt(4) and AmericanAlt(5).
+        let item_tags = vec![vec![4, 5], vec![2], vec![6]];
+        let r =
+            LogicalRelations::extract(&t, &item_tags, ExclusionRule::SiblingsWithoutCommonItems);
+        assert_eq!(r.intersection, vec![(4, 5, 3)]);
+        assert_eq!(r.intersection_pairs(), vec![(4, 5)]);
+        // Exclusion and intersection partition the sibling pairs under the
+        // veto rule.
+        for &(a, b, _) in &r.intersection {
+            assert!(!r.exclusion.iter().any(|&(x, y, _)| (x, y) == (a, b)));
+        }
+    }
+
+    #[test]
+    fn all_siblings_rule_keeps_overlaps_in_both_lists() {
+        let t = music();
+        let item_tags = vec![vec![4, 5]];
+        let r = LogicalRelations::extract(&t, &item_tags, ExclusionRule::AllSiblings);
+        // The raw rule's known inaccuracy: (4,5) is exclusive *and* the
+        // data says they intersect.
+        assert!(r.exclusion.iter().any(|&(a, b, _)| (a, b) == (4, 5)));
+        assert!(r.intersection.iter().any(|&(a, b, _)| (a, b) == (4, 5)));
+    }
+
+    #[test]
+    fn tag_frequency_matches_eq11() {
+        // |T_u| = 10, tag appears 3 times: ln(4)/ln(10).
+        let tf = tag_frequency(3, 10);
+        assert!((tf - 4f64.ln() / 10f64.ln()).abs() < 1e-12);
+        // Monotone in occurrences.
+        assert!(tag_frequency(5, 10) > tag_frequency(2, 10));
+    }
+
+    #[test]
+    fn tag_frequency_handles_tiny_lists() {
+        let tf = tag_frequency(1, 1);
+        assert!(tf.is_finite() && tf > 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! The taxonomy tree: tags with parent/child links and levels.
+//!
+//! A taxonomy is a forest of tags rooted at a virtual root (the root is not
+//! a tag and never participates in relations). Levels are 1-based: the
+//! paper's datasets use η = 4 levels, with level 1 the most abstract (e.g.
+//! `<Rock>`) and level 4 the most specific (e.g. `<British Alternative>`).
+
+/// Identifier of a tag; an index into the taxonomy's node table.
+pub type TagId = usize;
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<TagId>,
+    children: Vec<TagId>,
+    level: usize,
+    name: String,
+}
+
+/// An immutable tag taxonomy.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    nodes: Vec<Node>,
+    roots: Vec<TagId>,
+    max_level: usize,
+}
+
+impl Taxonomy {
+    /// Builds a taxonomy from `(tag, parent)` records, where `parent = None`
+    /// marks a level-1 tag. Records must be supplied in an order where
+    /// parents precede children (the generator and loaders do this
+    /// naturally); panics otherwise, and panics on self-parenting.
+    pub fn from_parents(records: Vec<(String, Option<TagId>)>) -> Self {
+        let mut nodes: Vec<Node> = Vec::with_capacity(records.len());
+        let mut roots = Vec::new();
+        let mut max_level = 0;
+        for (id, (name, parent)) in records.into_iter().enumerate() {
+            let level = match parent {
+                None => 1,
+                Some(p) => {
+                    assert!(p < id, "parent {p} of tag {id} must precede it");
+                    nodes[p].children.push(id);
+                    nodes[p].level + 1
+                }
+            };
+            if parent.is_none() {
+                roots.push(id);
+            }
+            max_level = max_level.max(level);
+            nodes.push(Node { parent, children: Vec::new(), level, name });
+        }
+        Self { nodes, roots, max_level }
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the taxonomy has no tags.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Deepest level present (the paper's η; 4 in all benchmark datasets).
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// 1-based level of `tag`.
+    pub fn level(&self, tag: TagId) -> usize {
+        self.nodes[tag].level
+    }
+
+    /// Parent of `tag`, or `None` for level-1 tags.
+    pub fn parent(&self, tag: TagId) -> Option<TagId> {
+        self.nodes[tag].parent
+    }
+
+    /// Direct children of `tag`.
+    pub fn children(&self, tag: TagId) -> &[TagId] {
+        &self.nodes[tag].children
+    }
+
+    /// Human-readable tag name.
+    pub fn name(&self, tag: TagId) -> &str {
+        &self.nodes[tag].name
+    }
+
+    /// Level-1 tags.
+    pub fn roots(&self) -> &[TagId] {
+        &self.roots
+    }
+
+    /// Tags with no children (the most specific concepts).
+    pub fn leaves(&self) -> Vec<TagId> {
+        (0..self.len()).filter(|&t| self.nodes[t].children.is_empty()).collect()
+    }
+
+    /// All tags at a given level.
+    pub fn tags_at_level(&self, level: usize) -> Vec<TagId> {
+        (0..self.len()).filter(|&t| self.nodes[t].level == level).collect()
+    }
+
+    /// The chain of ancestors of `tag`, nearest first (excludes `tag`).
+    pub fn ancestors(&self, tag: TagId) -> Vec<TagId> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[tag].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes[p].parent;
+        }
+        out
+    }
+
+    /// All descendants of `tag` (excludes `tag`), in BFS order.
+    pub fn descendants(&self, tag: TagId) -> Vec<TagId> {
+        let mut out = Vec::new();
+        let mut queue: Vec<TagId> = self.nodes[tag].children.clone();
+        while let Some(t) = queue.pop() {
+            out.push(t);
+            queue.extend_from_slice(&self.nodes[t].children);
+        }
+        out
+    }
+
+    /// True when `ancestor` is a (transitive) ancestor of `tag`.
+    pub fn is_ancestor(&self, ancestor: TagId, tag: TagId) -> bool {
+        let mut cur = self.nodes[tag].parent;
+        while let Some(p) = cur {
+            if p == ancestor {
+                return true;
+            }
+            cur = self.nodes[p].parent;
+        }
+        false
+    }
+
+    /// All `(parent, child)` hierarchy edges — the paper's `# Hierarchy`
+    /// statistic counts exactly these.
+    pub fn hierarchy_edges(&self) -> Vec<(TagId, TagId)> {
+        let mut out = Vec::new();
+        for (id, n) in self.nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                out.push((p, id));
+            }
+        }
+        out
+    }
+
+    /// Groups of sibling tags: for each parent (including the virtual root),
+    /// the list of its direct children.
+    pub fn sibling_groups(&self) -> Vec<Vec<TagId>> {
+        let mut groups: Vec<Vec<TagId>> =
+            self.nodes.iter().map(|n| n.children.clone()).filter(|c| c.len() > 1).collect();
+        if self.roots.len() > 1 {
+            groups.push(self.roots.clone());
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fixture mirroring Fig. 1 of the paper:
+    /// level 1: Rock, Classical; level 2 under Rock: Punk Rock, Alternative
+    /// Rock; level 3 under Alternative Rock: British Alt, American Alt.
+    pub(crate) fn music() -> Taxonomy {
+        Taxonomy::from_parents(vec![
+            ("Rock".into(), None),              // 0
+            ("Classical".into(), None),         // 1
+            ("Punk Rock".into(), Some(0)),      // 2
+            ("Alternative Rock".into(), Some(0)), // 3
+            ("British Alternative".into(), Some(3)), // 4
+            ("American Alternative".into(), Some(3)), // 5
+            ("Baroque".into(), Some(1)),        // 6
+        ])
+    }
+
+    #[test]
+    fn levels_are_computed_from_parents() {
+        let t = music();
+        assert_eq!(t.level(0), 1);
+        assert_eq!(t.level(2), 2);
+        assert_eq!(t.level(4), 3);
+        assert_eq!(t.max_level(), 3);
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let t = music();
+        assert_eq!(t.roots(), &[0, 1]);
+        assert_eq!(t.leaves(), vec![2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let t = music();
+        assert_eq!(t.ancestors(4), vec![3, 0]);
+        assert!(t.ancestors(0).is_empty());
+        assert!(t.is_ancestor(0, 4));
+        assert!(!t.is_ancestor(1, 4));
+    }
+
+    #[test]
+    fn descendants_cover_subtree() {
+        let t = music();
+        let mut d = t.descendants(0);
+        d.sort_unstable();
+        assert_eq!(d, vec![2, 3, 4, 5]);
+        assert!(t.descendants(4).is_empty());
+    }
+
+    #[test]
+    fn hierarchy_edges_match_parents() {
+        let t = music();
+        let edges = t.hierarchy_edges();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&(0, 2)));
+        assert!(edges.contains(&(3, 4)));
+    }
+
+    #[test]
+    fn sibling_groups_include_virtual_root() {
+        let t = music();
+        let groups = t.sibling_groups();
+        // {Punk, Alt}, {British, American}, and the roots {Rock, Classical}.
+        assert_eq!(groups.len(), 3);
+        assert!(groups.contains(&vec![0, 1]));
+        assert!(groups.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn tags_at_level_partition_the_taxonomy() {
+        let t = music();
+        let total: usize = (1..=t.max_level()).map(|l| t.tags_at_level(l).len()).sum();
+        assert_eq!(total, t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_parent_reference_panics() {
+        let _ = Taxonomy::from_parents(vec![
+            ("child".into(), Some(1)),
+            ("parent".into(), None),
+        ]);
+    }
+}

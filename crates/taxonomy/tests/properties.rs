@@ -1,0 +1,82 @@
+//! Property-based tests of taxonomy generation and relation extraction.
+
+use logirec_linalg::SplitMix64;
+use logirec_taxonomy::relations::tag_frequency;
+use logirec_taxonomy::{ExclusionRule, LogicalRelations, TaxonomyConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn generated_taxonomy_is_well_formed(tags in 4usize..300, seed in 0u64..500, skew in 0.0f64..1.5) {
+        let cfg = TaxonomyConfig { tags, levels: 4, growth: 2.5, parent_skew: skew };
+        let t = cfg.generate(&mut SplitMix64::new(seed));
+        prop_assert_eq!(t.len(), tags);
+        prop_assert_eq!(t.max_level(), 4);
+        for tag in 0..t.len() {
+            match t.parent(tag) {
+                None => prop_assert_eq!(t.level(tag), 1),
+                Some(p) => {
+                    prop_assert!(p < tag, "parents precede children");
+                    prop_assert_eq!(t.level(p) + 1, t.level(tag));
+                    prop_assert!(t.children(p).contains(&tag));
+                }
+            }
+            // Ancestor chain terminates at a root with strictly
+            // decreasing levels.
+            let anc = t.ancestors(tag);
+            for w in anc.windows(2) {
+                prop_assert_eq!(t.level(w[0]), t.level(w[1]) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_pairs_are_siblings_and_ordered(tags in 6usize..120, seed in 0u64..200) {
+        let cfg = TaxonomyConfig { tags, levels: 4, growth: 2.5, parent_skew: 0.8 };
+        let t = cfg.generate(&mut SplitMix64::new(seed));
+        let rel = LogicalRelations::extract(&t, &[], ExclusionRule::AllSiblings);
+        for &(a, b, level) in &rel.exclusion {
+            prop_assert!(a < b, "pairs are ordered");
+            prop_assert_eq!(t.level(a), t.level(b), "exclusive tags share a level");
+            prop_assert_eq!(t.level(a), level);
+            prop_assert_eq!(t.parent(a), t.parent(b), "exclusive tags share a parent");
+            prop_assert!(!t.is_ancestor(a, b) && !t.is_ancestor(b, a));
+        }
+        // Hierarchy count equals tags − roots in a tree.
+        prop_assert_eq!(rel.hierarchy.len(), t.len() - t.roots().len());
+    }
+
+    #[test]
+    fn common_item_veto_only_removes_pairs(
+        tags in 8usize..60,
+        seed in 0u64..100,
+        n_items in 1usize..50,
+    ) {
+        let cfg = TaxonomyConfig { tags, levels: 3, growth: 2.5, parent_skew: 0.5 };
+        let t = cfg.generate(&mut SplitMix64::new(seed));
+        let mut rng = SplitMix64::new(seed + 1);
+        let item_tags: Vec<Vec<usize>> =
+            (0..n_items).map(|_| vec![rng.index(t.len()), rng.index(t.len())]).collect();
+        let all = LogicalRelations::extract(&t, &item_tags, ExclusionRule::AllSiblings);
+        let veto =
+            LogicalRelations::extract(&t, &item_tags, ExclusionRule::SiblingsWithoutCommonItems);
+        prop_assert!(veto.exclusion.len() <= all.exclusion.len());
+        // Every vetoed-rule pair also appears under the permissive rule.
+        let idx = all.exclusion_index();
+        for &(a, b, _) in &veto.exclusion {
+            prop_assert!(idx.contains_key(&(a, b)));
+        }
+    }
+
+    #[test]
+    fn tag_frequency_is_monotone_and_bounded(total in 2usize..500, occ in 0usize..500) {
+        let occ = occ.min(total);
+        let tf = tag_frequency(occ, total);
+        prop_assert!(tf >= 0.0 && tf.is_finite());
+        if occ < total {
+            prop_assert!(tag_frequency(occ + 1, total) > tf, "monotone in occurrences");
+        }
+        // The full list of one repeated tag has TF ≤ slightly above 1.
+        prop_assert!(tag_frequency(total, total) <= 1.01 + 1.0 / (total as f64).ln());
+    }
+}

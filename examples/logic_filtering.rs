@@ -1,0 +1,80 @@
+//! Logic-consistent inference: executing the paper's Fig. 1 narrative
+//! ("skip items under <Classical> when recommending for Linda") with the
+//! *mined* relations — the exclusions implied by the learned tag geometry
+//! rather than the raw taxonomy records.
+//!
+//! The example trains LogiRec++ on a CD-store benchmark, builds the
+//! [`LogicFilter`], and reports (1) how many user–item pairs a hard
+//! filter could skip (the paper's "significant reductions on computation
+//! cost"), (2) that accuracy is preserved, and (3) a before/after look at
+//! one user's recommendation list.
+//!
+//! ```text
+//! cargo run --release --example logic_filtering
+//! ```
+
+use logirec_suite::core::{train, FilteredRanker, LogiRecConfig, LogicFilter};
+use logirec_suite::data::{DatasetSpec, Scale, Split};
+use logirec_suite::eval::{evaluate, Ranker};
+
+fn main() {
+    let dataset = DatasetSpec::cd(Scale::Tiny).generate(23);
+    let cfg = LogiRecConfig {
+        dim: 16,
+        epochs: 40,
+        lambda: 2.0,
+        eval_every: 0,
+        patience: 0,
+        ..LogiRecConfig::default()
+    };
+    let (model, _) = train(cfg, &dataset);
+
+    // Build the filter from the learned geometry. The exclusion hinge
+    // drives violating pairs exactly to the disjointness boundary, so a
+    // small negative margin ("separated or barely overlapping") matches
+    // the trained equilibrium.
+    let filter = LogicFilter::build(&model, &dataset, -0.15, 1_000.0);
+    println!(
+        "hard logic filtering could skip {:.1}% of all user-item scorings",
+        100.0 * filter.skip_fraction(&dataset.item_tags)
+    );
+
+    let plain = evaluate(&model, &dataset, Split::Test, &[10], 4);
+    let ranker = FilteredRanker { model: &model, filter: &filter, item_tags: &dataset.item_tags };
+    let filtered = evaluate(&ranker, &dataset, Split::Test, &[10], 4);
+    println!(
+        "Recall@10: plain {:.4} vs logic-filtered {:.4}",
+        plain.recall_at(10),
+        filtered.recall_at(10)
+    );
+
+    // Show the effect on one user.
+    let user = (0..dataset.n_users())
+        .max_by_key(|&u| {
+            (0..dataset.n_items())
+                .filter(|&v| filter.item_excluded(u, &dataset.item_tags[v]))
+                .count()
+        })
+        .expect("users exist");
+    let excluded = (0..dataset.n_items())
+        .filter(|&v| filter.item_excluded(user, &dataset.item_tags[v]))
+        .count();
+    println!(
+        "user {user}: {excluded}/{} items are logically excluded by their profile",
+        dataset.n_items()
+    );
+    let mut scores = vec![0.0; dataset.n_items()];
+    ranker.score_user(user, &mut scores);
+    for &v in dataset.train.items_of(user) {
+        scores[v] = f64::NEG_INFINITY;
+    }
+    let top = logirec_suite::eval::ranking::top_k_indices(&scores, 5);
+    println!("filtered top-5 for user {user}:");
+    for v in top {
+        let tags: Vec<&str> =
+            dataset.item_tags[v].iter().map(|&t| dataset.taxonomy.name(t)).collect();
+        let kept = !filter.item_excluded(user, &dataset.item_tags[v]);
+        println!("  item {v} [{}] {}", tags.join(","), if kept { "" } else { "(excluded!)" });
+        assert!(kept, "an excluded item must never surface in the top-k");
+    }
+}

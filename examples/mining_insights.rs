@@ -1,0 +1,93 @@
+//! Logical relation mining insights on a CD-store benchmark: who are the
+//! consistent users, how granularity correlates with preference breadth
+//! (the Fig. 5b trend), and how the mining weights α redistribute the
+//! optimization effort.
+//!
+//! ```text
+//! cargo run --release --example mining_insights
+//! ```
+
+use logirec_suite::core::mining::{
+    combine_weights, consistency_weights, granularity_weights, user_profiles,
+};
+use logirec_suite::core::{train, LogiRecConfig};
+use logirec_suite::data::{DatasetSpec, Scale};
+
+fn main() {
+    let dataset = DatasetSpec::cd(Scale::Tiny).generate(11);
+    let cfg = LogiRecConfig {
+        dim: 16,
+        epochs: 15,
+        eval_every: 0,
+        patience: 0,
+        ..LogiRecConfig::default()
+    };
+    let (model, _) = train(cfg, &dataset);
+
+    let con = consistency_weights(&dataset);
+    let gr = granularity_weights(&model, dataset.n_users());
+    let alpha = combine_weights(&con, &gr, 0.1);
+    let profiles = user_profiles(&dataset, &con, &gr, &alpha, 3);
+
+    // Most and least consistent users with their tag profiles.
+    let mut by_con: Vec<usize> = (0..dataset.n_users()).collect();
+    by_con.sort_by(|&a, &b| con[b].partial_cmp(&con[a]).expect("finite"));
+    println!("most consistent users:");
+    for &u in by_con.iter().take(3) {
+        describe(&dataset, &profiles[u]);
+    }
+    println!("least consistent users:");
+    for &u in by_con.iter().rev().take(3) {
+        describe(&dataset, &profiles[u]);
+    }
+
+    // The Fig. 5(b) trend: granularity (distance to origin) vs number of
+    // interacted tag types, in three breadth buckets.
+    let mut buckets: Vec<(usize, f64, usize)> = vec![(0, 0.0, 0); 3];
+    for (u, &g) in gr.iter().enumerate() {
+        let types = dataset.user_tag_type_count(u);
+        let b = if types <= 4 {
+            0
+        } else if types <= 9 {
+            1
+        } else {
+            2
+        };
+        buckets[b].0 += types;
+        buckets[b].1 += g;
+        buckets[b].2 += 1;
+    }
+    println!("\ngranularity vs preference breadth (Fig. 5b trend):");
+    for (label, (_, sum, n)) in ["1-4 tag types", "5-9 tag types", "10+ tag types"]
+        .iter()
+        .zip(&buckets)
+    {
+        if *n > 0 {
+            println!("  {label}: mean d(o, u) = {:.4} over {n} users", sum / *n as f64);
+        }
+    }
+
+    // Where does the optimization effort go?
+    let mass_top: f64 = by_con.iter().take(dataset.n_users() / 4).map(|&u| alpha[u]).sum();
+    let total: f64 = alpha.iter().sum();
+    println!(
+        "\nthe most consistent 25% of users receive {:.1}% of the gradient mass",
+        100.0 * mass_top / total
+    );
+}
+
+fn describe(dataset: &logirec_suite::data::Dataset, p: &logirec_suite::core::mining::UserProfile) {
+    let tags: Vec<String> = p
+        .top_tags
+        .iter()
+        .map(|&(t, c)| format!("<{}> x{c}", dataset.taxonomy.name(t)))
+        .collect();
+    println!(
+        "  user {:>3}: CON {:.2} GR {:.2} alpha {:.2} | {}",
+        p.user,
+        p.consistency,
+        p.granularity,
+        p.alpha,
+        tags.join("; ")
+    );
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the LogiRec/LogiRec++ reproduction.
+//!
+//! This crate hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`); it re-exports every workspace crate so that
+//! examples can use one coherent namespace.
+
+pub use logirec_baselines as baselines;
+pub use logirec_core as core;
+pub use logirec_data as data;
+pub use logirec_eval as eval;
+pub use logirec_hyperbolic as hyperbolic;
+pub use logirec_linalg as linalg;
+pub use logirec_taxonomy as taxonomy;

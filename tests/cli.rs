@@ -1,0 +1,113 @@
+//! End-to-end tests of the `logirec` CLI binary: generate → train →
+//! evaluate → recommend through real process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_logirec"))
+}
+
+fn work_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("logirec-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = work_dir("workflow");
+    let data = dir.join("data");
+    let model = dir.join("model.bin");
+
+    let out = bin()
+        .args(["generate", "--dataset", "ciao", "--scale", "tiny", "--seed", "3", "--out"])
+        .arg(&data)
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.join("interactions.tsv").exists());
+    assert!(data.join("taxonomy.tsv").exists());
+    assert!(data.join("item_tags.tsv").exists());
+
+    let out = bin()
+        .args(["train", "--data"])
+        .arg(&data)
+        .args(["--model"])
+        .arg(&model)
+        .args(["--epochs", "4", "--dim", "8"])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    let out = bin()
+        .args(["evaluate", "--data"])
+        .arg(&data)
+        .args(["--model"])
+        .arg(&model)
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Recall@10"), "unexpected output: {text}");
+
+    let out = bin()
+        .args(["recommend", "--data"])
+        .arg(&data)
+        .args(["--model"])
+        .arg(&model)
+        .args(["--user", "1", "--k", "3"])
+        .output()
+        .expect("run recommend");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit())).count(), 3);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_reports_errors_cleanly() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = bin().args(["train", "--model", "/tmp/x"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --data"));
+
+    // Out-of-range user.
+    let dir = work_dir("errors");
+    let data = dir.join("data");
+    let model = dir.join("m.bin");
+    assert!(bin()
+        .args(["generate", "--dataset", "ciao", "--scale", "tiny", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    assert!(bin()
+        .args(["train", "--data"])
+        .arg(&data)
+        .arg("--model")
+        .arg(&model)
+        .args(["--epochs", "1", "--dim", "8"])
+        .status()
+        .expect("train")
+        .success());
+    let out = bin()
+        .args(["recommend", "--data"])
+        .arg(&data)
+        .arg("--model")
+        .arg(&model)
+        .args(["--user", "999999"])
+        .output()
+        .expect("recommend");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

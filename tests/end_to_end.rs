@@ -1,0 +1,126 @@
+//! End-to-end integration: dataset generation → training → evaluation →
+//! mining, across all workspace crates.
+
+use logirec_suite::core::mining::{
+    combine_weights, consistency_weights, granularity_weights, user_profiles,
+};
+use logirec_suite::core::{train, LogiRecConfig};
+use logirec_suite::data::{DatasetSpec, Scale, Split};
+use logirec_suite::eval::{evaluate, Ranker};
+
+fn quick_cfg() -> LogiRecConfig {
+    LogiRecConfig {
+        dim: 16,
+        epochs: 10,
+        eval_every: 0,
+        patience: 0,
+        ..LogiRecConfig::default()
+    }
+}
+
+/// A popularity scorer — the bar any learned model must clear.
+fn popularity_scores(ds: &logirec_suite::data::Dataset) -> Vec<f64> {
+    (0..ds.n_items()).map(|v| ds.train.users_of(v).len() as f64).collect()
+}
+
+#[test]
+fn logirec_beats_popularity_baseline() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(5);
+    let pop = popularity_scores(&ds);
+    let pop_ranker = |_u: usize, out: &mut [f64]| out.copy_from_slice(&pop);
+    let pop_recall = evaluate(&pop_ranker, &ds, Split::Test, &[10], 2).recall_at(10);
+
+    // Popularity is a strong bar on a 100-item benchmark with Zipf
+    // popularity; give the model a realistic (still fast) budget.
+    let mut cfg = quick_cfg();
+    cfg.epochs = 30;
+    cfg.batch_size = 256;
+    let (model, _) = train(cfg, &ds);
+    let model_recall = evaluate(&model, &ds, Split::Test, &[10], 2).recall_at(10);
+    assert!(
+        model_recall > pop_recall,
+        "LogiRec++ ({model_recall:.4}) must beat popularity ({pop_recall:.4})"
+    );
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(6);
+    let (m1, r1) = train(quick_cfg(), &ds);
+    let (m2, r2) = train(quick_cfg(), &ds);
+    assert_eq!(r1.epochs_run, r2.epochs_run);
+    let e1 = evaluate(&m1, &ds, Split::Test, &[10, 20], 2);
+    let e2 = evaluate(&m2, &ds, Split::Test, &[10, 20], 4);
+    assert_eq!(e1.recall_at(10), e2.recall_at(10));
+    assert_eq!(e1.ndcg_at(20), e2.ndcg_at(20));
+}
+
+#[test]
+fn mining_pipeline_produces_coherent_profiles() {
+    let ds = DatasetSpec::cd(Scale::Tiny).generate(7);
+    let (model, _) = train(quick_cfg(), &ds);
+    let con = consistency_weights(&ds);
+    let gr = granularity_weights(&model, ds.n_users());
+    let alpha = combine_weights(&con, &gr, 0.1);
+    let profiles = user_profiles(&ds, &con, &gr, &alpha, 4);
+
+    assert_eq!(profiles.len(), ds.n_users());
+    let mean_alpha: f64 = alpha.iter().sum::<f64>() / alpha.len() as f64;
+    assert!((mean_alpha - 1.0).abs() < 1e-9, "α normalizes to mean 1");
+    for p in &profiles {
+        assert!((0.0..=1.0).contains(&p.consistency));
+        assert!((0.0..=1.0).contains(&p.granularity));
+        assert!(p.alpha.is_finite() && p.alpha > 0.0);
+        // Every reported tag was genuinely interacted with.
+        let list = ds.user_tag_list(p.user);
+        for &(t, c) in &p.top_tags {
+            assert_eq!(list.iter().filter(|&&x| x == t).count(), c);
+        }
+    }
+}
+
+#[test]
+fn scores_mask_and_rank_consistently_across_crates() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(8);
+    let (model, _) = train(quick_cfg(), &ds);
+    // The evaluator's per-user recall vector matches a manual computation
+    // for a few users.
+    let res = evaluate(&model, &ds, Split::Test, &[10, 20], 2);
+    for (slot, &u) in res.users.iter().take(5).enumerate() {
+        let mut scores = vec![0.0; ds.n_items()];
+        model.score_user(u, &mut scores);
+        for &v in ds.train.items_of(u) {
+            scores[v] = f64::NEG_INFINITY;
+        }
+        for &v in ds.validation.items_of(u) {
+            scores[v] = f64::NEG_INFINITY;
+        }
+        let top = logirec_suite::eval::ranking::top_k_indices(&scores, 20);
+        let truth = ds.test.items_of(u);
+        let manual = logirec_suite::eval::recall_at_k(&top, truth);
+        assert!((manual - res.per_user_recall[slot]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn trained_geometry_respects_taxonomy_structure() {
+    use logirec_suite::hyperbolic::Ball;
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(9);
+    let mut cfg = quick_cfg();
+    cfg.lambda = 1.0;
+    cfg.epochs = 20;
+    let (model, _) = train(cfg, &ds);
+    // Coarse tags should on average carry larger derived regions than the
+    // deepest tags (the granularity geometry of Section V-B).
+    let mean_radius = |level: usize| {
+        let tags = ds.taxonomy.tags_at_level(level);
+        tags.iter().map(|&t| Ball::from_center(model.tags.row(t)).radius).sum::<f64>()
+            / tags.len().max(1) as f64
+    };
+    let coarse = mean_radius(1);
+    let fine = mean_radius(ds.taxonomy.max_level());
+    assert!(
+        coarse > fine,
+        "coarse tags should have larger regions: level1 {coarse:.3} vs deepest {fine:.3}"
+    );
+}

@@ -1,0 +1,111 @@
+//! Robustness / failure-injection tests: degenerate datasets, hostile
+//! parameter values, and corrupted state must fail loudly or degrade
+//! gracefully — never poison training with NaNs.
+
+use logirec_suite::core::{train, LogiRecConfig};
+use logirec_suite::data::interactions::{temporal_split, Dataset};
+use logirec_suite::data::{DatasetSpec, Scale, Split};
+use logirec_suite::eval::evaluate;
+use logirec_suite::taxonomy::{ExclusionRule, LogicalRelations, Taxonomy};
+
+fn tiny_cfg() -> LogiRecConfig {
+    LogiRecConfig {
+        dim: 8,
+        epochs: 3,
+        eval_every: 0,
+        patience: 0,
+        ..LogiRecConfig::test_config()
+    }
+}
+
+/// A minimal handcrafted dataset: 3 users, 4 items, 2 tags, sparse history.
+fn degenerate_dataset() -> Dataset {
+    let taxonomy = Taxonomy::from_parents(vec![
+        ("root-a".into(), None),
+        ("leaf-a".into(), Some(0)),
+    ]);
+    // Item 3 is never interacted with; user 2 has a single event.
+    let events = vec![
+        (0, 0, 0),
+        (0, 1, 1),
+        (0, 2, 2),
+        (1, 1, 0),
+        (1, 2, 1),
+        (1, 0, 2),
+        (2, 0, 0),
+    ];
+    let (train, validation, test) = temporal_split(3, 4, &events);
+    let item_tags = vec![vec![1], vec![1], vec![0], vec![1]];
+    let relations = LogicalRelations::extract(&taxonomy, &item_tags, ExclusionRule::AllSiblings);
+    Dataset {
+        name: "degenerate".into(),
+        train,
+        validation,
+        test,
+        taxonomy,
+        item_tags,
+        relations,
+    }
+}
+
+#[test]
+fn training_survives_degenerate_dataset() {
+    let ds = degenerate_dataset();
+    let (model, report) = train(tiny_cfg(), &ds);
+    assert!(model.all_finite());
+    assert!(report.history.iter().all(|h| h.rank_loss.is_finite()));
+}
+
+#[test]
+fn training_survives_extreme_hyperparameters() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(51);
+    for (lr, lambda, margin) in [(10.0, 0.0, 0.0), (1e-9, 100.0, 50.0), (0.5, 1.0, 0.0)] {
+        let cfg = LogiRecConfig { lr, lambda, margin, ..tiny_cfg() };
+        let (model, _) = train(cfg, &ds);
+        assert!(
+            model.all_finite(),
+            "non-finite parameters at lr={lr}, lambda={lambda}, m={margin}"
+        );
+        let res = evaluate(&model, &ds, Split::Test, &[10], 2);
+        assert!(res.recall_at(10).is_finite());
+    }
+}
+
+#[test]
+fn training_survives_dimension_one() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(52);
+    let cfg = LogiRecConfig { dim: 1, ..tiny_cfg() };
+    let (model, _) = train(cfg, &ds);
+    assert!(model.all_finite());
+}
+
+#[test]
+fn corrupted_parameters_are_detected() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(53);
+    let (mut model, _) = train(tiny_cfg(), &ds);
+    assert!(model.all_finite());
+    model.items.row_mut(0)[0] = f64::NAN;
+    assert!(!model.all_finite(), "NaN injection must be visible");
+}
+
+#[test]
+fn zero_layer_and_many_layer_models_both_run() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(54);
+    for layers in [0usize, 6] {
+        let cfg = LogiRecConfig { layers, ..tiny_cfg() };
+        let (model, _) = train(cfg, &ds);
+        assert!(model.all_finite(), "layers = {layers}");
+    }
+}
+
+#[test]
+fn never_interacted_items_still_get_ranked() {
+    let ds = degenerate_dataset();
+    let (mut model, _) = train(tiny_cfg(), &ds);
+    model.propagate(&ds.train);
+    let mut scores = vec![0.0; ds.n_items()];
+    logirec_suite::eval::Ranker::score_user(&model, 0, &mut scores);
+    // Item 3 was never interacted with but must still receive a finite
+    // score (it sits at its layer-0 embedding after propagation).
+    assert!(scores[3].is_finite());
+}
