@@ -1,5 +1,7 @@
 //! Configuration of the LogiRec / LogiRec++ models.
 
+use std::path::PathBuf;
+
 /// Which carrier space the model trains in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Geometry {
@@ -71,6 +73,29 @@ pub struct LogiRecConfig {
     /// (0 disables early stopping; the best snapshot is still restored
     /// when `eval_every > 0`).
     pub patience: usize,
+    /// Write a durable checkpoint every `checkpoint_every` completed epochs
+    /// (0 disables checkpointing; also requires `checkpoint_path`).
+    pub checkpoint_every: usize,
+    /// Destination file for checkpoints (written atomically; see
+    /// `crate::checkpoint`).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume training from this checkpoint. An unreadable or mismatched
+    /// checkpoint falls back to a fresh start and records a recovery in the
+    /// `TrainReport` rather than failing the run.
+    pub resume_from: Option<PathBuf>,
+    /// Retry budget for divergence recovery: how many rollback-and-halve-LR
+    /// recoveries are attempted before training stops at the last healthy
+    /// state.
+    pub max_recoveries: usize,
+    /// Loss-explosion threshold: an epoch whose mean rank loss exceeds
+    /// `explosion_factor ×` the best epoch loss so far is treated as
+    /// divergence (0.0 disables the explosion check; non-finite losses and
+    /// manifold violations are always checked).
+    pub explosion_factor: f64,
+    /// Deterministic fault-injection plan used by robustness tests. Only
+    /// present with the `fault-injection` feature; never set in production.
+    #[cfg(feature = "fault-injection")]
+    pub faults: Option<crate::faults::FaultPlan>,
 }
 
 impl Default for LogiRecConfig {
@@ -98,6 +123,13 @@ impl Default for LogiRecConfig {
             eval_threads: 4,
             eval_every: 5,
             patience: 3,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            resume_from: None,
+            max_recoveries: 4,
+            explosion_factor: 100.0,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         }
     }
 }

@@ -1,0 +1,231 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Only compiled with the `fault-injection` feature (enabled by the suite's
+//! dev-dependencies, never by release builds). A [`FaultPlan`] carries a
+//! list of faults scheduled against specific epochs/steps; the trainer calls
+//! its hooks at the two vulnerable points of the loop:
+//!
+//! * [`FaultPlan::corrupt_gradients`] — before an optimizer step, to poison
+//!   gradient tables with NaN/Inf entries,
+//! * [`FaultPlan::corrupt_model`] — after an epoch's updates, to push a
+//!   parameter off its manifold (an item outside the Poincaré ball, a user
+//!   off the Lorentz sheet).
+//!
+//! Each fault fires **once** and is then removed from the plan, so a
+//! rolled-back epoch retries clean — exactly the situation the divergence
+//! recovery is designed for. Which rows/entries get corrupted is decided by
+//! an embedded SplitMix64, so runs are reproducible.
+//!
+//! The module also provides file-corruption helpers ([`truncate_file`],
+//! [`flip_bit`]) used by the checkpoint robustness tests.
+
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use logirec_linalg::{ops, Embedding, SplitMix64};
+
+use crate::model::LogiRec;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Overwrite one item-gradient entry with NaN at (epoch, step).
+    NanGradient {
+        /// Epoch the fault fires in.
+        epoch: usize,
+        /// SGD step within the epoch.
+        step: usize,
+    },
+    /// Overwrite one user-gradient entry with +Inf at (epoch, step).
+    InfGradient {
+        /// Epoch the fault fires in.
+        epoch: usize,
+        /// SGD step within the epoch.
+        step: usize,
+    },
+    /// After the epoch's updates, scale one item embedding to norm 1.5 —
+    /// outside the Poincaré ball.
+    ItemBoundaryEscape {
+        /// Epoch the fault fires in.
+        epoch: usize,
+    },
+    /// After the epoch's updates, double one user's time coordinate —
+    /// a finite point off the Lorentz sheet.
+    UserOffSheet {
+        /// Epoch the fault fires in.
+        epoch: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    pending: Vec<Fault>,
+    fired: Vec<Fault>,
+    rng: SplitMix64,
+}
+
+/// A deterministic, fire-once schedule of faults, shared across config
+/// clones (the trainer clones its config into the model).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultPlan {
+    /// A plan injecting `faults`, with row/entry choices seeded by `seed`.
+    pub fn new(seed: u64, faults: Vec<Fault>) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                pending: faults,
+                fired: Vec::new(),
+                rng: SplitMix64::new(seed),
+            })),
+        }
+    }
+
+    /// Trainer hook: poisons gradient tables for faults scheduled at
+    /// (`epoch`, `step`). Fired faults are removed from the plan.
+    pub fn corrupt_gradients(
+        &self,
+        epoch: usize,
+        step: usize,
+        g_users: &mut Embedding,
+        g_items: &mut Embedding,
+    ) {
+        let mut inner = self.inner.lock().expect("fault plan poisoned");
+        let mut i = 0;
+        while i < inner.pending.len() {
+            let fault = inner.pending[i];
+            let value = match fault {
+                Fault::NanGradient { epoch: e, step: s } if e == epoch && s == step => {
+                    Some((f64::NAN, true))
+                }
+                Fault::InfGradient { epoch: e, step: s } if e == epoch && s == step => {
+                    Some((f64::INFINITY, false))
+                }
+                _ => None,
+            };
+            if let Some((bad, into_items)) = value {
+                let table = if into_items { &mut *g_items } else { &mut *g_users };
+                let row = inner.rng.index(table.rows().max(1));
+                let col = inner.rng.index(table.dim().max(1));
+                table.row_mut(row)[col] = bad;
+                inner.pending.remove(i);
+                inner.fired.push(fault);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Trainer hook: corrupts model parameters for faults scheduled at the
+    /// end of `epoch`. Fired faults are removed from the plan.
+    pub fn corrupt_model(&self, epoch: usize, model: &mut LogiRec) {
+        let mut inner = self.inner.lock().expect("fault plan poisoned");
+        let mut i = 0;
+        while i < inner.pending.len() {
+            match inner.pending[i] {
+                Fault::ItemBoundaryEscape { epoch: e } if e == epoch => {
+                    let v = inner.rng.index(model.items.rows().max(1));
+                    let row = model.items.row_mut(v);
+                    let n = ops::norm(row).max(1e-9);
+                    ops::scale(row, 1.5 / n);
+                    let fault = inner.pending.remove(i);
+                    inner.fired.push(fault);
+                }
+                Fault::UserOffSheet { epoch: e } if e == epoch => {
+                    let u = inner.rng.index(model.users.rows().max(1));
+                    model.users.row_mut(u)[0] *= 2.0;
+                    let fault = inner.pending.remove(i);
+                    inner.fired.push(fault);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Faults that have fired so far.
+    pub fn fired(&self) -> Vec<Fault> {
+        self.inner.lock().expect("fault plan poisoned").fired.clone()
+    }
+
+    /// True when every scheduled fault has fired.
+    pub fn exhausted(&self) -> bool {
+        self.inner.lock().expect("fault plan poisoned").pending.is_empty()
+    }
+}
+
+/// Truncates the file at `path` to `keep_fraction` of its length
+/// (simulates a crash mid-write of a non-atomic writer).
+pub fn truncate_file(path: &Path, keep_fraction: f64) -> io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    let keep = ((bytes.len() as f64) * keep_fraction.clamp(0.0, 1.0)) as usize;
+    std::fs::write(path, &bytes[..keep.min(bytes.len())])
+}
+
+/// Flips one pseudo-randomly chosen bit of the file at `path`
+/// (simulates silent media corruption). Returns the corrupted byte offset.
+pub fn flip_bit(path: &Path, seed: u64) -> io::Result<usize> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty file"));
+    }
+    let mut rng = SplitMix64::new(seed);
+    let pos = rng.index(bytes.len());
+    bytes[pos] ^= 1 << rng.index(8);
+    std::fs::write(path, &bytes)?;
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_faults_fire_once_at_their_slot() {
+        let plan = FaultPlan::new(
+            1,
+            vec![Fault::NanGradient { epoch: 2, step: 0 }, Fault::InfGradient { epoch: 2, step: 1 }],
+        );
+        let mut gu = Embedding::zeros(4, 3);
+        let mut gi = Embedding::zeros(5, 3);
+        plan.corrupt_gradients(0, 0, &mut gu, &mut gi);
+        assert!(gu.all_finite() && gi.all_finite(), "wrong slot must not fire");
+        plan.corrupt_gradients(2, 0, &mut gu, &mut gi);
+        assert!(!gi.all_finite(), "NaN fault should hit the item table");
+        assert!(gu.all_finite());
+        plan.corrupt_gradients(2, 1, &mut gu, &mut gi);
+        assert!(!gu.all_finite(), "Inf fault should hit the user table");
+        assert!(plan.exhausted());
+        // Firing again is a no-op.
+        let mut gu2 = Embedding::zeros(4, 3);
+        let mut gi2 = Embedding::zeros(5, 3);
+        plan.corrupt_gradients(2, 0, &mut gu2, &mut gi2);
+        assert!(gu2.all_finite() && gi2.all_finite());
+        assert_eq!(plan.fired().len(), 2);
+    }
+
+    #[test]
+    fn clones_share_one_plan() {
+        let plan = FaultPlan::new(3, vec![Fault::NanGradient { epoch: 0, step: 0 }]);
+        let clone = plan.clone();
+        let mut gu = Embedding::zeros(2, 2);
+        let mut gi = Embedding::zeros(2, 2);
+        clone.corrupt_gradients(0, 0, &mut gu, &mut gi);
+        assert!(plan.exhausted(), "clone firing must drain the original");
+    }
+
+    #[test]
+    fn file_helpers_corrupt_files() {
+        let path = std::env::temp_dir()
+            .join(format!("logirec-faults-{}", std::process::id()));
+        std::fs::write(&path, vec![0xAAu8; 100]).unwrap();
+        truncate_file(&path, 0.4).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len(), 40);
+        let pos = flip_bit(&path, 9).unwrap();
+        assert!(pos < 40);
+        assert_ne!(std::fs::read(&path).unwrap()[pos], 0xAA);
+        let _ = std::fs::remove_file(&path);
+    }
+}

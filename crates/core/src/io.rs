@@ -42,12 +42,46 @@ impl From<io::Error> for ModelIoError {
     }
 }
 
-/// Saves a trained model's parameters and core hyperparameters.
+/// Writes `bytes` to `path` atomically and durably: the bytes go to a
+/// `<name>.tmp` sibling in the same directory, the file is fsynced, then
+/// renamed over `path`, and finally the directory entry is synced. A crash
+/// at any point leaves either the old file or the complete new one — never
+/// a torn write. Shared by model saves, dataset saves, and checkpoints.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        // Make the rename itself durable. Directory fsync is best-effort:
+        // some filesystems refuse to sync directory handles.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Saves a trained model's parameters and core hyperparameters. The write
+/// is atomic (`.tmp` + fsync + rename): a crash never leaves a half-written
+/// model behind.
 ///
 /// The forward state is not saved; call [`LogiRec::propagate`] against the
 /// training graph after loading to score users.
 pub fn save_model(model: &LogiRec, path: &Path) -> io::Result<()> {
-    let mut w = io::BufWriter::new(fs::File::create(path)?);
+    let mut w = Vec::new();
     w.write_all(MAGIC)?;
     let geom: u8 = match model.cfg.geometry {
         Geometry::Hyperbolic => 0,
@@ -69,7 +103,7 @@ pub fn save_model(model: &LogiRec, path: &Path) -> io::Result<()> {
             w.write_all(&x.to_le_bytes())?;
         }
     }
-    w.flush()
+    atomic_write(path, &w)
 }
 
 /// Loads a model saved by [`save_model`]. The returned model carries the
@@ -112,6 +146,28 @@ pub fn load_model(path: &Path, base_cfg: LogiRecConfig) -> Result<LogiRec, Model
     }
     if dim == 0 || n_tags == 0 || n_items == 0 || n_users == 0 {
         return Err(ModelIoError::Corrupt("zero-sized table".into()));
+    }
+
+    // The header fully determines the file size; reject truncation,
+    // trailing garbage, and absurd header values before reading tables.
+    let table_elems = [(n_tags, dim), (n_items, dim), (n_users, user_dim)]
+        .iter()
+        .try_fold(0u64, |acc, &(rows, cols)| {
+            (rows as u64)
+                .checked_mul(cols as u64)
+                .and_then(|n| acc.checked_add(n))
+        })
+        .ok_or_else(|| ModelIoError::Corrupt("table shapes overflow".into()))?;
+    let expected_len = table_elems
+        .checked_mul(8)
+        .and_then(|n| n.checked_add(8 + 1 + 6 * 8))
+        .ok_or_else(|| ModelIoError::Corrupt("table shapes overflow".into()))?;
+    let actual_len = fs::metadata(path)?.len();
+    if actual_len != expected_len {
+        return Err(ModelIoError::Corrupt(format!(
+            "file is {actual_len} bytes but the header implies {expected_len} \
+             (truncated or trailing garbage)"
+        )));
     }
 
     let mut read_table = |rows: usize, cols: usize| -> Result<Embedding, ModelIoError> {
@@ -185,5 +241,62 @@ mod tests {
         let err = load_model(&path, cfg).unwrap_err();
         assert!(matches!(err, ModelIoError::Corrupt(_)), "{err}");
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(5);
+        let cfg = LogiRecConfig { epochs: 1, eval_every: 0, ..LogiRecConfig::test_config() };
+        let (model, _) = train(cfg.clone(), &ds);
+        let path = tmp("garbage");
+        save_model(&model, &path).expect("save");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 16]);
+        fs::write(&path, &bytes).unwrap();
+        let err = load_model(&path, cfg).unwrap_err();
+        assert!(matches!(err, ModelIoError::Corrupt(_)), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_non_finite_parameters() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(6);
+        let cfg = LogiRecConfig { epochs: 1, eval_every: 0, ..LogiRecConfig::test_config() };
+        let (model, _) = train(cfg.clone(), &ds);
+        let path = tmp("nonfinite");
+        save_model(&model, &path).expect("save");
+        let mut bytes = fs::read(&path).unwrap();
+        // Overwrite the first f64 of the first table with NaN.
+        let header = 8 + 1 + 6 * 8;
+        bytes[header..header + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = load_model(&path, cfg).unwrap_err();
+        assert!(
+            matches!(&err, ModelIoError::Corrupt(m) if m.contains("non-finite")),
+            "{err}"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_model_is_atomic_and_leaves_no_temp_file() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(7);
+        let cfg = LogiRecConfig { epochs: 1, eval_every: 0, ..LogiRecConfig::test_config() };
+        let (model, _) = train(cfg.clone(), &ds);
+        let path = tmp("atomic");
+        save_model(&model, &path).expect("first save");
+        let first = fs::read(&path).unwrap();
+        save_model(&model, &path).expect("overwrite save");
+        assert_eq!(fs::read(&path).unwrap(), first, "deterministic rewrite");
+        let mut name = path.file_name().unwrap().to_os_string();
+        name.push(".tmp");
+        assert!(!path.with_file_name(name).exists(), "temp file left behind");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_to_invalid_path_cleans_up() {
+        let err = atomic_write(Path::new("/"), b"x");
+        assert!(err.is_err());
     }
 }

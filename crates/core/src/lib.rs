@@ -14,11 +14,15 @@
 //! * [`mining`] implements LogiRec++'s consistency (CON, Eq. 11–12) and
 //!   granularity (GR, Eq. 13) weights combined into α (Eq. 14).
 //! * [`trainer`] joins everything into the objectives of Eq. 10 / Eq. 15
-//!   with Riemannian SGD (Section V-C).
+//!   with Riemannian SGD (Section V-C), fault-tolerant via [`checkpoint`]
+//!   (durable checkpoint/resume) and divergence rollback with LR backoff.
 //! * [`ablation`] provides the Table III variants.
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod config;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod filter;
 pub mod graph;
 pub mod io;
@@ -32,4 +36,4 @@ pub use ablation::Variant;
 pub use config::{Geometry, LogiRecConfig};
 pub use filter::{FilteredRanker, LogicFilter};
 pub use model::LogiRec;
-pub use trainer::{train, TrainReport};
+pub use trainer::{train, Recovery, RecoveryAction, TrainReport};

@@ -29,18 +29,30 @@ where
     }
     let chunk_rows = rows.div_ceil(threads);
     let data = out.as_mut_slice();
-    crossbeam::scope(|scope| {
-        for (ci, chunk) in data.chunks_mut(chunk_rows * dim).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                let base = ci * chunk_rows;
-                for (i, row) in chunk.chunks_mut(dim).enumerate() {
-                    f(base + i, row);
-                }
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = data
+            .chunks_mut(chunk_rows * dim)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let base = ci * chunk_rows;
+                    for (i, row) in chunk.chunks_mut(dim).enumerate() {
+                        f(base + i, row);
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly and re-raise the first worker panic with its
+        // original payload (std's scope exit would replace it with a generic
+        // "a scoped thread panicked" message). Remaining threads are joined
+        // by the scope during unwinding.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
-    })
-    .expect("row-parallel worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -82,5 +94,29 @@ mod tests {
         let mut m = Embedding::zeros(PAR_THRESHOLD * 2, 2);
         for_each_row(&mut m, 1, |r, row| row.fill((r % 5) as f64));
         assert_eq!(m.row(6)[0], 1.0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_its_original_message() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Large enough to take the threaded path; the panic fires in a
+            // worker thread, not the caller.
+            let mut m = Embedding::zeros(PAR_THRESHOLD + 1, 2);
+            for_each_row(&mut m, 4, |r, _row| {
+                if r == PAR_THRESHOLD / 2 {
+                    panic!("injected worker panic at row {r}");
+                }
+            });
+        }));
+        let payload = result.expect_err("worker panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("injected worker panic"),
+            "original panic message lost, got: {msg:?}"
+        );
     }
 }

@@ -5,13 +5,34 @@
 //! relation batches for L_Mem/L_Hie/L_Ex scaled by λ, exact backward
 //! passes, and Riemannian SGD updates per parameter family (Section V-C).
 //! Validation Recall@10 is tracked for snapshotting/early stopping.
+//!
+//! ## Fault tolerance
+//!
+//! The loop is built to survive crashes and numerical blow-ups:
+//!
+//! * **Checkpoint/resume** — with `checkpoint_every`/`checkpoint_path` set,
+//!   a durable [`crate::checkpoint`] is written after healthy epochs; with
+//!   `resume_from`, training continues bit-identically from where the
+//!   checkpoint left off (same RNG stream, LR schedule position, best-val
+//!   snapshot, and history). An unreadable checkpoint falls back to a fresh
+//!   start and records a [`Recovery`].
+//! * **Step guards** — a batch whose gradients contain non-finite values is
+//!   skipped (and recorded) instead of poisoning the tables.
+//! * **Divergence rollback** — after every epoch the trainer validates that
+//!   losses are finite, the epoch loss has not exploded, and all parameters
+//!   are finite and on their manifolds (items inside the Poincaré ball,
+//!   users on the Lorentz sheet, tag centers in the valid norm range). On
+//!   violation it rolls back to the last healthy epoch, halves the learning
+//!   rate, and retries, up to `max_recoveries` times; every action lands in
+//!   [`TrainReport::recoveries`].
 
 use logirec_data::{BatchIter, Dataset, NegativeSampler, Split};
 use logirec_eval::evaluate;
-use logirec_hyperbolic::rsgd;
+use logirec_hyperbolic::{lorentz, poincare, rsgd};
 use logirec_linalg::{ops, Embedding, SplitMix64};
 use logirec_taxonomy::TagId;
 
+use crate::checkpoint::{self, BestSnapshot, Checkpoint};
 use crate::config::{Geometry, LogiRecConfig};
 use crate::losses::{
     exclusion_loss_grad, hierarchy_loss_grad, intersection_loss_grad, membership_loss_grad,
@@ -21,7 +42,7 @@ use crate::mining::{combine_weights, consistency_weights, granularity_weights};
 use crate::model::LogiRec;
 
 /// Per-epoch training statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -33,15 +54,107 @@ pub struct EpochStats {
     pub val_recall10: Option<f64>,
 }
 
+/// What the trainer did about a detected problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryAction {
+    /// Batches with non-finite gradients were skipped during the epoch.
+    SkippedSteps {
+        /// Number of skipped optimizer steps.
+        steps: usize,
+    },
+    /// Parameters and trainer state were rolled back to the last healthy
+    /// epoch and the learning rate was scaled down.
+    RolledBack {
+        /// The LR backoff factor now in effect.
+        lr_scale: f64,
+    },
+    /// A `resume_from` checkpoint was unreadable or incompatible; training
+    /// restarted from scratch.
+    RestartedFresh,
+    /// The rollback budget (`max_recoveries`) was exhausted; training
+    /// stopped at the last healthy state.
+    Aborted,
+}
+
+/// One recovery performed by the fault-tolerant trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// Epoch at which the problem was detected.
+    pub epoch: usize,
+    /// Human-readable description of what was detected.
+    pub reason: String,
+    /// What the trainer did about it.
+    pub action: RecoveryAction,
+}
+
 /// Summary of a training run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
-    /// Per-epoch statistics.
+    /// Per-epoch statistics (healthy epochs only; rolled-back attempts are
+    /// not recorded here).
     pub history: Vec<EpochStats>,
     /// Best validation Recall@10 observed (None when never evaluated).
     pub best_val_recall10: Option<f64>,
-    /// Number of epochs actually run (≤ `cfg.epochs` with early stopping).
+    /// Number of healthy epochs completed (≤ `cfg.epochs` with early
+    /// stopping or an exhausted recovery budget).
     pub epochs_run: usize,
+    /// Every divergence/corruption recovery performed during the run, in
+    /// order. Empty for a clean run.
+    pub recoveries: Vec<Recovery>,
+}
+
+/// Everything that evolves across epochs besides the model parameters.
+/// Snapshotted wholesale for rollback and serialized into checkpoints.
+#[derive(Debug, Clone)]
+struct TrainerState {
+    /// Next epoch to run (== number of completed healthy epochs).
+    epoch: usize,
+    rng: SplitMix64,
+    lr_scale: f64,
+    bad_rounds: usize,
+    history: Vec<EpochStats>,
+    alpha: Option<Vec<f64>>,
+    best: Option<(f64, Embedding, Embedding, Embedding)>,
+}
+
+impl TrainerState {
+    fn fresh(cfg: &LogiRecConfig) -> Self {
+        Self {
+            epoch: 0,
+            rng: SplitMix64::new(cfg.seed.wrapping_mul(0x9E37_79B9) ^ 0x1357_9BDF),
+            lr_scale: 1.0,
+            bad_rounds: 0,
+            history: Vec::new(),
+            alpha: None,
+            best: None,
+        }
+    }
+}
+
+/// The last healthy (state, parameters) pair, for divergence rollback.
+struct GoodSnapshot {
+    state: TrainerState,
+    tags: Embedding,
+    items: Embedding,
+    users: Embedding,
+}
+
+impl GoodSnapshot {
+    fn capture(state: &TrainerState, model: &LogiRec) -> Self {
+        Self {
+            state: state.clone(),
+            tags: model.tags.clone(),
+            items: model.items.clone(),
+            users: model.users.clone(),
+        }
+    }
+
+    fn restore(&self, state: &mut TrainerState, model: &mut LogiRec) {
+        *state = self.state.clone();
+        model.tags = self.tags.clone();
+        model.items = self.items.clone();
+        model.users = self.users.clone();
+    }
 }
 
 /// Trains LogiRec/LogiRec++ on `dataset` and returns the model with a
@@ -55,43 +168,68 @@ pub struct TrainReport {
 /// let (model, report) = train(cfg, &dataset);
 /// assert!(model.all_finite());
 /// assert_eq!(report.epochs_run, 2);
+/// assert!(report.recoveries.is_empty());
 /// ```
 pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
     let mut model = LogiRec::new(cfg.clone(), dataset);
+    let mut state = TrainerState::fresh(&cfg);
+    let mut recoveries: Vec<Recovery> = Vec::new();
+
+    if let Some(path) = &cfg.resume_from {
+        match checkpoint::load(path).map_err(|e| e.to_string()).and_then(|ck| {
+            apply_checkpoint(ck, &cfg, &mut model, &mut state, &mut recoveries)
+        }) {
+            Ok(()) => {}
+            Err(msg) => {
+                // The checkpoint is unusable; a fresh start is the only safe
+                // recovery. Make sure no half-applied state leaks through.
+                model = LogiRec::new(cfg.clone(), dataset);
+                state = TrainerState::fresh(&cfg);
+                recoveries.push(Recovery {
+                    epoch: 0,
+                    reason: format!("resume from {} failed: {msg}", path.display()),
+                    action: RecoveryAction::RestartedFresh,
+                });
+            }
+        }
+    }
+
     let n_users = dataset.n_users();
     let rel = &dataset.relations;
     let exclusion_pairs: Vec<(TagId, TagId)> =
         rel.exclusion.iter().map(|&(a, b, _)| (a, b)).collect();
     let intersection_pairs: Vec<(TagId, TagId)> =
         if cfg.use_int { rel.intersection_pairs() } else { Vec::new() };
-
     let con = if cfg.mining { Some(consistency_weights(dataset)) } else { None };
-    let mut alpha: Option<Vec<f64>> = None;
 
-    let mut rng = SplitMix64::new(cfg.seed.wrapping_mul(0x9E37_79B9) ^ 0x1357_9BDF);
-    let mut history = Vec::new();
-    let mut best: Option<(f64, Embedding, Embedding, Embedding)> = None;
-    let mut bad_rounds = 0usize;
-    let mut epochs_run = 0usize;
+    let mut last_good = GoodSnapshot::capture(&state, &model);
+    let mut rollbacks =
+        recoveries.iter().filter(|r| matches!(r.action, RecoveryAction::RolledBack { .. })).count();
 
-    for epoch in 0..cfg.epochs {
-        epochs_run = epoch + 1;
-        let lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
+    // Early stopping gates the top of the loop so that resuming from a
+    // checkpoint written after patience ran out stops immediately instead
+    // of training one extra epoch.
+    while state.epoch < cfg.epochs
+        && !(cfg.patience > 0 && state.bad_rounds >= cfg.patience)
+    {
+        let epoch = state.epoch;
+        let lr = cfg.lr * cfg.lr_decay.powi(epoch as i32) * state.lr_scale;
         // Refresh LogiRec++ weights from the current geometry.
         if let Some(con) = &con {
-            if alpha.is_none() || epoch % cfg.mining_refresh.max(1) == 0 {
+            if state.alpha.is_none() || epoch.is_multiple_of(cfg.mining_refresh.max(1)) {
                 model.propagate(&dataset.train);
                 let gr = granularity_weights(&model, n_users);
-                alpha = Some(combine_weights(con, &gr, cfg.alpha_floor));
+                state.alpha = Some(combine_weights(con, &gr, cfg.alpha_floor));
             }
         }
 
         let mut sampler =
-            NegativeSampler::new(&dataset.train, rng.fork(1_000 + epoch as u64));
-        let mut batch_rng = rng.fork(2_000 + epoch as u64);
-        let mut logic_rng = rng.fork(3_000 + epoch as u64);
+            NegativeSampler::new(&dataset.train, state.rng.fork(1_000 + epoch as u64));
+        let mut batch_rng = state.rng.fork(2_000 + epoch as u64);
+        let mut logic_rng = state.rng.fork(3_000 + epoch as u64);
 
         let (mut rank_sum, mut logic_sum, mut steps) = (0.0, 0.0, 0usize);
+        let mut skipped_steps = 0usize;
         for batch in BatchIter::new(&dataset.train, cfg.batch_size, &mut batch_rng) {
             model.propagate(&dataset.train);
 
@@ -108,8 +246,8 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             // size of classic metric-learning SGD.
             let per_triplet = 1.0 / cfg.negatives.max(1) as f64;
             let rg =
-                rank_loss_grad(&model, &triplets, cfg.margin, alpha.as_deref(), per_triplet);
-            let (g_users, mut g_items) =
+                rank_loss_grad(&model, &triplets, cfg.margin, state.alpha.as_deref(), per_triplet);
+            let (mut g_users, mut g_items) =
                 model.backward_rank(&rg.user_final, &rg.item_final, &dataset.train);
 
             // Logical relation batches. Per-relation weights make the
@@ -147,51 +285,306 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             }
             ops::axpy(1.0, lg.items.as_slice(), g_items.as_mut_slice());
 
-            apply_updates(&mut model, &g_users, &g_items, &lg.tags, lr);
+            inject_gradient_faults(&cfg, epoch, steps, &mut g_users, &mut g_items);
+
+            // Step guard: a poisoned gradient batch (NaN/Inf from upstream
+            // corruption or injection) is dropped, not applied. The RSGD
+            // steps have their own per-row guards, but skipping here keeps
+            // the whole update consistent and lets us report it.
+            if g_users.all_finite() && g_items.all_finite() && lg.tags.all_finite() {
+                apply_updates(&mut model, &g_users, &g_items, &lg.tags, lr);
+            } else {
+                skipped_steps += 1;
+            }
             rank_sum += rg.loss;
             logic_sum += lg.loss;
             steps += 1;
         }
 
-        // Validation tracking / early stopping.
-        let mut val = None;
-        if cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0 {
+        inject_model_faults(&cfg, epoch, &mut model);
+
+        let denom = steps.max(1) as f64;
+        let mut stats = EpochStats {
+            epoch,
+            rank_loss: rank_sum / denom,
+            logic_loss: logic_sum / denom,
+            val_recall10: None,
+        };
+
+        // Divergence check — before validation, so a corrupted model never
+        // reaches the evaluator or the best-snapshot logic.
+        let baseline = state
+            .history
+            .iter()
+            .map(|h| h.rank_loss)
+            .filter(|l| l.is_finite())
+            .fold(None, |acc: Option<f64>, l| Some(acc.map_or(l, |a| a.min(l))));
+        if let Some(reason) = check_health(&model, &stats, baseline, cfg.explosion_factor) {
+            if rollbacks >= cfg.max_recoveries {
+                recoveries.push(Recovery {
+                    epoch,
+                    reason: format!(
+                        "{reason}; recovery budget ({}) exhausted, stopping at the last \
+                         healthy epoch",
+                        cfg.max_recoveries
+                    ),
+                    action: RecoveryAction::Aborted,
+                });
+                last_good.restore(&mut state, &mut model);
+                break;
+            }
+            let new_scale = state.lr_scale * 0.5;
+            last_good.restore(&mut state, &mut model);
+            // The backoff survives the rollback (the snapshot carries the
+            // pre-divergence scale) and compounds across repeated failures.
+            state.lr_scale = new_scale;
+            rollbacks += 1;
+            recoveries.push(Recovery {
+                epoch,
+                reason,
+                action: RecoveryAction::RolledBack { lr_scale: new_scale },
+            });
+            continue;
+        }
+        if skipped_steps > 0 {
+            recoveries.push(Recovery {
+                epoch,
+                reason: format!("non-finite gradients in {skipped_steps} of {steps} steps"),
+                action: RecoveryAction::SkippedSteps { steps: skipped_steps },
+            });
+        }
+
+        // Validation tracking / early stopping (model is known healthy).
+        if cfg.eval_every > 0 && (epoch + 1).is_multiple_of(cfg.eval_every) {
             model.propagate(&dataset.train);
             let res =
                 evaluate(&model, dataset, Split::Validation, &[10], cfg.eval_threads);
             let r10 = res.recall_at(10);
-            val = Some(r10);
-            let improved = best.as_ref().is_none_or(|(b, _, _, _)| r10 > *b);
+            stats.val_recall10 = Some(r10);
+            let improved = state.best.as_ref().is_none_or(|(b, _, _, _)| r10 > *b);
             if improved {
-                best = Some((r10, model.tags.clone(), model.items.clone(), model.users.clone()));
-                bad_rounds = 0;
+                state.best =
+                    Some((r10, model.tags.clone(), model.items.clone(), model.users.clone()));
+                state.bad_rounds = 0;
             } else {
-                bad_rounds += 1;
+                state.bad_rounds += 1;
             }
         }
-        let denom = steps.max(1) as f64;
-        history.push(EpochStats {
-            epoch,
-            rank_loss: rank_sum / denom,
-            logic_loss: logic_sum / denom,
-            val_recall10: val,
-        });
-        if cfg.patience > 0 && bad_rounds >= cfg.patience {
-            break;
+        state.history.push(stats);
+        state.epoch += 1;
+        last_good = GoodSnapshot::capture(&state, &model);
+
+        if cfg.checkpoint_every > 0 && state.epoch.is_multiple_of(cfg.checkpoint_every) {
+            if let Some(path) = &cfg.checkpoint_path {
+                let ck = make_checkpoint(&cfg, &state, &model, &recoveries);
+                if let Err(e) = checkpoint::save(&ck, path) {
+                    // Checkpointing is belt-and-braces; a failed write must
+                    // not kill an otherwise healthy run.
+                    eprintln!("warning: checkpoint write to {} failed: {e}", path.display());
+                }
+            }
         }
     }
 
     // Restore the best validation snapshot, if any.
-    let best_val = best.as_ref().map(|(b, _, _, _)| *b);
-    if let Some((_, tags, items, users)) = best {
+    let best_val = state.best.as_ref().map(|(b, _, _, _)| *b);
+    if let Some((_, tags, items, users)) = state.best {
         model.tags = tags;
         model.items = items;
         model.users = users;
     }
     model.propagate(&dataset.train);
     debug_assert!(model.all_finite());
-    (model, TrainReport { history, best_val_recall10: best_val, epochs_run })
+    (
+        model,
+        TrainReport {
+            history: state.history,
+            best_val_recall10: best_val,
+            epochs_run: state.epoch,
+            recoveries,
+        },
+    )
 }
+
+/// Validates the post-epoch state; returns a reason string when the epoch
+/// must be rolled back.
+fn check_health(
+    model: &LogiRec,
+    stats: &EpochStats,
+    baseline_rank_loss: Option<f64>,
+    explosion_factor: f64,
+) -> Option<String> {
+    if !stats.rank_loss.is_finite() || !stats.logic_loss.is_finite() {
+        return Some(format!(
+            "non-finite epoch loss (rank {}, logic {})",
+            stats.rank_loss, stats.logic_loss
+        ));
+    }
+    if explosion_factor > 0.0 {
+        if let Some(b) = baseline_rank_loss {
+            let limit = explosion_factor * b.abs().max(1e-6);
+            if stats.rank_loss > limit {
+                return Some(format!(
+                    "rank loss exploded: {} > {explosion_factor} × best epoch loss {b}",
+                    stats.rank_loss
+                ));
+            }
+        }
+    }
+    if !model.all_finite() {
+        return Some("non-finite model parameter".into());
+    }
+    if model.cfg.geometry == Geometry::Hyperbolic {
+        for v in 0..model.items.rows() {
+            if !poincare::in_ball(model.items.row(v)) {
+                return Some(format!("item {v} escaped the Poincaré ball"));
+            }
+        }
+        for u in 0..model.users.rows() {
+            if !lorentz::on_manifold(model.users.row(u), 1e-6) {
+                return Some(format!("user {u} left the Lorentz sheet"));
+            }
+        }
+        for t in 0..model.tags.rows() {
+            let n = ops::norm(model.tags.row(t));
+            if !(n > 0.0 && n < 1.0) {
+                return Some(format!("tag {t} hyperplane center has invalid norm {n}"));
+            }
+        }
+    }
+    None
+}
+
+fn make_checkpoint(
+    cfg: &LogiRecConfig,
+    state: &TrainerState,
+    model: &LogiRec,
+    recoveries: &[Recovery],
+) -> Checkpoint {
+    Checkpoint {
+        geometry: cfg.geometry,
+        dim: cfg.dim,
+        layers: cfg.layers,
+        epoch: state.epoch,
+        rng_state: state.rng.state(),
+        lr_scale: state.lr_scale,
+        bad_rounds: state.bad_rounds,
+        history: state.history.clone(),
+        recoveries: recoveries.to_vec(),
+        alpha: state.alpha.clone(),
+        best: state.best.as_ref().map(|(recall, tags, items, users)| BestSnapshot {
+            recall: *recall,
+            tags: tags.clone(),
+            items: items.clone(),
+            users: users.clone(),
+        }),
+        tags: model.tags.clone(),
+        items: model.items.clone(),
+        users: model.users.clone(),
+    }
+}
+
+/// Validates a loaded checkpoint against the live config/dataset shapes and
+/// installs it into the trainer. Any mismatch is an error (the caller falls
+/// back to a fresh start).
+fn apply_checkpoint(
+    ck: Checkpoint,
+    cfg: &LogiRecConfig,
+    model: &mut LogiRec,
+    state: &mut TrainerState,
+    recoveries: &mut Vec<Recovery>,
+) -> Result<(), String> {
+    if ck.geometry != cfg.geometry || ck.dim != cfg.dim || ck.layers != cfg.layers {
+        return Err(format!(
+            "checkpoint geometry/dim/layers ({:?}/{}/{}) do not match the config \
+             ({:?}/{}/{})",
+            ck.geometry, ck.dim, ck.layers, cfg.geometry, cfg.dim, cfg.layers
+        ));
+    }
+    if ck.epoch > cfg.epochs {
+        return Err(format!(
+            "checkpoint is at epoch {} but the config trains only {}",
+            ck.epoch, cfg.epochs
+        ));
+    }
+    let shape = |m: &Embedding| (m.rows(), m.dim());
+    for (name, got, want) in [
+        ("tags", shape(&ck.tags), shape(&model.tags)),
+        ("items", shape(&ck.items), shape(&model.items)),
+        ("users", shape(&ck.users), shape(&model.users)),
+    ] {
+        if got != want {
+            return Err(format!(
+                "checkpoint {name} table is {}×{} but the dataset needs {}×{}",
+                got.0, got.1, want.0, want.1
+            ));
+        }
+    }
+    if let Some(b) = &ck.best {
+        if shape(&b.tags) != shape(&model.tags)
+            || shape(&b.items) != shape(&model.items)
+            || shape(&b.users) != shape(&model.users)
+        {
+            return Err("checkpoint best-snapshot tables do not match the dataset".into());
+        }
+    }
+    if let Some(a) = &ck.alpha {
+        if a.len() != model.users.rows() {
+            return Err(format!(
+                "checkpoint has {} mining weights for {} users",
+                a.len(),
+                model.users.rows()
+            ));
+        }
+    }
+    model.tags = ck.tags;
+    model.items = ck.items;
+    model.users = ck.users;
+    *state = TrainerState {
+        epoch: ck.epoch,
+        rng: SplitMix64::from_state(ck.rng_state),
+        lr_scale: ck.lr_scale,
+        bad_rounds: ck.bad_rounds,
+        history: ck.history,
+        alpha: ck.alpha,
+        best: ck.best.map(|b| (b.recall, b.tags, b.items, b.users)),
+    };
+    *recoveries = ck.recoveries;
+    Ok(())
+}
+
+#[cfg(feature = "fault-injection")]
+fn inject_gradient_faults(
+    cfg: &LogiRecConfig,
+    epoch: usize,
+    step: usize,
+    g_users: &mut Embedding,
+    g_items: &mut Embedding,
+) {
+    if let Some(plan) = &cfg.faults {
+        plan.corrupt_gradients(epoch, step, g_users, g_items);
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn inject_gradient_faults(
+    _cfg: &LogiRecConfig,
+    _epoch: usize,
+    _step: usize,
+    _g_users: &mut Embedding,
+    _g_items: &mut Embedding,
+) {
+}
+
+#[cfg(feature = "fault-injection")]
+fn inject_model_faults(cfg: &LogiRecConfig, epoch: usize, model: &mut LogiRec) {
+    if let Some(plan) = &cfg.faults {
+        plan.corrupt_model(epoch, model);
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn inject_model_faults(_cfg: &LogiRecConfig, _epoch: usize, _model: &mut LogiRec) {}
 
 /// Applies one optimizer step per parameter family with the geometry's
 /// Riemannian (or plain) SGD rules.
@@ -259,7 +652,6 @@ fn sample_slice<T: Copy>(all: &[T], n: usize, rng: &mut SplitMix64) -> Vec<T> {
 mod tests {
     use super::*;
     use logirec_data::{DatasetSpec, Scale};
-    use logirec_hyperbolic::{lorentz, poincare};
 
     fn quick_cfg() -> LogiRecConfig {
         LogiRecConfig {
@@ -402,5 +794,43 @@ mod tests {
         let all = [1, 2, 3];
         assert_eq!(sample_slice(&all, 10, &mut rng), vec![1, 2, 3]);
         assert_eq!(sample_slice(&all, 2, &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn clean_runs_report_no_recoveries() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(9);
+        let (_, report) = train(quick_cfg(), &ds);
+        assert!(report.recoveries.is_empty(), "{:?}", report.recoveries);
+    }
+
+    #[test]
+    fn missing_resume_checkpoint_falls_back_to_fresh_start() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(10);
+        let mut cfg = quick_cfg();
+        cfg.epochs = 2;
+        cfg.resume_from = Some(std::path::PathBuf::from("/nonexistent/checkpoint.ckpt"));
+        let (model, report) = train(cfg, &ds);
+        assert!(model.all_finite());
+        assert_eq!(report.epochs_run, 2);
+        assert_eq!(report.recoveries.len(), 1);
+        assert!(matches!(report.recoveries[0].action, RecoveryAction::RestartedFresh));
+    }
+
+    #[test]
+    fn checkpoints_are_written_at_the_configured_cadence() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(11);
+        let path = std::env::temp_dir()
+            .join(format!("logirec-trainer-ckpt-{}", std::process::id()));
+        let mut cfg = quick_cfg();
+        cfg.epochs = 3;
+        cfg.checkpoint_every = 2;
+        cfg.checkpoint_path = Some(path.clone());
+        let _ = train(cfg.clone(), &ds);
+        let ck = checkpoint::load(&path).expect("checkpoint written");
+        // Written at epoch 2, not overwritten at 3 (3 % 2 != 0).
+        assert_eq!(ck.epoch, 2);
+        assert_eq!(ck.dim, cfg.dim);
+        assert_eq!(ck.history.len(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,255 @@
+//! A minimal, fully offline stand-in for the `criterion` benchmark harness.
+//!
+//! The real `criterion` needs registry access; this workspace must build
+//! hermetically, so the subset the bench suite uses is reimplemented with the
+//! same names: [`Criterion`] with the builder methods the benches call,
+//! [`Bencher::iter`], benchmark groups, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (plain and
+//! `name/config/targets` forms).
+//!
+//! Measurement is deliberately simple: each benchmark warms up for
+//! `warm_up_time`, then runs iterations for `measurement_time` and reports
+//! the mean wall-clock nanoseconds per iteration on stdout. No statistics,
+//! no plots, no baseline comparison — enough to spot order-of-magnitude
+//! regressions by eye.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// An id consisting of the parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring for the configured
+    /// window, and prints the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let end = start + self.measurement;
+        let mut iters: u64 = 0;
+        while Instant::now() < end {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        let ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        println!("{:>14} ns/iter ({iters} iters)", format_ns(ns));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark harness; mirrors the real crate's builder API.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    // Accepted for API compatibility; measurement uses a time window, not a
+    // sample count, so this only shows up in Debug output.
+    #[allow(dead_code)]
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (accepted for API compatibility; this
+    /// shim times a single continuous window instead of discrete samples).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets how long each benchmark is measured.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self {
+        let id = id.into();
+        print!("bench {:<44}", id.label);
+        let mut b = Bencher { warm_up: self.warm_up, measurement: self.measurement };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count for the group (API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self {
+        let id = id.into();
+        print!("bench {:<44}", format!("{}/{}", self.name, id.label));
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        print!("bench {:<44}", format!("{}/{}", self.name, id.label));
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, either as
+/// `criterion_group!(name, target, ...)` or with the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut ran = 0u64;
+        fast().bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0, "routine should have been timed at least once");
+    }
+
+    #[test]
+    fn groups_and_ids_work() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function(BenchmarkId::from_parameter(3), |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 5).label, "f/5");
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_500.0).ends_with("us"));
+        assert!(format_ns(3.2e7).ends_with("ms"));
+        assert!(format_ns(2.5e9).ends_with('s'));
+    }
+}

@@ -75,6 +75,13 @@ pub fn load_dataset(
         }
         let mut parts = line.split('\t');
         let tag_name = parts.next().unwrap_or_default().to_string();
+        if tag_name.trim().is_empty() {
+            return Err(LoadError::Parse {
+                file: "taxonomy.tsv",
+                line: ln,
+                message: "missing tag name".into(),
+            });
+        }
         let parent_raw = parts.next().ok_or_else(|| LoadError::Parse {
             file: "taxonomy.tsv",
             line: ln,
@@ -178,7 +185,30 @@ pub fn load_dataset(
     })
 }
 
-/// Saves a dataset into `dir` in the format [`load_dataset`] reads.
+/// Writes `bytes` to `path` atomically: `<name>.tmp` sibling, fsync,
+/// rename. A crash mid-save leaves either the old file or the new one,
+/// never a torn TSV (which [`load_dataset`] would misparse as data).
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Saves a dataset into `dir` in the format [`load_dataset`] reads. Each
+/// file is written atomically (`.tmp` + fsync + rename).
 ///
 /// The temporal split cannot be reconstructed exactly without timestamps,
 /// so interactions are written with synthetic times that preserve the
@@ -193,7 +223,7 @@ pub fn save_dataset(dataset: &Dataset, dir: &Path) -> io::Result<()> {
         let parent = dataset.taxonomy.parent(t).map_or(-1i64, |p| p as i64);
         tax.push_str(&format!("{}\t{}\n", dataset.taxonomy.name(t), parent));
     }
-    fs::write(dir.join("taxonomy.tsv"), tax)?;
+    atomic_write(&dir.join("taxonomy.tsv"), tax.as_bytes())?;
 
     let mut items = String::new();
     for tags in &dataset.item_tags {
@@ -201,19 +231,19 @@ pub fn save_dataset(dataset: &Dataset, dir: &Path) -> io::Result<()> {
         items.push_str(&line.join("\t"));
         items.push('\n');
     }
-    fs::write(dir.join("item_tags.tsv"), items)?;
+    atomic_write(&dir.join("item_tags.tsv"), items.as_bytes())?;
 
-    let mut f = io::BufWriter::new(fs::File::create(dir.join("interactions.tsv"))?);
+    let mut inter = Vec::new();
     for u in 0..dataset.n_users() {
         let mut t = 0u64;
         for split in [&dataset.train, &dataset.validation, &dataset.test] {
             for &v in split.items_of(u) {
-                writeln!(f, "{u}\t{v}\t{t}")?;
+                writeln!(inter, "{u}\t{v}\t{t}")?;
                 t += 1;
             }
         }
     }
-    f.flush()
+    atomic_write(&dir.join("interactions.tsv"), &inter)
 }
 
 #[cfg(test)]
@@ -272,6 +302,41 @@ mod tests {
         fs::write(dir.join("interactions.tsv"), "0\t9\t0\n").unwrap();
         let err = load_dataset(&dir, "x", ExclusionRule::AllSiblings).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_missing_tag_name() {
+        let dir = tmp_dir("noname");
+        fs::create_dir_all(&dir).unwrap();
+        // A tag line with an empty name column must be a parse error, not a
+        // silently-accepted anonymous tag.
+        fs::write(dir.join("taxonomy.tsv"), "root\t-1\n\t0\n").unwrap();
+        fs::write(dir.join("item_tags.tsv"), "0\n").unwrap();
+        fs::write(dir.join("interactions.tsv"), "0\t0\t0\n").unwrap();
+        let err = load_dataset(&dir, "x", ExclusionRule::AllSiblings).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                LoadError::Parse { file: "taxonomy.tsv", line: 1, message } if message.contains("name")
+            ),
+            "{err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_dataset_leaves_no_temp_files() {
+        let original = DatasetSpec::ciao(Scale::Tiny).generate(8);
+        let dir = tmp_dir("atomic");
+        save_dataset(&original, &dir).expect("save");
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "temp file left behind: {name:?}"
+            );
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -82,11 +82,14 @@ pub fn evaluate(
 
     let n_threads = n_threads.max(1).min(users.len().max(1));
     let chunk = users.len().div_ceil(n_threads).max(1);
-    crossbeam::scope(|scope| {
-        for (ci, chunk_users) in users.chunks(chunk).enumerate() {
-            let per_user_rows = &per_user_rows;
-            let offset = ci * chunk;
-            scope.spawn(move |_| {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = users
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, chunk_users)| {
+                let per_user_rows = &per_user_rows;
+                let offset = ci * chunk;
+                scope.spawn(move || {
                 let mut scores = vec![0.0f64; n_items];
                 let mut local = vec![0.0f64; chunk_users.len() * row_width];
                 for (slot, &u) in chunk_users.iter().enumerate() {
@@ -111,13 +114,20 @@ pub fn evaluate(
                     row[2 * ks.len()] = recall_at_k(&top, truth);
                     row[2 * ks.len() + 1] = ndcg_at_k(&top, truth);
                 }
-                let mut rows = per_user_rows.lock().expect("rows poisoned");
-                let start = offset * row_width;
-                rows[start..start + local.len()].copy_from_slice(&local);
-            });
+                    let mut rows = per_user_rows.lock().expect("rows poisoned");
+                    let start = offset * row_width;
+                    rows[start..start + local.len()].copy_from_slice(&local);
+                })
+            })
+            .collect();
+        // Re-raise the first worker panic with its original payload rather
+        // than the scope's generic message.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
-    })
-    .expect("evaluation threads panicked");
+    });
 
     let rows = per_user_rows.into_inner().expect("rows poisoned");
     let n = users.len().max(1) as f64;

@@ -24,11 +24,22 @@ pub fn poincare_riemannian_grad(x: &[f64], egrad: &[f64]) -> Vec<f64> {
 
 /// One RSGD step on a Poincaré parameter: rescale, retract via the paper's
 /// Möbius exponential (Eq. 17), and project back into the ball.
+///
+/// Hostile gradients never poison the point: a non-finite gradient is
+/// dropped, a step whose retraction overflows keeps the old point, and the
+/// final projection guarantees the result stays strictly inside the ball.
 pub fn poincare_step(x: &mut [f64], egrad: &[f64], lr: f64) {
+    if !ops::all_finite(egrad) {
+        poincare::project(x);
+        return;
+    }
     let mut rgrad = poincare_riemannian_grad(x, egrad);
     ops::scale(&mut rgrad, -lr);
     let updated = poincare::exp_map_paper(x, &rgrad);
-    x.copy_from_slice(&updated);
+    if ops::all_finite(&updated) {
+        x.copy_from_slice(&updated);
+    }
+    poincare::project(x);
 }
 
 /// One RSGD step on a hyperplane defining point `c`: same as
@@ -50,22 +61,33 @@ pub fn lorentz_riemannian_grad(x: &[f64], egrad: &[f64]) -> Vec<f64> {
 
 /// One RSGD step on a Lorentz parameter: Riemannian gradient, exponential
 /// map along `−lr · grad` (Eq. 18), then hyperboloid re-projection.
+///
+/// Hostile gradients never poison the point: a non-finite gradient is
+/// dropped, a step whose exponential map overflows (e.g. `cosh` of an
+/// enormous tangent norm) keeps the old point, and the final projection
+/// guarantees the result sits back on the sheet.
 pub fn lorentz_step(x: &mut [f64], egrad: &[f64], lr: f64) {
+    if !ops::all_finite(egrad) {
+        lorentz::project(x);
+        return;
+    }
     let mut rgrad = lorentz_riemannian_grad(x, egrad);
     ops::scale(&mut rgrad, -lr);
     let updated = lorentz::exp_point(x, &rgrad);
-    x.copy_from_slice(&updated);
-    if !ops::all_finite(x) {
-        // A pathological step (e.g. enormous gradient on a boundary point)
-        // must never poison the embedding table; reset to the origin.
-        let o = lorentz::origin(x.len() - 1);
-        x.copy_from_slice(&o);
+    if ops::all_finite(&updated) {
+        x.copy_from_slice(&updated);
+    } else {
+        lorentz::project(x);
     }
 }
 
 /// Plain Euclidean SGD step, used by the Euclidean baselines and the
 /// "w/o Hyper" ablation so every method shares one optimizer surface.
+/// Non-finite gradients are dropped, matching the Riemannian steps.
 pub fn euclidean_step(x: &mut [f64], egrad: &[f64], lr: f64) {
+    if !ops::all_finite(egrad) {
+        return;
+    }
     ops::axpy(-lr, egrad, x);
 }
 

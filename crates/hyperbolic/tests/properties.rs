@@ -173,6 +173,52 @@ proptest! {
     }
 
     #[test]
+    fn poincare_step_survives_hostile_gradients(
+        x0 in prop::collection::vec(-5.0f64..5.0, DIM),
+        g in prop::collection::vec(-1e300f64..1e300, DIM),
+        lr in 1e-4f64..10.0,
+    ) {
+        // Any in-ball starting point (including right at the clipped
+        // boundary) stepped with an arbitrarily huge gradient must land
+        // strictly inside the ball with finite coordinates.
+        let mut x = x0;
+        poincare::project(&mut x);
+        rsgd::poincare_step(&mut x, &g, lr);
+        prop_assert!(ops::all_finite(&x), "{x:?}");
+        prop_assert!(poincare::in_ball(&x), "‖x‖ = {}", ops::norm(&x));
+    }
+
+    #[test]
+    fn lorentz_step_survives_hostile_gradients(
+        z in tangent(),
+        g in prop::collection::vec(-1e300f64..1e300, DIM + 1),
+        lr in 1e-4f64..10.0,
+    ) {
+        let mut x = lorentz::exp_origin(&z);
+        rsgd::lorentz_step(&mut x, &g, lr);
+        prop_assert!(ops::all_finite(&x), "{x:?}");
+        // The sheet constraint ⟨x,x⟩_L = −1 is subject to catastrophic
+        // cancellation when the step legitimately lands far from the
+        // origin, so the tolerance scales with the coordinate magnitude.
+        let tol = 1e-6 * ops::norm_sq(&x).max(1.0);
+        prop_assert!(lorentz::on_manifold(&x, tol), "{x:?}");
+    }
+
+    #[test]
+    fn hyperplane_step_survives_hostile_gradients(
+        c0 in prop::collection::vec(-5.0f64..5.0, DIM),
+        g in prop::collection::vec(-1e300f64..1e300, DIM),
+        lr in 1e-4f64..10.0,
+    ) {
+        let mut c = c0;
+        hyperplane::clamp_center(&mut c);
+        rsgd::hyperplane_step(&mut c, &g, lr);
+        prop_assert!(ops::all_finite(&c), "{c:?}");
+        let n = ops::norm(&c);
+        prop_assert!((hyperplane::MIN_CENTER_NORM - 1e-12..1.0).contains(&n), "norm {n}");
+    }
+
+    #[test]
     fn rsgd_steps_preserve_manifolds(z in tangent(), g in tangent(), lr in 0.001f64..0.5) {
         // Lorentz step.
         let mut x = lorentz::exp_origin(&z);
@@ -191,5 +237,52 @@ proptest! {
         rsgd::hyperplane_step(&mut c, &g, lr);
         let n = ops::norm(&c);
         prop_assert!((hyperplane::MIN_CENTER_NORM - 1e-12..1.0).contains(&n));
+    }
+}
+
+/// Deterministic non-finite-gradient cases (NaN, ±Inf, and a mix): every
+/// step must leave the parameter finite and on its manifold.
+#[test]
+fn rsgd_steps_absorb_non_finite_gradients() {
+    type Poison = fn(&mut [f64]);
+    let patterns: [Poison; 4] = [
+        |g| g[0] = f64::NAN,
+        |g| g[1] = f64::INFINITY,
+        |g| g[2] = f64::NEG_INFINITY,
+        |g| {
+            g[0] = f64::NAN;
+            g[3] = f64::INFINITY;
+        },
+    ];
+    for (i, poison) in patterns.iter().enumerate() {
+        let mut g = vec![0.25; DIM];
+        poison(&mut g);
+
+        let mut p = vec![0.1, -0.2, 0.05, 0.15];
+        rsgd::poincare_step(&mut p, &g, 0.1);
+        assert!(ops::all_finite(&p) && poincare::in_ball(&p), "case {i}: {p:?}");
+
+        let mut c = vec![0.3, 0.1, -0.2, 0.05];
+        hyperplane::clamp_center(&mut c);
+        rsgd::hyperplane_step(&mut c, &g, 0.1);
+        let n = ops::norm(&c);
+        assert!(
+            ops::all_finite(&c) && (hyperplane::MIN_CENTER_NORM - 1e-12..1.0).contains(&n),
+            "case {i}: norm {n}"
+        );
+
+        let mut gl = vec![0.25; DIM + 1];
+        poison(&mut gl);
+        let mut x = lorentz::exp_origin(&[0.4, -0.6, 0.2, 0.1]);
+        rsgd::lorentz_step(&mut x, &gl, 0.1);
+        assert!(
+            ops::all_finite(&x) && lorentz::on_manifold(&x, 1e-9),
+            "case {i}: {x:?}"
+        );
+
+        let mut e = vec![1.0, 2.0, 3.0, 4.0];
+        let before = e.clone();
+        rsgd::euclidean_step(&mut e, &g, 0.1);
+        assert_eq!(e, before, "case {i}: euclidean step must drop the gradient");
     }
 }

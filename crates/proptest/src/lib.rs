@@ -1,0 +1,507 @@
+//! A minimal, fully offline stand-in for the `proptest` crate.
+//!
+//! The real `proptest` needs registry access; this workspace must build in a
+//! hermetic container, so the subset the test-suite actually uses is
+//! reimplemented here with the same names and macro surface:
+//!
+//! - [`Strategy`] implemented for numeric [`Range`]s, tuples (arity 2–4),
+//!   [`prop_filter`](Strategy::prop_filter) and [`prop_map`](Strategy::prop_map),
+//! - [`collection::vec`] / [`collection::btree_set`],
+//! - the [`proptest!`] macro (plain and `#![proptest_config(..)]` forms),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
+//!
+//! Differences from the real crate, on purpose: cases are generated from a
+//! seed derived deterministically from the test's module path (fully
+//! reproducible, no `proptest-regressions` persistence), and failing inputs
+//! are reported but **not shrunk**.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator driving all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message describes it.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` or a filter; try another.
+    Reject,
+}
+
+/// Result type returned by each generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value; `None` means the draw was filtered out.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Rejects sampled values failing `filter` (the whole case is retried).
+    fn prop_filter<F>(self, _whence: &'static str, filter: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, filter }
+    }
+
+    /// Transforms sampled values with `map`.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    filter: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let v = self.inner.sample(rng)?;
+        if (self.filter)(&v) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.sample(rng).map(&self.map)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = self.end.abs_diff(self.start) as u64;
+                Some(self.start.wrapping_add((rng.next_u64() % span) as $t))
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Collection strategies (`prop::collection::{vec, btree_set}`).
+pub mod collection {
+    use super::{BTreeSet, Range, Strategy, TestRng};
+
+    /// Length specification for collection strategies: an exact size or a
+    /// half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            let span = (self.hi - self.lo).max(1);
+            self.lo + rng.index(span)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose elements come from `elem` and whose length comes from
+    /// `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.size.sample(rng);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.elem.sample(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with target sizes drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A set whose elements come from `elem`; duplicates are retried a
+    /// bounded number of times, so the final size may fall short of the
+    /// target when the element domain is small.
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<BTreeSet<S::Value>> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 8 * target + 8 {
+                out.insert(self.elem.sample(rng)?);
+                attempts += 1;
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Drives one property test: keeps generating cases until `config.cases`
+/// of them are accepted, panicking on the first failure.
+///
+/// The base seed is a hash of `name`, so every test gets a distinct but
+/// fully reproducible input stream.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    // FNV-1a over the test name.
+    let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        base ^= u64::from(*b);
+        base = base.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let max_rejects = 256 * u64::from(config.cases.max(16));
+    let (mut accepted, mut rejected, mut stream) = (0u32, 0u64, 0u64);
+    while accepted < config.cases {
+        let mut rng = TestRng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        stream += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest {name}: too many rejected cases ({rejected}); \
+                     loosen the filters or assumptions"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name} failed (case {accepted}, input stream {stream}): {msg}")
+            }
+        }
+    }
+}
+
+/// Defines property tests. Supports the plain form and the
+/// `#![proptest_config(..)]` header form of the real crate.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($args:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__pt_rng| {
+                        $crate::__proptest_bind!(__pt_rng, $($args)*);
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds `pat in strategy` arguments.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $p:pat in $s:expr $(, $($rest:tt)*)?) => {
+        let $p = match $crate::Strategy::sample(&($s), $rng) {
+            ::core::option::Option::Some(v) => v,
+            ::core::option::Option::None => {
+                return ::core::result::Result::Err($crate::TestCaseError::Reject)
+            }
+        };
+        $( $crate::__proptest_bind!($rng, $($rest)*); )?
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body; reports both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        $crate::prop_assert_eq!($left, $right, "values are not equal")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__pt_left, __pt_right) => {
+                if !(*__pt_left == *__pt_right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "{} (left: `{:?}`, right: `{:?}`)",
+                        format!($($fmt)*),
+                        __pt_left,
+                        __pt_right,
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (retried with fresh inputs) when false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The importable surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult};
+
+    /// Mirrors `proptest::prelude::prop` (submodule access to strategies).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds_and_are_deterministic() {
+        let mut a = crate::TestRng::new(7);
+        let mut b = crate::TestRng::new(7);
+        for _ in 0..100 {
+            let x = Strategy::sample(&(0.5f64..2.0), &mut a).unwrap();
+            assert!((0.5..2.0).contains(&x));
+            assert_eq!(x, Strategy::sample(&(0.5f64..2.0), &mut b).unwrap());
+            let n = Strategy::sample(&(3usize..9), &mut a).unwrap();
+            assert!((3..9).contains(&n));
+            let _ = b.next_u64();
+        }
+    }
+
+    #[test]
+    fn collections_honour_size_specs() {
+        let mut rng = crate::TestRng::new(11);
+        let v = Strategy::sample(&prop::collection::vec(0u64..10, 5usize), &mut rng).unwrap();
+        assert_eq!(v.len(), 5);
+        let v = Strategy::sample(&prop::collection::vec(0u64..10, 2..6), &mut rng).unwrap();
+        assert!((2..6).contains(&v.len()));
+        let s = Strategy::sample(&prop::collection::btree_set(0usize..50, 0..20), &mut rng)
+            .unwrap();
+        assert!(s.len() < 20);
+    }
+
+    #[test]
+    fn filters_reject_and_maps_apply() {
+        let mut rng = crate::TestRng::new(3);
+        let even = (0u64..100).prop_filter("even", |n| n % 2 == 0);
+        for _ in 0..50 {
+            if let Some(n) = Strategy::sample(&even, &mut rng) {
+                assert_eq!(n % 2, 0);
+            }
+        }
+        let doubled = (1u64..10).prop_map(|n| n * 2);
+        let d = Strategy::sample(&doubled, &mut rng).unwrap();
+        assert!(d % 2 == 0 && (2..20).contains(&d));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_binds_tuples_and_vecs((a, b) in (0usize..5, 1u64..9), v in prop::collection::vec(-1.0f64..1.0, 3)) {
+            prop_assume!(a != 4);
+            prop_assert!(a < 5);
+            prop_assert_eq!(v.len(), 3, "vec length off for b={}", b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_message() {
+        crate::run_cases(ProptestConfig::with_cases(4), "t", |_| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+}

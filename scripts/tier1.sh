@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 pre-merge gate: release build, full workspace test suite (the test
+# profile runs with overflow-checks on), then clippy with warnings denied.
+# Run from the repository root. Any failure fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace -- -D warnings
+echo "tier1: all green"

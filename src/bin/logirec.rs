@@ -8,7 +8,10 @@
 //! ```
 //!
 //! `generate` writes a synthetic benchmark as TSV files; `train` fits
-//! LogiRec++ (or plain LogiRec with `--no-mining`) and saves the model;
+//! LogiRec++ (or plain LogiRec with `--no-mining`) and saves the model —
+//! `--checkpoint FILE` makes the run durable (checkpoint every epoch, or
+//! every N with `--checkpoint-every N`) and `--resume FILE` continues a
+//! killed run bit-identically;
 //! `evaluate` reports full-ranking Recall/NDCG on the temporal test split;
 //! `recommend` prints a user's top-K with tag annotations.
 
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   logirec generate  --dataset ciao|cd|clothing|book --scale tiny|small|paper --seed N --out DIR
   logirec train     --data DIR --model FILE [--epochs N] [--lambda X] [--dim N] [--no-mining]
+                    [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
   logirec evaluate  --data DIR --model FILE [--threads N]
   logirec recommend --data DIR --model FILE --user N [--k N]";
 
@@ -127,6 +131,7 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
 fn cmd_train(flags: &Flags) -> Result<(), String> {
     let ds = load(flags)?;
     let model_path = PathBuf::from(flags.require("model")?);
+    let checkpoint_path = flags.get("checkpoint").map(PathBuf::from);
     let cfg = LogiRecConfig {
         epochs: flags.parse_or("epochs", 40)?,
         lambda: flags.parse_or("lambda", 0.5)?,
@@ -134,6 +139,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         mining: !flags.no_mining,
         seed: flags.parse_or("seed", 2024)?,
         eval_threads: flags.parse_or("threads", default_threads())?,
+        checkpoint_every: flags
+            .parse_or("checkpoint-every", usize::from(checkpoint_path.is_some()))?,
+        checkpoint_path,
+        resume_from: flags.get("resume").map(PathBuf::from),
         ..LogiRecConfig::default()
     };
     let label = if cfg.mining { "LogiRec++" } else { "LogiRec" };
@@ -154,6 +163,9 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             .best_val_recall10
             .map_or_else(|| "n/a".to_string(), |r| format!("{r:.4}"))
     );
+    for r in &report.recoveries {
+        println!("recovery at epoch {}: {} ({:?})", r.epoch, r.reason, r.action);
+    }
     println!("model saved to {}", model_path.display());
     Ok(())
 }

@@ -1,0 +1,281 @@
+//! Fault-tolerance acceptance tests: kill-and-resume determinism, corrupted
+//! checkpoints, and injected training faults. Every scenario must end in a
+//! completed run with finite parameters and a recorded recovery — never a
+//! panic or a silently-poisoned model.
+
+use std::path::PathBuf;
+
+use logirec_suite::core::checkpoint;
+use logirec_suite::core::faults::{flip_bit, truncate_file, Fault, FaultPlan};
+use logirec_suite::core::model::LogiRec;
+use logirec_suite::core::{train, LogiRecConfig, RecoveryAction, TrainReport};
+use logirec_suite::data::interactions::Dataset;
+use logirec_suite::data::{DatasetSpec, Scale, Split};
+use logirec_suite::eval::evaluate;
+use logirec_suite::hyperbolic::{lorentz, poincare};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("logirec-ft-{name}-{}", std::process::id()))
+}
+
+fn base_cfg() -> LogiRecConfig {
+    LogiRecConfig {
+        epochs: 6,
+        eval_every: 2,
+        patience: 0,
+        mining: true,
+        mining_refresh: 2,
+        ..LogiRecConfig::test_config()
+    }
+}
+
+fn dataset() -> Dataset {
+    DatasetSpec::ciao(Scale::Tiny).generate(77)
+}
+
+fn assert_healthy(model: &LogiRec) {
+    assert!(model.all_finite());
+    for v in 0..model.items.rows() {
+        assert!(poincare::in_ball(model.items.row(v)), "item {v} out of ball");
+    }
+    for u in 0..model.users.rows() {
+        assert!(
+            lorentz::on_manifold(model.users.row(u), 1e-6),
+            "user {u} off sheet"
+        );
+    }
+}
+
+fn assert_identical(a: &LogiRec, ra: &TrainReport, b: &LogiRec, rb: &TrainReport) {
+    assert_eq!(a.tags, b.tags, "tag tables differ");
+    assert_eq!(a.items, b.items, "item tables differ");
+    assert_eq!(a.users, b.users, "user tables differ");
+    assert_eq!(ra.history, rb.history, "training histories differ");
+    assert_eq!(ra.best_val_recall10, rb.best_val_recall10);
+    assert_eq!(ra.epochs_run, rb.epochs_run);
+}
+
+/// The core durability guarantee: training for N epochs straight through is
+/// bit-identical to training, "dying", and resuming from a checkpoint — at
+/// every possible kill point.
+#[test]
+fn kill_and_resume_is_bit_identical() {
+    let ds = dataset();
+    let (full_model, full_report) = train(base_cfg(), &ds);
+    assert!(full_report.recoveries.is_empty());
+
+    for kill_after in [2usize, 3, 5] {
+        let path = tmp(&format!("resume-{kill_after}"));
+        // First life: checkpoint every epoch, "crash" after `kill_after`.
+        let mut first = base_cfg();
+        first.epochs = kill_after;
+        first.checkpoint_every = 1;
+        first.checkpoint_path = Some(path.clone());
+        let _ = train(first, &ds);
+
+        // Second life: resume and finish the remaining epochs.
+        let mut second = base_cfg();
+        second.resume_from = Some(path.clone());
+        let (resumed_model, resumed_report) = train(second, &ds);
+
+        assert!(
+            resumed_report.recoveries.is_empty(),
+            "clean resume must not record recoveries: {:?}",
+            resumed_report.recoveries
+        );
+        assert_identical(&full_model, &full_report, &resumed_model, &resumed_report);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// A checkpoint truncated by a crashed non-atomic writer (or torn disk) is
+/// detected by the CRC/length checks; training restarts fresh, records the
+/// recovery, and still completes with a healthy model.
+#[test]
+fn truncated_checkpoint_restarts_fresh() {
+    let ds = dataset();
+    let path = tmp("truncated");
+    let mut first = base_cfg();
+    first.epochs = 3;
+    first.checkpoint_every = 1;
+    first.checkpoint_path = Some(path.clone());
+    let _ = train(first, &ds);
+
+    for fraction in [0.0, 0.3, 0.9] {
+        let damaged = tmp(&format!("truncated-{}", (fraction * 10.0) as u32));
+        std::fs::copy(&path, &damaged).unwrap();
+        truncate_file(&damaged, fraction).unwrap();
+        assert!(
+            checkpoint::load(&damaged).is_err(),
+            "truncation to {fraction} must not load"
+        );
+
+        let mut cfg = base_cfg();
+        cfg.resume_from = Some(damaged.clone());
+        let (model, report) = train(cfg, &ds);
+        assert_healthy(&model);
+        assert_eq!(report.epochs_run, 6, "run must still complete");
+        assert!(
+            report
+                .recoveries
+                .iter()
+                .any(|r| r.action == RecoveryAction::RestartedFresh),
+            "missing RestartedFresh recovery: {:?}",
+            report.recoveries
+        );
+        let _ = std::fs::remove_file(&damaged);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A single flipped bit anywhere in the checkpoint must be caught (CRC over
+/// the payload, validated header) and survived the same way.
+#[test]
+fn bit_flipped_checkpoint_restarts_fresh() {
+    let ds = dataset();
+    let path = tmp("bitflip");
+    let mut first = base_cfg();
+    first.epochs = 3;
+    first.checkpoint_every = 1;
+    first.checkpoint_path = Some(path.clone());
+    let _ = train(first, &ds);
+
+    for seed in 0..4u64 {
+        let damaged = tmp(&format!("bitflip-{seed}"));
+        std::fs::copy(&path, &damaged).unwrap();
+        flip_bit(&damaged, seed).unwrap();
+        assert!(checkpoint::load(&damaged).is_err(), "flip {seed} must not load");
+
+        let mut cfg = base_cfg();
+        cfg.resume_from = Some(damaged.clone());
+        let (model, report) = train(cfg, &ds);
+        assert_healthy(&model);
+        assert_eq!(report.epochs_run, 6);
+        assert!(
+            report
+                .recoveries
+                .iter()
+                .any(|r| r.action == RecoveryAction::RestartedFresh),
+            "flip {seed}: {:?}",
+            report.recoveries
+        );
+        let _ = std::fs::remove_file(&damaged);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// NaN/Inf gradient batches are skipped (not applied), the recovery is
+/// recorded, and the final quality stays comparable to a clean run.
+#[test]
+fn gradient_faults_are_skipped_and_recorded() {
+    let ds = dataset();
+    let (clean_model, _) = train(base_cfg(), &ds);
+    clean_recall_sanity(&clean_model, &ds);
+    let clean = evaluate(&clean_model, &ds, Split::Test, &[10], 2).recall_at(10);
+
+    let plan = FaultPlan::new(
+        11,
+        vec![
+            Fault::NanGradient { epoch: 1, step: 0 },
+            Fault::InfGradient { epoch: 3, step: 1 },
+        ],
+    );
+    let mut cfg = base_cfg();
+    cfg.faults = Some(plan.clone());
+    let (model, report) = train(cfg, &ds);
+
+    assert!(plan.exhausted(), "faults never fired: {:?}", plan.fired());
+    assert_healthy(&model);
+    assert_eq!(report.epochs_run, 6);
+    let skipped: Vec<_> = report
+        .recoveries
+        .iter()
+        .filter(|r| matches!(r.action, RecoveryAction::SkippedSteps { .. }))
+        .collect();
+    assert_eq!(skipped.len(), 2, "one recovery per poisoned epoch: {:?}", report.recoveries);
+    assert!(skipped.iter().any(|r| r.epoch == 1));
+    assert!(skipped.iter().any(|r| r.epoch == 3));
+
+    let faulted = evaluate(&model, &ds, Split::Test, &[10], 2).recall_at(10);
+    assert!(
+        faulted >= 0.5 * clean,
+        "quality collapsed under gradient faults: {faulted:.4} vs clean {clean:.4}"
+    );
+}
+
+/// Manifold-escape faults (an item pushed outside the Poincaré ball, a user
+/// pushed off the Lorentz sheet) trigger the divergence check: the epoch is
+/// rolled back, the LR is halved, and the retried epoch (fault fires once)
+/// completes cleanly.
+#[test]
+fn manifold_escapes_roll_back_with_lr_backoff() {
+    let ds = dataset();
+    let plan = FaultPlan::new(
+        13,
+        vec![
+            Fault::ItemBoundaryEscape { epoch: 1 },
+            Fault::UserOffSheet { epoch: 3 },
+        ],
+    );
+    let mut cfg = base_cfg();
+    cfg.faults = Some(plan.clone());
+    let (model, report) = train(cfg, &ds);
+
+    assert!(plan.exhausted(), "faults never fired: {:?}", plan.fired());
+    assert_healthy(&model);
+    assert_eq!(report.epochs_run, 6, "rolled-back epochs must be retried");
+    let rollbacks: Vec<_> = report
+        .recoveries
+        .iter()
+        .filter_map(|r| match r.action {
+            RecoveryAction::RolledBack { lr_scale } => Some((r.epoch, lr_scale)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rollbacks, vec![(1, 0.5), (3, 0.25)], "{:?}", report.recoveries);
+    assert!(
+        report.recoveries.iter().all(|r| !matches!(r.action, RecoveryAction::Aborted)),
+        "budget must not be exhausted: {:?}",
+        report.recoveries
+    );
+}
+
+/// When divergence keeps recurring, the budget runs out and training stops
+/// at the last healthy state instead of looping forever or returning
+/// garbage.
+#[test]
+fn exhausted_recovery_budget_aborts_at_last_healthy_state() {
+    let ds = dataset();
+    // An escape at every epoch from 1 on: rollbacks at 1, 2, 3 use up the
+    // budget, so the violation at epoch 4 must abort.
+    let plan = FaultPlan::new(
+        17,
+        (1..6).map(|e| Fault::ItemBoundaryEscape { epoch: e }).collect(),
+    );
+    let mut cfg = base_cfg();
+    cfg.max_recoveries = 3;
+    cfg.faults = Some(plan.clone());
+    let (model, report) = train(cfg, &ds);
+
+    assert_healthy(&model);
+    assert_eq!(report.epochs_run, 4, "must stop at the last healthy epoch");
+    assert_eq!(
+        report
+            .recoveries
+            .iter()
+            .filter(|r| matches!(r.action, RecoveryAction::RolledBack { .. }))
+            .count(),
+        3
+    );
+    assert!(matches!(
+        report.recoveries.last().map(|r| &r.action),
+        Some(RecoveryAction::Aborted)
+    ));
+    assert!(!plan.exhausted(), "the abort must precede the epoch-5 fault");
+}
+
+fn clean_recall_sanity(model: &LogiRec, ds: &Dataset) {
+    // Guards the fault-quality comparison against a meaningless baseline.
+    let r = evaluate(model, ds, Split::Test, &[10], 2).recall_at(10);
+    assert!(r > 0.0, "clean model has zero recall; comparison is vacuous");
+}
