@@ -13,11 +13,13 @@
 //!
 //! Run: `cargo run --release -p logirec-bench --bin fig3`
 
+use logirec_bench::harness::bin_telemetry;
 use logirec_bench::table::{self, Row};
 use logirec_hyperbolic::poincare;
 use logirec_linalg::ops;
 
 fn main() {
+    let tel = bin_telemetry("fig3");
     // (1) Sibling separation: place B and C at hyperbolic distance `edge`
     // from A (origin) with a 90° angle between them.
     let mut rows = Vec::new();
@@ -42,7 +44,7 @@ fn main() {
         &["hyperbolic", "euclidean"],
         &rows,
     );
-    println!("{rendered}");
+    tel.info(&rendered);
     table::save("fig3", &rendered);
 
     // (2) Packing: children on a circle of (geodesic) radius r around the
@@ -62,8 +64,9 @@ fn main() {
         &["hyperbolic", "euclidean"],
         &rows,
     );
-    println!("{rendered}");
+    tel.info(&rendered);
     table::save("fig3", &rendered);
+    tel.finish();
 }
 
 /// Largest `n` such that `n` points equally spaced on the radius-`r`

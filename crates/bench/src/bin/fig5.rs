@@ -18,8 +18,10 @@ fn main() {
     if args.datasets.len() == 4 {
         args.datasets = vec!["cd".into()];
     }
+    args.enable_bin_trace("fig5");
+    let tel = args.telemetry.clone();
     for spec in args.specs() {
-        let ds = spec.generate(100);
+        let ds = spec.generate_traced(100, &tel);
         let cfg = logirec_config(&args, spec.name, true, 1);
         let (model, _) = train(cfg, &ds);
 
@@ -52,7 +54,7 @@ fn main() {
             &["#users", "share"],
             &rows,
         );
-        println!("{rendered}");
+        tel.info(&rendered);
         table::save("fig5", &rendered);
 
         // (b) Mean distance-to-origin per bucket.
@@ -76,7 +78,8 @@ fn main() {
             &["d(o, u)"],
             &rows,
         );
-        println!("{rendered}");
+        tel.info(&rendered);
         table::save("fig5", &rendered);
     }
+    tel.finish();
 }

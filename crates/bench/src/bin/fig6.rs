@@ -21,9 +21,11 @@ fn main() {
         // --datasets explicitly for all four.
         args.datasets = vec!["cd".into(), "clothing".into()];
     }
+    args.enable_bin_trace("fig6");
+    let tel = args.telemetry.clone();
     for spec in args.specs() {
-        eprintln!("== dataset {} ==", spec.name);
-        let ds = spec.generate(100);
+        tel.progress(format!("== dataset {} ==", spec.name));
+        let ds = spec.generate_traced(100, &tel);
 
         // Best baseline reference line: HRCF (the paper's most frequent
         // runner-up; AGCN occasionally wins but HRCF is the hyperbolic SOTA).
@@ -41,7 +43,7 @@ fn main() {
             cfg.lambda = lambda;
             let (model, _) = train(cfg, &ds);
             let m = ExpMetrics::collect(&model, &ds, args.threads);
-            eprintln!("  lambda {lambda}: R@10 {:.4}", m.r10);
+            tel.progress(format!("  lambda {lambda}: R@10 {:.4}", m.r10));
             rows.push(Row {
                 label: format!("LogiRec++ lambda={lambda}"),
                 cells: vec![format!("{:.2}", 100.0 * m.r10), format!("{:.2}", 100.0 * m.n10)],
@@ -49,7 +51,8 @@ fn main() {
         }
         let title = format!("Fig. 6 ({}, scale = {:?})", spec.name, args.scale);
         let rendered = table::render(&title, &["Recall@10 %", "NDCG@10 %"], &rows);
-        println!("{rendered}");
+        tel.info(&rendered);
         table::save("fig6", &rendered);
     }
+    tel.finish();
 }

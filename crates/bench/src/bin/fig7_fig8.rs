@@ -27,9 +27,11 @@ fn main() {
     if args.datasets.len() == 4 {
         args.datasets = vec!["cd".into(), "book".into()];
     }
+    args.enable_bin_trace("fig7_fig8");
+    let tel = args.telemetry.clone();
     for spec in args.specs() {
-        eprintln!("== dataset {} ==", spec.name);
-        let ds = spec.generate(100);
+        tel.progress(format!("== dataset {} ==", spec.name));
+        let ds = spec.generate_traced(100, &tel);
         let labels = item_labels(&ds);
 
         let mut rows = Vec::new();
@@ -38,14 +40,14 @@ fn main() {
         let agcn = train_agcn(&logirec_baselines::Method::Agcn.tuned(&baseline_config(&args, 1)), &ds);
         let agcn_items: Vec<Vec<f64>> =
             (0..ds.n_items()).map(|v| agcn.items.row(v).to_vec()).collect();
-        rows.push(score_row("AGCN", &agcn_items, &labels, false, spec.name));
+        rows.push(score_row("AGCN", &agcn_items, &labels, false, spec.name, &tel));
 
         // HRCF (Lorentz → Poincaré).
         let hrcf = train_hgcf(&logirec_baselines::Method::Hrcf.tuned(&baseline_config(&args, 1)), &ds, true);
         let hrcf_items: Vec<Vec<f64>> = (0..ds.n_items())
             .map(|v| maps::lorentz_to_poincare(hrcf.items.row(v)))
             .collect();
-        rows.push(score_row("HRCF", &hrcf_items, &labels, true, spec.name));
+        rows.push(score_row("HRCF", &hrcf_items, &labels, true, spec.name, &tel));
 
         // LogiRec and LogiRec++.
         for mining in [false, true] {
@@ -54,7 +56,7 @@ fn main() {
             let (model, _) = train(cfg, &ds);
             let items: Vec<Vec<f64>> =
                 (0..ds.n_items()).map(|v| model.item_poincare(v)).collect();
-            rows.push(score_row(name, &items, &labels, true, spec.name));
+            rows.push(score_row(name, &items, &labels, true, spec.name, &tel));
         }
 
         let title = format!(
@@ -62,9 +64,10 @@ fn main() {
             spec.name, args.scale
         );
         let rendered = table::render(&title, &["silhouette"], &rows);
-        println!("{rendered}");
+        tel.info(&rendered);
         table::save("fig7_fig8", &rendered);
     }
+    tel.finish();
 }
 
 /// Level-1 ancestor tag of each item's first tag — the "color" groups of
@@ -84,9 +87,10 @@ fn score_row(
     labels: &[usize],
     hyperbolic: bool,
     dataset: &str,
+    tel: &logirec_obs::Telemetry,
 ) -> Row {
     let s = silhouette(items, labels, hyperbolic, 400);
-    eprintln!("  {name:>10}: silhouette {s:.4}");
+    tel.progress(format!("  {name:>10}: silhouette {s:.4}"));
     dump_projection(name, items, labels, dataset);
     Row { label: name.to_string(), cells: vec![format!("{s:.4}")] }
 }

@@ -19,12 +19,14 @@ const PAPER: [(&str, [f64; 8]); 4] = [
 ];
 
 fn main() {
-    let args = RunArgs::from_env();
+    let mut args = RunArgs::from_env();
+    args.enable_bin_trace("table1");
+    let tel = args.telemetry.clone();
     let headers =
         ["#User", "#Item", "#Inter", "Density%", "#Tag", "#Member", "#Hier", "#Excl"];
     let mut rows = Vec::new();
     for spec in args.specs() {
-        let ds = spec.generate(42);
+        let ds = spec.generate_traced(42, &tel);
         let total = ds.n_interactions();
         let density = 100.0 * total as f64 / (ds.n_users() as f64 * ds.n_items() as f64);
         let (m, h, e) = ds.relations.counts();
@@ -59,6 +61,7 @@ fn main() {
     }
     let title = format!("Table I: dataset statistics (scale = {:?})", args.scale);
     let rendered = table::render(&title, &headers, &rows);
-    println!("{rendered}");
+    tel.info(&rendered);
     table::save("table1", &rendered);
+    tel.finish();
 }

@@ -19,11 +19,13 @@ use logirec_core::train;
 use logirec_eval::{mean_std, wilcoxon_signed_rank, MeanStd};
 
 fn main() {
-    let args = RunArgs::from_env();
+    let mut args = RunArgs::from_env();
+    args.enable_bin_trace("table2");
+    let tel = args.telemetry.clone();
     let headers = ["Recall@10", "Recall@20", "NDCG@10", "NDCG@20"];
 
     for spec in args.specs() {
-        eprintln!("== dataset {} ==", spec.name);
+        tel.progress(format!("== dataset {} ==", spec.name));
         // Per-method, per-seed quadruples and the last seed's per-user
         // recall vector (for significance pairing).
         let mut quads: Vec<(String, Vec<[f64; 4]>, Vec<f64>)> = Vec::new();
@@ -39,7 +41,7 @@ fn main() {
                 per_seed.push(m.quad());
                 per_user = m.per_user;
             }
-            eprintln!("  {:>9}: R@10 {:.4}", method.label(), mean_of(&per_seed, 0));
+            tel.progress(format!("  {:>9}: R@10 {:.4}", method.label(), mean_of(&per_seed, 0)));
             quads.push((method.label().to_string(), per_seed, per_user));
         }
 
@@ -55,7 +57,7 @@ fn main() {
                 per_seed.push(m.quad());
                 per_user = m.per_user;
             }
-            eprintln!("  {label:>9}: R@10 {:.4}", mean_of(&per_seed, 0));
+            tel.progress(format!("  {label:>9}: R@10 {:.4}", mean_of(&per_seed, 0)));
             quads.push((label.to_string(), per_seed, per_user));
         }
 
@@ -83,9 +85,10 @@ fn main() {
             spec.name, args.scale, args.seeds, best_baseline.0
         );
         let rendered = table::render(&title, &headers, &rows);
-        println!("{rendered}");
+        tel.info(&rendered);
         table::save("table2", &rendered);
     }
+    tel.finish();
 }
 
 fn mean_of(per_seed: &[[f64; 4]], idx: usize) -> f64 {

@@ -16,11 +16,13 @@ use logirec_core::{train, Variant};
 use logirec_eval::{mean_std, MeanStd};
 
 fn main() {
-    let args = RunArgs::from_env();
+    let mut args = RunArgs::from_env();
+    args.enable_bin_trace("table3");
+    let tel = args.telemetry.clone();
     let headers = ["Recall@10", "Recall@20", "NDCG@10", "NDCG@20"];
 
     for spec in args.specs() {
-        eprintln!("== dataset {} ==", spec.name);
+        tel.progress(format!("== dataset {} ==", spec.name));
         let mut rows = Vec::new();
         for variant in Variant::table3() {
             let mut per_seed = Vec::new();
@@ -34,13 +36,14 @@ fn main() {
             let agg: Vec<MeanStd> = (0..4)
                 .map(|i| mean_std(&per_seed.iter().map(|q| q[i]).collect::<Vec<_>>()))
                 .collect();
-            eprintln!("  {:>14}: R@10 {}", variant.label(), agg[0].format_percent());
+            tel.progress(format!("  {:>14}: R@10 {}", variant.label(), agg[0].format_percent()));
             rows.push(Row::from_metrics(variant.label(), &agg, false));
         }
         let title =
             format!("Table III ({}, scale = {:?}, seeds = {})", spec.name, args.scale, args.seeds);
         let rendered = table::render(&title, &headers, &rows);
-        println!("{rendered}");
+        tel.info(&rendered);
         table::save("table3", &rendered);
     }
+    tel.finish();
 }

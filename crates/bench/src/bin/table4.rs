@@ -23,10 +23,12 @@ fn main() {
     if args.datasets.len() == 4 {
         args.datasets = vec!["cd".into(), "clothing".into()];
     }
+    args.enable_bin_trace("table4");
+    let tel = args.telemetry.clone();
     let headers = ["Recall@10", "NDCG@10"];
 
     for spec in args.specs() {
-        eprintln!("== dataset {} ==", spec.name);
+        tel.progress(format!("== dataset {} ==", spec.name));
         let mut rows: Vec<Row> = Vec::new();
         let sweeps: Vec<(String, Mutator)> = sweep_list();
         for (label, mutator) in &sweeps {
@@ -42,15 +44,16 @@ fn main() {
             let agg: Vec<MeanStd> = (0..2)
                 .map(|i| mean_std(&per_seed.iter().map(|q| q[i]).collect::<Vec<_>>()))
                 .collect();
-            eprintln!("  {label:>10}: R@10 {}", agg[0].format_percent());
+            tel.progress(format!("  {label:>10}: R@10 {}", agg[0].format_percent()));
             rows.push(Row::from_metrics(label.clone(), &agg, false));
         }
         let title =
             format!("Table IV ({}, scale = {:?}, seeds = {})", spec.name, args.scale, args.seeds);
         let rendered = table::render(&title, &headers, &rows);
-        println!("{rendered}");
+        tel.info(&rendered);
         table::save("table4", &rendered);
     }
+    tel.finish();
 }
 
 type Mutator = Box<dyn Fn(&mut logirec_core::LogiRecConfig)>;

@@ -22,10 +22,12 @@ fn main() {
     if args.datasets.len() == 4 {
         args.datasets = vec!["cd".into(), "book".into()];
     }
+    args.enable_bin_trace("table5");
+    let tel = args.telemetry.clone();
     let mut out = String::new();
     for spec in args.specs() {
-        eprintln!("== dataset {} ==", spec.name);
-        let ds = spec.generate(100);
+        tel.progress(format!("== dataset {} ==", spec.name));
+        let ds = spec.generate_traced(100, &tel);
         let cfg = logirec_config(&args, spec.name, true, 1);
         let alpha_floor = cfg.alpha_floor;
         let (model, _) = train(cfg, &ds);
@@ -87,6 +89,7 @@ fn main() {
         }
         out.push('\n');
     }
-    println!("{out}");
+    tel.info(&out);
     table::save("table5", &out);
+    tel.finish();
 }

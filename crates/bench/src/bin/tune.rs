@@ -24,10 +24,12 @@ fn grid() -> Vec<Point> {
 }
 
 fn main() {
-    let args = RunArgs::from_env();
+    let mut args = RunArgs::from_env();
+    args.enable_bin_trace("tune");
+    let tel = args.telemetry.clone();
     for spec in args.specs() {
-        let ds = spec.generate(100);
-        println!("== {} ==", spec.name);
+        let ds = spec.generate_traced(100, &tel);
+        tel.info(format!("== {} ==", spec.name));
         for (mining, lr, margin, lambda, epochs, negatives, batch) in grid() {
             let mut cfg = logirec_config(&args, spec.name, mining, 1);
             cfg.lr = lr;
@@ -49,16 +51,17 @@ fn main() {
             let rf =
                 evaluate(&ranker, &ds, Split::Validation, &[10], args.threads).recall_at(10);
             let skip = filter.skip_fraction(&ds.item_tags);
-            println!(
+            tel.info(format!(
                 "  LogiRec(mining={mining}) lr={lr} m={margin} lam={lambda} ep={epochs} neg={negatives} bs={batch}: val R@10 {r:.4} filtered {rf:.4} (skip {:.1}%)",
                 100.0 * skip
-            );
+            ));
         }
         for method in [Method::Agcn, Method::LightGcn] {
             let cfg = method.tuned(&baseline_config(&args, 1));
             let m = train_method(method, &cfg, &ds);
             let r = evaluate(&m, &ds, Split::Validation, &[10], args.threads).recall_at(10);
-            println!("  {} lr={}: val R@10 {r:.4}", method.label(), cfg.lr);
+            tel.info(format!("  {} lr={}: val R@10 {r:.4}", method.label(), cfg.lr));
         }
     }
+    tel.finish();
 }

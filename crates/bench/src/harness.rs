@@ -4,6 +4,7 @@ use logirec_baselines::BaselineConfig;
 use logirec_core::LogiRecConfig;
 use logirec_data::{Dataset, DatasetSpec, Scale, Split};
 use logirec_eval::{evaluate, EvalResult, Ranker};
+use logirec_obs::Telemetry;
 
 /// Command-line arguments shared by every experiment binary.
 #[derive(Debug, Clone)]
@@ -18,6 +19,13 @@ pub struct RunArgs {
     pub datasets: Vec<String>,
     /// Evaluation threads (`--threads N`, default = available cores).
     pub threads: usize,
+    /// Whether [`RunArgs::enable_bin_trace`] may attach a JSONL sink
+    /// (`--no-trace` turns it off, default on).
+    pub trace: bool,
+    /// Telemetry handle threaded into every training config
+    /// ([`bin_telemetry`] wires it to `results/<bin>.trace.jsonl`;
+    /// `--no-trace` keeps it disabled).
+    pub telemetry: Telemetry,
 }
 
 impl Default for RunArgs {
@@ -28,6 +36,25 @@ impl Default for RunArgs {
             epochs: 0,
             datasets: vec!["ciao".into(), "cd".into(), "clothing".into(), "book".into()],
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            trace: true,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Builds the telemetry handle for an experiment binary: a JSONL sink at
+/// `results/<name>.trace.jsonl` next to the table/figure text output, so a
+/// regeneration run leaves a structured per-phase trace behind. Falls back
+/// to a disabled handle (and warns) when the file cannot be created, so a
+/// read-only checkout still runs the experiment.
+pub fn bin_telemetry(name: &str) -> Telemetry {
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{name}.trace.jsonl");
+    match Telemetry::builder().jsonl(&path).build() {
+        Ok(tel) => tel,
+        Err(e) => {
+            eprintln!("warning: cannot open {path} ({e}); running without trace");
+            Telemetry::disabled()
         }
     }
 }
@@ -58,8 +85,10 @@ impl RunArgs {
                 "--datasets" => {
                     out.datasets = value().split(',').map(|s| s.trim().to_string()).collect();
                 }
+                "--no-trace" => out.trace = false,
                 other => panic!(
-                    "unknown flag {other}; known: --scale --seeds --epochs --datasets --threads"
+                    "unknown flag {other}; known: --scale --seeds --epochs --datasets \
+                     --threads --no-trace"
                 ),
             }
         }
@@ -81,6 +110,15 @@ impl RunArgs {
             Scale::Tiny => 8,
             Scale::Small => 30,
             Scale::Paper => 15,
+        }
+    }
+
+    /// Attaches the standard per-binary JSONL sink (see [`bin_telemetry`])
+    /// unless the user passed `--no-trace`. Call once at the top of an
+    /// experiment binary, before cloning configs off these args.
+    pub fn enable_bin_trace(&mut self, name: &str) {
+        if self.trace {
+            self.telemetry = bin_telemetry(name);
         }
     }
 
@@ -126,6 +164,7 @@ pub fn logirec_config(args: &RunArgs, dataset: &str, mining: bool, seed: u64) ->
         // after per-method learning-rate tuning).
         eval_every: 5,
         patience: 0,
+        telemetry: args.telemetry.clone(),
         ..LogiRecConfig::default()
     };
     if args.scale == Scale::Tiny {
@@ -236,6 +275,15 @@ mod tests {
         assert_eq!(c.epochs, a.default_epochs() * 2);
         let b = baseline_config(&a, 1);
         assert_eq!(b.dim, 16);
+    }
+
+    #[test]
+    fn trace_defaults_on_but_telemetry_starts_disabled() {
+        let a = args(&[]);
+        assert!(a.trace);
+        assert!(!a.telemetry.is_enabled());
+        let b = args(&["--no-trace"]);
+        assert!(!b.trace);
     }
 
     #[test]

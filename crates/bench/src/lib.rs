@@ -11,4 +11,4 @@
 pub mod harness;
 pub mod table;
 
-pub use harness::{ExpMetrics, RunArgs};
+pub use harness::{bin_telemetry, ExpMetrics, RunArgs};

@@ -123,8 +123,9 @@ pub struct Checkpoint {
 }
 
 /// Serializes `ck` and writes it to `path` atomically and durably
-/// (`.tmp` sibling + fsync + rename + directory sync).
-pub fn save(ck: &Checkpoint, path: &Path) -> Result<(), CheckpointError> {
+/// (`.tmp` sibling + fsync + rename + directory sync). Returns the number
+/// of bytes written.
+pub fn save(ck: &Checkpoint, path: &Path) -> Result<u64, CheckpointError> {
     let payload = encode_payload(ck);
     let mut bytes = Vec::with_capacity(24 + payload.len());
     bytes.extend_from_slice(MAGIC);
@@ -133,7 +134,7 @@ pub fn save(ck: &Checkpoint, path: &Path) -> Result<(), CheckpointError> {
     bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
     bytes.extend_from_slice(&payload);
     crate::io::atomic_write(path, &bytes)?;
-    Ok(())
+    Ok(bytes.len() as u64)
 }
 
 /// Loads and fully validates a checkpoint written by [`save`].

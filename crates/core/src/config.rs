@@ -92,6 +92,11 @@ pub struct LogiRecConfig {
     /// divergence (0.0 disables the explosion check; non-finite losses and
     /// manifold violations are always checked).
     pub explosion_factor: f64,
+    /// Telemetry sink for spans, metrics, and structured events (see
+    /// `logirec_obs`). The default is [`logirec_obs::Telemetry::disabled`],
+    /// which makes every instrumentation point in the trainer, data path,
+    /// and evaluator a no-op branch.
+    pub telemetry: logirec_obs::Telemetry,
     /// Deterministic fault-injection plan used by robustness tests. Only
     /// present with the `fault-injection` feature; never set in production.
     #[cfg(feature = "fault-injection")]
@@ -128,6 +133,7 @@ impl Default for LogiRecConfig {
             resume_from: None,
             max_recoveries: 4,
             explosion_factor: 100.0,
+            telemetry: logirec_obs::Telemetry::disabled(),
             #[cfg(feature = "fault-injection")]
             faults: None,
         }

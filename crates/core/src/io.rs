@@ -74,13 +74,13 @@ pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     result
 }
 
-/// Saves a trained model's parameters and core hyperparameters. The write
-/// is atomic (`.tmp` + fsync + rename): a crash never leaves a half-written
-/// model behind.
+/// Saves a trained model's parameters and core hyperparameters, returning
+/// the number of bytes written. The write is atomic (`.tmp` + fsync +
+/// rename): a crash never leaves a half-written model behind.
 ///
 /// The forward state is not saved; call [`LogiRec::propagate`] against the
 /// training graph after loading to score users.
-pub fn save_model(model: &LogiRec, path: &Path) -> io::Result<()> {
+pub fn save_model(model: &LogiRec, path: &Path) -> io::Result<u64> {
     let mut w = Vec::new();
     w.write_all(MAGIC)?;
     let geom: u8 = match model.cfg.geometry {
@@ -103,7 +103,8 @@ pub fn save_model(model: &LogiRec, path: &Path) -> io::Result<()> {
             w.write_all(&x.to_le_bytes())?;
         }
     }
-    atomic_write(path, &w)
+    atomic_write(path, &w)?;
+    Ok(w.len() as u64)
 }
 
 /// Loads a model saved by [`save_model`]. The returned model carries the

@@ -142,6 +142,7 @@ impl LogiRec {
     /// Runs the forward pass against the training graph and caches the
     /// result (required before [`Self::state`], scoring, or backward).
     pub fn propagate(&mut self, adj: &InteractionSet) {
+        let fwd_timer = self.cfg.telemetry.timer();
         let dim = self.cfg.dim;
         let (item_carrier, z_u0, z_v0) = match self.cfg.geometry {
             Geometry::Hyperbolic => {
@@ -196,6 +197,7 @@ impl LogiRec {
             user_final,
             item_final,
         });
+        self.cfg.telemetry.observe_us("gcn.propagate_us", fwd_timer);
     }
 
     /// The cached forward state; panics if [`Self::propagate`] has not run.

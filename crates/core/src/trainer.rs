@@ -27,9 +27,10 @@
 //!   [`TrainReport::recoveries`].
 
 use logirec_data::{BatchIter, Dataset, NegativeSampler, Split};
-use logirec_eval::evaluate;
+use logirec_eval::evaluate_traced;
 use logirec_hyperbolic::{lorentz, poincare, rsgd};
 use logirec_linalg::{ops, Embedding, SplitMix64};
+use logirec_obs::{Telemetry, Value};
 use logirec_taxonomy::TagId;
 
 use crate::checkpoint::{self, BestSnapshot, Checkpoint};
@@ -171,6 +172,12 @@ impl GoodSnapshot {
 /// assert!(report.recoveries.is_empty());
 /// ```
 pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
+    let tel = cfg.telemetry.clone();
+    let mut train_span = tel.span("train");
+    let c_steps = tel.counter("trainer.steps");
+    let c_skipped = tel.counter("trainer.skipped_steps");
+    let c_ckpt_fail = tel.counter("checkpoint.write_failures");
+
     let mut model = LogiRec::new(cfg.clone(), dataset);
     let mut state = TrainerState::fresh(&cfg);
     let mut recoveries: Vec<Recovery> = Vec::new();
@@ -185,11 +192,13 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
                 // recovery. Make sure no half-applied state leaks through.
                 model = LogiRec::new(cfg.clone(), dataset);
                 state = TrainerState::fresh(&cfg);
-                recoveries.push(Recovery {
+                let rec = Recovery {
                     epoch: 0,
                     reason: format!("resume from {} failed: {msg}", path.display()),
                     action: RecoveryAction::RestartedFresh,
-                });
+                };
+                record_recovery(&tel, &rec);
+                recoveries.push(rec);
             }
         }
     }
@@ -214,9 +223,14 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
     {
         let epoch = state.epoch;
         let lr = cfg.lr * cfg.lr_decay.powi(epoch as i32) * state.lr_scale;
+        let mut ep_span = tel.span("epoch");
+        ep_span.field("epoch", epoch as u64);
+        tel.gauge("trainer.lr").set(lr);
         // Refresh LogiRec++ weights from the current geometry.
         if let Some(con) = &con {
             if state.alpha.is_none() || epoch.is_multiple_of(cfg.mining_refresh.max(1)) {
+                let mut mine_span = tel.span("mining");
+                mine_span.field("users", n_users as u64);
                 model.propagate(&dataset.train);
                 let gr = granularity_weights(&model, n_users);
                 state.alpha = Some(combine_weights(con, &gr, cfg.alpha_floor));
@@ -225,14 +239,19 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
 
         let mut sampler =
             NegativeSampler::new(&dataset.train, state.rng.fork(1_000 + epoch as u64));
+        sampler.instrument(&tel);
         let mut batch_rng = state.rng.fork(2_000 + epoch as u64);
         let mut logic_rng = state.rng.fork(3_000 + epoch as u64);
 
         let (mut rank_sum, mut logic_sum, mut steps) = (0.0, 0.0, 0usize);
         let mut skipped_steps = 0usize;
         for batch in BatchIter::new(&dataset.train, cfg.batch_size, &mut batch_rng) {
+            let mut batch_span = tel.span("batch");
+            batch_span.field("pairs", batch.len() as u64);
             model.propagate(&dataset.train);
 
+            let mut rank_span = tel.span("loss");
+            rank_span.field("term", "rank");
             // Ranking triplets with sampled negatives.
             let mut triplets = Vec::with_capacity(batch.len() * cfg.negatives);
             for &(u, vp) in &batch {
@@ -249,7 +268,10 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
                 rank_loss_grad(&model, &triplets, cfg.margin, state.alpha.as_deref(), per_triplet);
             let (mut g_users, mut g_items) =
                 model.backward_rank(&rg.user_final, &rg.item_final, &dataset.train);
+            rank_span.close();
 
+            let mut logic_span = tel.span("loss");
+            logic_span.field("term", "logic");
             // Logical relation batches. Per-relation weights make the
             // stochastic objective an unbiased estimate of the batch's
             // share of Eq. 10/15: the rank part covers batch_len of
@@ -283,6 +305,7 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
                     intersection_loss_grad(&model, &s, w, &mut lg);
                 }
             }
+            logic_span.close();
             ops::axpy(1.0, lg.items.as_slice(), g_items.as_mut_slice());
 
             inject_gradient_faults(&cfg, epoch, steps, &mut g_users, &mut g_items);
@@ -293,8 +316,10 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             // the whole update consistent and lets us report it.
             if g_users.all_finite() && g_items.all_finite() && lg.tags.all_finite() {
                 apply_updates(&mut model, &g_users, &g_items, &lg.tags, lr);
+                c_steps.incr();
             } else {
                 skipped_steps += 1;
+                c_skipped.incr();
             }
             rank_sum += rg.loss;
             logic_sum += lg.loss;
@@ -310,6 +335,9 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             logic_loss: logic_sum / denom,
             val_recall10: None,
         };
+        ep_span.field("steps", steps as u64);
+        ep_span.field("rank_loss", stats.rank_loss);
+        ep_span.field("logic_loss", stats.logic_loss);
 
         // Divergence check — before validation, so a corrupted model never
         // reaches the evaluator or the best-snapshot logic.
@@ -319,9 +347,20 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             .map(|h| h.rank_loss)
             .filter(|l| l.is_finite())
             .fold(None, |acc: Option<f64>, l| Some(acc.map_or(l, |a| a.min(l))));
-        if let Some(reason) = check_health(&model, &stats, baseline, cfg.explosion_factor) {
+        let health = check_health(&model, &stats, baseline, cfg.explosion_factor);
+        if tel.is_enabled() {
+            let mut fields = vec![
+                ("epoch", Value::U64(epoch as u64)),
+                ("ok", Value::Bool(health.is_none())),
+            ];
+            if let Some(reason) = &health {
+                fields.push(("reason", Value::Str(reason.clone())));
+            }
+            tel.event("health", "epoch", fields);
+        }
+        if let Some(reason) = health {
             if rollbacks >= cfg.max_recoveries {
-                recoveries.push(Recovery {
+                let rec = Recovery {
                     epoch,
                     reason: format!(
                         "{reason}; recovery budget ({}) exhausted, stopping at the last \
@@ -329,37 +368,59 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
                         cfg.max_recoveries
                     ),
                     action: RecoveryAction::Aborted,
-                });
+                };
+                record_recovery(&tel, &rec);
+                recoveries.push(rec);
                 last_good.restore(&mut state, &mut model);
                 break;
             }
             let new_scale = state.lr_scale * 0.5;
-            last_good.restore(&mut state, &mut model);
+            {
+                let mut roll_span = tel.span("recovery");
+                roll_span.field("epoch", epoch as u64);
+                roll_span.field("lr_scale", new_scale);
+                last_good.restore(&mut state, &mut model);
+            }
             // The backoff survives the rollback (the snapshot carries the
             // pre-divergence scale) and compounds across repeated failures.
             state.lr_scale = new_scale;
+            tel.gauge("trainer.lr_scale").set(new_scale);
             rollbacks += 1;
-            recoveries.push(Recovery {
+            let rec = Recovery {
                 epoch,
                 reason,
                 action: RecoveryAction::RolledBack { lr_scale: new_scale },
-            });
+            };
+            record_recovery(&tel, &rec);
+            recoveries.push(rec);
             continue;
         }
         if skipped_steps > 0 {
-            recoveries.push(Recovery {
+            let rec = Recovery {
                 epoch,
                 reason: format!("non-finite gradients in {skipped_steps} of {steps} steps"),
                 action: RecoveryAction::SkippedSteps { steps: skipped_steps },
-            });
+            };
+            record_recovery(&tel, &rec);
+            recoveries.push(rec);
         }
 
         // Validation tracking / early stopping (model is known healthy).
         if cfg.eval_every > 0 && (epoch + 1).is_multiple_of(cfg.eval_every) {
+            let mut eval_span = tel.span("eval");
+            eval_span.field("split", "validation");
             model.propagate(&dataset.train);
-            let res =
-                evaluate(&model, dataset, Split::Validation, &[10], cfg.eval_threads);
+            let res = evaluate_traced(
+                &model,
+                dataset,
+                Split::Validation,
+                &[10],
+                cfg.eval_threads,
+                &tel,
+            );
             let r10 = res.recall_at(10);
+            eval_span.field("recall10", r10);
+            eval_span.close();
             stats.val_recall10 = Some(r10);
             let improved = state.best.as_ref().is_none_or(|(b, _, _, _)| r10 > *b);
             if improved {
@@ -376,14 +437,26 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
 
         if cfg.checkpoint_every > 0 && state.epoch.is_multiple_of(cfg.checkpoint_every) {
             if let Some(path) = &cfg.checkpoint_path {
+                let mut ck_span = tel.span("checkpoint");
+                ck_span.field("op", "epoch");
+                ck_span.field("epoch", state.epoch as u64);
                 let ck = make_checkpoint(&cfg, &state, &model, &recoveries);
-                if let Err(e) = checkpoint::save(&ck, path) {
-                    // Checkpointing is belt-and-braces; a failed write must
-                    // not kill an otherwise healthy run.
-                    eprintln!("warning: checkpoint write to {} failed: {e}", path.display());
+                match checkpoint::save(&ck, path) {
+                    Ok(bytes) => ck_span.field("bytes", bytes),
+                    Err(e) => {
+                        // Checkpointing is belt-and-braces; a failed write
+                        // must not kill an otherwise healthy run.
+                        ck_span.field("failed", true);
+                        c_ckpt_fail.incr();
+                        tel.warn(
+                            "checkpoint.write_failed",
+                            format!("checkpoint write to {} failed: {e}", path.display()),
+                        );
+                    }
                 }
             }
         }
+        ep_span.close();
     }
 
     // Restore the best validation snapshot, if any.
@@ -395,6 +468,9 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
     }
     model.propagate(&dataset.train);
     debug_assert!(model.all_finite());
+    train_span.field("epochs_run", state.epoch as u64);
+    train_span.field("recoveries", recoveries.len() as u64);
+    train_span.close();
     (
         model,
         TrainReport {
@@ -404,6 +480,35 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             recoveries,
         },
     )
+}
+
+/// Emits the structured telemetry for one [`Recovery`]: a `recovery` event
+/// carrying the action details (LR backoff scale for rollbacks, skipped
+/// step count, the failed invariant in `reason`) and a bump of the
+/// `trainer.recoveries` counter.
+fn record_recovery(tel: &Telemetry, r: &Recovery) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.counter("trainer.recoveries").incr();
+    let mut fields: Vec<(&'static str, Value)> = vec![
+        ("epoch", Value::U64(r.epoch as u64)),
+        ("reason", Value::Str(r.reason.clone())),
+    ];
+    let action = match &r.action {
+        RecoveryAction::SkippedSteps { steps } => {
+            fields.push(("steps", Value::U64(*steps as u64)));
+            "skipped_steps"
+        }
+        RecoveryAction::RolledBack { lr_scale } => {
+            fields.push(("lr_scale", Value::F64(*lr_scale)));
+            "rolled_back"
+        }
+        RecoveryAction::RestartedFresh => "restarted_fresh",
+        RecoveryAction::Aborted => "aborted",
+    };
+    fields.push(("action", Value::Str(action.to_string())));
+    tel.event("recovery", action, fields);
 }
 
 /// Validates the post-epoch state; returns a reason string when the epoch
@@ -652,6 +757,7 @@ fn sample_slice<T: Copy>(all: &[T], n: usize, rng: &mut SplitMix64) -> Vec<T> {
 mod tests {
     use super::*;
     use logirec_data::{DatasetSpec, Scale};
+    use logirec_eval::evaluate;
 
     fn quick_cfg() -> LogiRecConfig {
         LogiRecConfig {

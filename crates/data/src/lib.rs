@@ -25,6 +25,8 @@ pub mod sampling;
 pub mod synth;
 
 pub use interactions::{Dataset, InteractionSet, Split};
-pub use loader::{load_dataset, save_dataset, LoadError};
+pub use loader::{
+    load_dataset, load_dataset_traced, save_dataset, save_dataset_traced, LoadError,
+};
 pub use sampling::{BatchIter, NegativeSampler};
 pub use synth::{DatasetSpec, Scale};

@@ -207,7 +207,8 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     result
 }
 
-/// Saves a dataset into `dir` in the format [`load_dataset`] reads. Each
+/// Saves a dataset into `dir` in the format [`load_dataset`] reads,
+/// returning the total number of bytes written across the three TSVs. Each
 /// file is written atomically (`.tmp` + fsync + rename).
 ///
 /// The temporal split cannot be reconstructed exactly without timestamps,
@@ -215,7 +216,7 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// split: train events first (time 0..), then validation, then test —
 /// re-splitting 60/20/20 recovers the same per-user partition whenever the
 /// original split was produced by [`temporal_split`].
-pub fn save_dataset(dataset: &Dataset, dir: &Path) -> io::Result<()> {
+pub fn save_dataset(dataset: &Dataset, dir: &Path) -> io::Result<u64> {
     fs::create_dir_all(dir)?;
 
     let mut tax = String::new();
@@ -243,7 +244,44 @@ pub fn save_dataset(dataset: &Dataset, dir: &Path) -> io::Result<()> {
             }
         }
     }
-    atomic_write(&dir.join("interactions.tsv"), &inter)
+    atomic_write(&dir.join("interactions.tsv"), &inter)?;
+    Ok((tax.len() + items.len() + inter.len()) as u64)
+}
+
+/// [`load_dataset`] wrapped in a `dataset` span recording the byte volume
+/// read and the loaded shape.
+pub fn load_dataset_traced(
+    dir: &Path,
+    name: &str,
+    rule: ExclusionRule,
+    tel: &logirec_obs::Telemetry,
+) -> Result<Dataset, LoadError> {
+    let mut span = tel.span("dataset");
+    span.field("op", "load");
+    let bytes: u64 = ["taxonomy.tsv", "item_tags.tsv", "interactions.tsv"]
+        .iter()
+        .filter_map(|f| fs::metadata(dir.join(f)).ok())
+        .map(|m| m.len())
+        .sum();
+    let ds = load_dataset(dir, name, rule)?;
+    span.field("bytes", bytes);
+    span.field("users", ds.n_users() as u64);
+    span.field("items", ds.n_items() as u64);
+    Ok(ds)
+}
+
+/// [`save_dataset`] wrapped in a `dataset` span recording wall-clock
+/// duration and bytes written.
+pub fn save_dataset_traced(
+    dataset: &Dataset,
+    dir: &Path,
+    tel: &logirec_obs::Telemetry,
+) -> io::Result<u64> {
+    let mut span = tel.span("dataset");
+    span.field("op", "save");
+    let bytes = save_dataset(dataset, dir)?;
+    span.field("bytes", bytes);
+    Ok(bytes)
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! `v⁻` the user has not interacted with.
 
 use logirec_linalg::SplitMix64;
+use logirec_obs::{Counter, Telemetry};
 
 use crate::interactions::InteractionSet;
 
@@ -13,12 +14,22 @@ use crate::interactions::InteractionSet;
 pub struct NegativeSampler<'a> {
     train: &'a InteractionSet,
     rng: SplitMix64,
+    draws: Counter,
+    rejections: Counter,
 }
 
 impl<'a> NegativeSampler<'a> {
     /// Creates a sampler over the training set.
     pub fn new(train: &'a InteractionSet, rng: SplitMix64) -> Self {
-        Self { train, rng }
+        Self { train, rng, draws: Counter::default(), rejections: Counter::default() }
+    }
+
+    /// Attaches the `sampler.draws` / `sampler.rejections` counters so the
+    /// rejection-loop behavior shows up in telemetry. The counters are
+    /// relaxed atomics — recording stays contention-free.
+    pub fn instrument(&mut self, tel: &Telemetry) {
+        self.draws = tel.counter("sampler.draws");
+        self.rejections = tel.counter("sampler.rejections");
     }
 
     /// Samples one item `v` with `(u, v)` not in the training set.
@@ -28,12 +39,14 @@ impl<'a> NegativeSampler<'a> {
     /// pathological users (who interacted with almost everything) from
     /// looping forever; in that case the last draw is returned.
     pub fn sample(&mut self, u: usize) -> usize {
+        self.draws.incr();
         let n_items = self.train.n_items();
         let mut v = self.rng.index(n_items);
         for _ in 0..64 {
             if !self.train.contains(u, v) {
                 return v;
             }
+            self.rejections.incr();
             v = self.rng.index(n_items);
         }
         v

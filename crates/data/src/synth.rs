@@ -8,6 +8,7 @@
 //! touch few tag types; unfocused users touch many — the Fig. 5(a) marginal.
 
 use logirec_linalg::SplitMix64;
+use logirec_obs::Telemetry;
 use logirec_taxonomy::{ExclusionRule, LogicalRelations, TagId, Taxonomy, TaxonomyConfig};
 
 use crate::interactions::{temporal_split, Dataset};
@@ -217,9 +218,26 @@ impl DatasetSpec {
     /// assert!(ds.relations.counts().0 > 0); // membership pairs exist
     /// ```
     pub fn generate(&self, seed: u64) -> Dataset {
+        self.generate_traced(seed, &Telemetry::disabled())
+    }
+
+    /// [`Self::generate`] with per-stage telemetry: the whole generation is
+    /// a `synth` span, each numbered stage a nested `synth.stage` span with
+    /// a `stage` field.
+    pub fn generate_traced(&self, seed: u64, tel: &Telemetry) -> Dataset {
+        let mut synth_span = tel.span("synth");
+        synth_span.field("dataset", self.name);
+        synth_span.field("users", self.users as u64);
+        synth_span.field("items", self.items as u64);
+        let stage = |name: &'static str| {
+            let mut sp = tel.span("synth.stage");
+            sp.field("stage", name);
+            sp
+        };
         let mut rng = SplitMix64::new(seed ^ hash_name(self.name));
 
         // 1. Taxonomy.
+        let sp = stage("taxonomy");
         let taxonomy = TaxonomyConfig {
             tags: self.tags,
             levels: self.levels,
@@ -227,28 +245,39 @@ impl DatasetSpec {
             parent_skew: 0.8,
         }
         .generate(&mut rng.fork(1));
+        sp.close();
 
         // 2. Item tags. User behavior is driven by the *true* tags; the
         // recorded (observed) tags that models see are a degraded copy —
         // real taxonomies are "inaccurate and coarse" (paper, Section V).
+        let sp = stage("item_tags");
         let true_tags = self.assign_item_tags(&taxonomy, &mut rng.fork(2));
         let item_tags = self.degrade_tags(&taxonomy, &true_tags, &mut rng.fork(5));
+        sp.close();
 
         // 3. Per-tag subtree item lists with Zipf popularity. Popularity
         // ranks are a random permutation of item ids so that nothing in the
         // pipeline can exploit id ordering as a popularity signal.
+        let sp = stage("catalog");
         let mut ranks: Vec<usize> = (0..self.items).collect();
         rng.fork(4).shuffle(&mut ranks);
         let pop: Vec<f64> =
             ranks.iter().map(|&r| 1.0 / ((r + 1) as f64).powf(self.zipf)).collect();
         let catalog = SubtreeCatalog::build(&taxonomy, &true_tags, &pop);
+        sp.close();
 
         // 4. User interaction events.
+        let sp = stage("events");
         let events = self.generate_events(&taxonomy, &catalog, &mut rng.fork(3));
+        sp.close();
 
         // 5. Split and extract relations.
+        let sp = stage("split_relations");
         let (train, validation, test) = temporal_split(self.users, self.items, &events);
         let relations = LogicalRelations::extract(&taxonomy, &item_tags, self.exclusion_rule);
+        sp.close();
+
+        synth_span.field("events", events.len() as u64);
         Dataset {
             name: self.name.to_string(),
             train,

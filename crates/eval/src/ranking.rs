@@ -7,8 +7,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use logirec_data::{Dataset, Split};
+use logirec_obs::Telemetry;
 
 use crate::metrics::{ndcg_at_k, recall_at_k};
 
@@ -66,7 +68,26 @@ pub fn evaluate(
     ks: &[usize],
     n_threads: usize,
 ) -> EvalResult {
+    evaluate_traced(ranker, dataset, split, ks, n_threads, &Telemetry::disabled())
+}
+
+/// [`evaluate`] with per-phase timing telemetry. Each worker thread records
+/// into the `eval.score_user_us` (model scoring) and `eval.rank_metric_us`
+/// (masking + top-K + Recall/NDCG) histograms — lock-free relaxed atomics,
+/// so the scoped threads never contend — and `eval.users` counts the users
+/// evaluated.
+pub fn evaluate_traced(
+    ranker: &dyn Ranker,
+    dataset: &Dataset,
+    split: Split,
+    ks: &[usize],
+    n_threads: usize,
+    tel: &Telemetry,
+) -> EvalResult {
     assert!(!ks.is_empty(), "at least one cutoff required");
+    let h_score = tel.histogram("eval.score_user_us");
+    let h_metric = tel.histogram("eval.rank_metric_us");
+    let c_users = tel.counter("eval.users");
     let max_k = *ks.iter().max().expect("nonempty");
     let target = dataset.split(split);
     let users: Vec<usize> =
@@ -89,11 +110,19 @@ pub fn evaluate(
             .map(|(ci, chunk_users)| {
                 let per_user_rows = &per_user_rows;
                 let offset = ci * chunk;
+                let (h_score, h_metric, c_users) =
+                    (h_score.clone(), h_metric.clone(), c_users.clone());
                 scope.spawn(move || {
+                let timed = h_score.is_enabled();
                 let mut scores = vec![0.0f64; n_items];
                 let mut local = vec![0.0f64; chunk_users.len() * row_width];
                 for (slot, &u) in chunk_users.iter().enumerate() {
+                    let t0 = timed.then(Instant::now);
                     ranker.score_user(u, &mut scores);
+                    let t1 = timed.then(Instant::now);
+                    if let (Some(t0), Some(t1)) = (t0, t1) {
+                        h_score.record(t1.duration_since(t0).as_micros() as u64);
+                    }
                     // Mask known positives from earlier splits.
                     for &v in dataset.train.items_of(u) {
                         scores[v] = f64::NEG_INFINITY;
@@ -113,6 +142,10 @@ pub fn evaluate(
                     }
                     row[2 * ks.len()] = recall_at_k(&top, truth);
                     row[2 * ks.len() + 1] = ndcg_at_k(&top, truth);
+                    if let Some(t1) = t1 {
+                        h_metric.record(t1.elapsed().as_micros() as u64);
+                    }
+                    c_users.incr();
                 }
                     let mut rows = per_user_rows.lock().expect("rows poisoned");
                     let start = offset * row_width;

@@ -1,0 +1,121 @@
+//! The human-readable summary sink: an aligned text report of span timing
+//! aggregates, counters, gauges, and histogram percentiles.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Wall-clock aggregate for one span kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanAgg {
+    /// Closed spans of this kind.
+    pub count: u64,
+    /// Total time across all spans, µs.
+    pub total_us: u64,
+    /// Longest single span, µs.
+    pub max_us: u64,
+}
+
+/// Formats microseconds with an adaptive unit.
+pub fn fmt_us(us: u64) -> String {
+    let us_f = us as f64;
+    if us_f >= 1e6 {
+        format!("{:.2}s", us_f / 1e6)
+    } else if us_f >= 1e3 {
+        format!("{:.2}ms", us_f / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// Renders the summary table. `spans` is (kind, aggregate) in first-seen
+/// order; metric order follows registration order.
+pub fn render(spans: &[(&'static str, SpanAgg)], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("== telemetry summary ==\n");
+
+    if !spans.is_empty() {
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>10} {:>10} {:>10}\n",
+            "span", "count", "total", "mean", "max"
+        ));
+        for (kind, agg) in spans {
+            let mean = agg.total_us.checked_div(agg.count).unwrap_or(0);
+            out.push_str(&format!(
+                "  {:<22} {:>8} {:>10} {:>10} {:>10}\n",
+                kind,
+                agg.count,
+                fmt_us(agg.total_us),
+                fmt_us(mean),
+                fmt_us(agg.max_us)
+            ));
+        }
+    }
+
+    if !metrics.counters.is_empty() {
+        out.push_str("counters\n");
+        for (name, v) in &metrics.counters {
+            out.push_str(&format!("  {name:<30} {v:>12}\n"));
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        out.push_str("gauges\n");
+        for (name, v) in &metrics.gauges {
+            out.push_str(&format!("  {name:<30} {v:>12.6}\n"));
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "histogram", "count", "mean", "p50", "p99", "max"
+        ));
+        for (name, h) in &metrics.histograms {
+            out.push_str(&format!(
+                "  {:<22} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                name,
+                h.count,
+                fmt_us(h.mean() as u64),
+                fmt_us(h.quantile(0.5)),
+                fmt_us(h.quantile(0.99)),
+                fmt_us(h.max)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    #[test]
+    fn fmt_us_picks_units() {
+        assert_eq!(fmt_us(12), "12µs");
+        assert_eq!(fmt_us(1_500), "1.50ms");
+        assert_eq!(fmt_us(2_500_000), "2.50s");
+    }
+
+    #[test]
+    fn render_includes_all_sections() {
+        let spans = vec![("epoch", SpanAgg { count: 3, total_us: 3_000, max_us: 1_500 })];
+        let metrics = MetricsSnapshot {
+            counters: vec![("trainer.steps", 42)],
+            gauges: vec![("trainer.lr_scale", 0.5)],
+            histograms: vec![(
+                "batch_us",
+                HistogramSnapshot { count: 2, sum: 6, max: 4, buckets: vec![0; 65] },
+            )],
+        };
+        let s = render(&spans, &metrics);
+        assert!(s.contains("epoch"));
+        assert!(s.contains("trainer.steps"));
+        assert!(s.contains("trainer.lr_scale"));
+        assert!(s.contains("batch_us"));
+        assert!(s.contains("1.00ms"), "{s}"); // epoch mean
+    }
+
+    #[test]
+    fn render_handles_empty_input() {
+        let s = render(&[], &MetricsSnapshot::default());
+        assert!(s.contains("telemetry summary"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Structural validation of emitted JSONL traces.
+//!
+//! Shared by the `trace_check` CLI binary and the integration tests: every
+//! line must parse as a flat event object, and the span events must form a
+//! well-nested forest (unique ids, parents opened before children, child
+//! intervals contained in their parent's interval).
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Json};
+
+/// Aggregate facts about a validated trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Total non-empty lines (== total events).
+    pub lines: usize,
+    /// Events with `kind == "span"`.
+    pub spans: usize,
+    /// Span count per span name (`epoch`, `batch`, …).
+    pub span_kinds: BTreeMap<String, usize>,
+    /// Event count per kind (`span`, `counter`, `recovery`, …).
+    pub event_kinds: BTreeMap<String, usize>,
+}
+
+impl TraceStats {
+    /// Number of spans with the given name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.span_kinds.get(name).copied().unwrap_or(0)
+    }
+}
+
+struct SpanRec {
+    start_us: u64,
+    end_us: u64,
+    parent: Option<u64>,
+}
+
+/// Validates a whole trace (one JSON object per line). Returns statistics
+/// on success; the first structural violation aborts with a message naming
+/// the offending line.
+pub fn validate_trace(content: &str) -> Result<TraceStats, String> {
+    let mut stats = TraceStats::default();
+    let mut spans: BTreeMap<u64, SpanRec> = BTreeMap::new();
+    for (ln, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = json::parse(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        let kind = ev
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing string \"kind\"", ln + 1))?
+            .to_string();
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing string \"name\"", ln + 1))?
+            .to_string();
+        let t_us = ev
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: missing integer \"t_us\"", ln + 1))?;
+        stats.lines += 1;
+        *stats.event_kinds.entry(kind.clone()).or_insert(0) += 1;
+
+        if kind == "span" {
+            let id = ev
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {}: span without integer \"id\"", ln + 1))?;
+            let dur = ev
+                .get("dur_us")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {}: span without \"dur_us\"", ln + 1))?;
+            let start = ev
+                .get("start_us")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {}: span without \"start_us\"", ln + 1))?;
+            let parent = match ev.get("parent") {
+                None | Some(Json::Null) => None,
+                Some(p) => Some(p.as_u64().ok_or_else(|| {
+                    format!("line {}: span \"parent\" is not an integer", ln + 1)
+                })?),
+            };
+            if start + dur > t_us + 1 {
+                return Err(format!(
+                    "line {}: span {id} closes at {t_us}µs before start {start}µs + dur {dur}µs",
+                    ln + 1
+                ));
+            }
+            if let Some(p) = parent {
+                if p >= id {
+                    return Err(format!(
+                        "line {}: span {id} has parent {p} opened after it (ids are \
+                         allocated at open, so parent < child must hold)",
+                        ln + 1
+                    ));
+                }
+            }
+            if spans.insert(id, SpanRec { start_us: start, end_us: t_us, parent }).is_some() {
+                return Err(format!("line {}: duplicate span id {id}", ln + 1));
+            }
+            stats.spans += 1;
+            *stats.span_kinds.entry(name).or_insert(0) += 1;
+        }
+    }
+
+    // Containment: spans close child-first, so every parent must exist in
+    // the completed map and the child interval must sit inside it.
+    for (&id, rec) in &spans {
+        if let Some(p) = rec.parent {
+            let parent = spans
+                .get(&p)
+                .ok_or_else(|| format!("span {id} references missing parent {p}"))?;
+            if rec.start_us < parent.start_us || rec.end_us > parent.end_us {
+                return Err(format!(
+                    "span {id} [{}, {}]µs escapes parent {p} [{}, {}]µs",
+                    rec.start_us, rec.end_us, parent.start_us, parent.end_us
+                ));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_nested_spans() {
+        let trace = "\
+{\"t_us\":5,\"kind\":\"span\",\"name\":\"batch\",\"id\":2,\"parent\":1,\"start_us\":2,\"dur_us\":3}
+{\"t_us\":9,\"kind\":\"span\",\"name\":\"epoch\",\"id\":1,\"parent\":null,\"start_us\":1,\"dur_us\":8}
+{\"t_us\":10,\"kind\":\"counter\",\"name\":\"steps\",\"value\":4}
+";
+        let stats = validate_trace(trace).expect("valid");
+        assert_eq!(stats.lines, 3);
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.span_count("epoch"), 1);
+        assert_eq!(stats.span_count("batch"), 1);
+        assert_eq!(stats.event_kinds["counter"], 1);
+    }
+
+    #[test]
+    fn rejects_child_escaping_parent() {
+        let trace = "\
+{\"t_us\":9,\"kind\":\"span\",\"name\":\"batch\",\"id\":2,\"parent\":1,\"start_us\":2,\"dur_us\":7}
+{\"t_us\":8,\"kind\":\"span\",\"name\":\"epoch\",\"id\":1,\"start_us\":1,\"dur_us\":7}
+";
+        let err = validate_trace(trace).expect_err("must reject");
+        assert!(err.contains("escapes parent"), "{err}");
+    }
+
+    #[test]
+    fn rejects_parse_failures_and_missing_fields() {
+        assert!(validate_trace("not json\n").is_err());
+        assert!(validate_trace("{\"kind\":\"span\",\"name\":\"x\"}\n").is_err());
+        let no_id = "{\"t_us\":1,\"kind\":\"span\",\"name\":\"x\",\"start_us\":0,\"dur_us\":1}\n";
+        assert!(validate_trace(no_id).unwrap_err().contains("id"));
+    }
+
+    #[test]
+    fn rejects_missing_parent_and_duplicate_ids() {
+        let orphan =
+            "{\"t_us\":5,\"kind\":\"span\",\"name\":\"b\",\"id\":2,\"parent\":1,\"start_us\":2,\"dur_us\":3}\n";
+        assert!(validate_trace(orphan).unwrap_err().contains("missing parent"));
+        let dup = "\
+{\"t_us\":5,\"kind\":\"span\",\"name\":\"b\",\"id\":1,\"start_us\":2,\"dur_us\":3}
+{\"t_us\":6,\"kind\":\"span\",\"name\":\"b\",\"id\":1,\"start_us\":2,\"dur_us\":3}
+";
+        assert!(validate_trace(dup).unwrap_err().contains("duplicate span id"));
+    }
+}

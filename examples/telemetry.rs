@@ -1,0 +1,59 @@
+//! Telemetry: trace a training run to JSONL, inspect the span/metric
+//! summary, and validate the trace — the library-side equivalent of
+//! `logirec train --trace-json out.jsonl --metrics-summary`.
+//!
+//! ```text
+//! cargo run --release --example telemetry
+//! ```
+
+use logirec_suite::core::{train, LogiRecConfig};
+use logirec_suite::data::{DatasetSpec, Scale};
+use logirec_suite::obs::{validate_trace_file, Telemetry};
+
+fn main() {
+    let trace = std::env::temp_dir().join("logirec-example-trace.jsonl");
+
+    // 1. One telemetry handle, streamed to a JSONL file. The same handle
+    //    is cloned into the config; `Telemetry::disabled()` (the default)
+    //    would make every instrumentation call a no-op instead.
+    let tel = Telemetry::builder().jsonl(&trace).build().expect("trace file");
+    let dataset = DatasetSpec::ciao(Scale::Tiny).generate(42);
+    let cfg = LogiRecConfig {
+        dim: 16,
+        epochs: 6,
+        eval_every: 2,
+        patience: 0,
+        telemetry: tel.clone(),
+        ..LogiRecConfig::default()
+    };
+    let (_, report) = train(cfg, &dataset);
+    tel.finish(); // flush metric events + the file buffer
+
+    // 2. The in-memory side: per-span-kind timing aggregates and every
+    //    counter/gauge/histogram, rendered as the --metrics-summary table.
+    print!("{}", tel.summary());
+
+    // 3. The on-disk side: a well-formed trace whose span tree mirrors
+    //    the run (same checks as the `trace_check` binary).
+    let stats = validate_trace_file(&trace).expect("trace validates");
+    println!(
+        "trace {}: {} events, {} spans; {} epoch spans for {} epochs run",
+        trace.display(),
+        stats.lines,
+        stats.spans,
+        stats.span_count("epoch"),
+        report.epochs_run
+    );
+
+    // 4. Ad-hoc instrumentation uses the same handle.
+    let mut span = tel.span("analysis");
+    span.field("users", dataset.n_users() as u64);
+    let slow_users = (0..dataset.n_users())
+        .filter(|&u| dataset.train.items_of(u).len() > 20)
+        .count();
+    span.close();
+    tel.counter("example.heavy_users").incr();
+    println!("{slow_users} users with >20 training interactions");
+
+    let _ = std::fs::remove_file(&trace);
+}

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 pre-merge gate: release build, full workspace test suite (the test
-# profile runs with overflow-checks on), then clippy with warnings denied.
+# profile runs with overflow-checks on), clippy with warnings denied, then a
+# telemetry smoke run — generate and train with --trace-json and validate
+# both traces with trace_check (every line parses, spans well-nested, all
+# instrumented phases present).
 # Run from the repository root. Any failure fails the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -8,4 +11,14 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
+
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+./target/release/logirec generate --dataset ciao --scale tiny --seed 7 \
+  --out "$smoke/data" --trace-json "$smoke/generate.jsonl"
+./target/release/logirec train --data "$smoke/data" --model "$smoke/m.logirec" \
+  --epochs 5 --dim 8 --trace-json "$smoke/train.jsonl" --metrics-summary
+./target/release/trace_check "$smoke/generate.jsonl" --require-kinds synth,dataset
+./target/release/trace_check "$smoke/train.jsonl" \
+  --require-kinds train,epoch,batch,loss,mining,checkpoint,eval --min-spans 10
 echo "tier1: all green"

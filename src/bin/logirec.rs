@@ -20,8 +20,9 @@ use std::process::ExitCode;
 
 use logirec_suite::core::io::{load_model, save_model};
 use logirec_suite::core::{train, LogiRecConfig};
-use logirec_suite::data::{load_dataset, save_dataset, Dataset, DatasetSpec, Scale, Split};
-use logirec_suite::eval::{evaluate, Ranker};
+use logirec_suite::data::{load_dataset_traced, save_dataset_traced, Dataset, DatasetSpec, Scale, Split};
+use logirec_suite::eval::{evaluate_traced, Ranker};
+use logirec_suite::obs::Telemetry;
 use logirec_suite::taxonomy::ExclusionRule;
 
 fn main() -> ExitCode {
@@ -56,35 +57,71 @@ const USAGE: &str = "usage:
   logirec train     --data DIR --model FILE [--epochs N] [--lambda X] [--dim N] [--no-mining]
                     [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
   logirec evaluate  --data DIR --model FILE [--threads N]
-  logirec recommend --data DIR --model FILE --user N [--k N]";
+  logirec recommend --data DIR --model FILE --user N [--k N]
 
-/// Minimal flag parser: `--key value` pairs plus boolean `--no-mining`.
+telemetry (generate / train / evaluate):
+  --trace-json FILE     stream structured events (spans, metrics, recoveries,
+                        health checks) as JSON lines into FILE
+  --metrics-summary     print the span/counter/histogram summary table on exit";
+
+/// Boolean flags (no value argument follows them).
+const BOOL_FLAGS: &[&str] = &["no-mining", "metrics-summary"];
+
+/// Minimal flag parser: `--key value` pairs plus the boolean flags in
+/// [`BOOL_FLAGS`].
 struct Flags {
     pairs: Vec<(String, String)>,
-    no_mining: bool,
+    bools: Vec<String>,
 }
 
 impl Flags {
     fn parse(args: &[String]) -> Self {
         let mut pairs = Vec::new();
-        let mut no_mining = false;
+        let mut bools = Vec::new();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            if flag == "--no-mining" {
-                no_mining = true;
-                continue;
-            }
             if let Some(key) = flag.strip_prefix("--") {
-                if let Some(value) = it.next() {
+                if BOOL_FLAGS.contains(&key) {
+                    bools.push(key.to_string());
+                } else if let Some(value) = it.next() {
                     pairs.push((key.to_string(), value.clone()));
                 }
             }
         }
-        Self { pairs, no_mining }
+        Self { pairs, bools }
     }
 
     fn get(&self, key: &str) -> Option<&str> {
         self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.bools.iter().any(|k| k == key)
+    }
+
+    /// Builds the telemetry handle requested by `--trace-json` /
+    /// `--metrics-summary` (disabled when neither flag is present).
+    fn telemetry(&self) -> Result<Telemetry, String> {
+        let trace_json = self.get("trace-json");
+        if trace_json.is_none() && !self.has("metrics-summary") {
+            return Ok(Telemetry::disabled());
+        }
+        let mut builder = Telemetry::builder();
+        if let Some(path) = trace_json {
+            builder = builder.jsonl(path);
+        }
+        builder.build().map_err(|e| format!("cannot open trace file: {e}"))
+    }
+
+    /// Flushes `tel` and prints the summary table when requested.
+    fn finish_telemetry(&self, tel: &Telemetry) {
+        tel.finish();
+        if self.has("metrics-summary") {
+            print!("{}", tel.summary());
+        }
+        if let Some(path) = self.get("trace-json") {
+            println!("trace written to {path}");
+        }
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
@@ -99,9 +136,9 @@ impl Flags {
     }
 }
 
-fn load(flags: &Flags) -> Result<Dataset, String> {
+fn load(flags: &Flags, tel: &Telemetry) -> Result<Dataset, String> {
     let dir = PathBuf::from(flags.require("data")?);
-    load_dataset(&dir, "dataset", ExclusionRule::SiblingsWithoutCommonItems)
+    load_dataset_traced(&dir, "dataset", ExclusionRule::SiblingsWithoutCommonItems, tel)
         .map_err(|e| e.to_string())
 }
 
@@ -112,8 +149,10 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     let seed: u64 = flags.parse_or("seed", 42)?;
     let out = PathBuf::from(flags.require("out")?);
     let spec = DatasetSpec::by_name(name, scale).ok_or_else(|| format!("unknown dataset {name:?}"))?;
-    let ds = spec.generate(seed);
-    save_dataset(&ds, &out).map_err(|e| e.to_string())?;
+    let tel = flags.telemetry()?;
+    let ds = spec.generate_traced(seed, &tel);
+    save_dataset_traced(&ds, &out, &tel).map_err(|e| e.to_string())?;
+    flags.finish_telemetry(&tel);
     let (m, h, e) = ds.relations.counts();
     println!(
         "wrote {} to {}: {} users, {} items, {} interactions, {} tags \
@@ -129,20 +168,22 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_train(flags: &Flags) -> Result<(), String> {
-    let ds = load(flags)?;
+    let tel = flags.telemetry()?;
+    let ds = load(flags, &tel)?;
     let model_path = PathBuf::from(flags.require("model")?);
     let checkpoint_path = flags.get("checkpoint").map(PathBuf::from);
     let cfg = LogiRecConfig {
         epochs: flags.parse_or("epochs", 40)?,
         lambda: flags.parse_or("lambda", 0.5)?,
         dim: flags.parse_or("dim", 64)?,
-        mining: !flags.no_mining,
+        mining: !flags.has("no-mining"),
         seed: flags.parse_or("seed", 2024)?,
         eval_threads: flags.parse_or("threads", default_threads())?,
         checkpoint_every: flags
             .parse_or("checkpoint-every", usize::from(checkpoint_path.is_some()))?,
         checkpoint_path,
         resume_from: flags.get("resume").map(PathBuf::from),
+        telemetry: tel.clone(),
         ..LogiRecConfig::default()
     };
     let label = if cfg.mining { "LogiRec++" } else { "LogiRec" };
@@ -155,7 +196,20 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         cfg.lambda
     );
     let (model, report) = train(cfg, &ds);
-    save_model(&model, &model_path).map_err(|e| e.to_string())?;
+    let mut save_span = tel.span("checkpoint");
+    save_span.field("op", "model");
+    match save_model(&model, &model_path) {
+        Ok(bytes) => save_span.field("bytes", bytes),
+        Err(e) => {
+            save_span.field("failed", true);
+            save_span.close();
+            tel.counter("checkpoint.write_failures").incr();
+            flags.finish_telemetry(&tel);
+            return Err(e.to_string());
+        }
+    }
+    save_span.close();
+    flags.finish_telemetry(&tel);
     println!(
         "done in {} epochs; best validation Recall@10: {}",
         report.epochs_run,
@@ -171,13 +225,19 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
-    let ds = load(flags)?;
+    let tel = flags.telemetry()?;
+    let ds = load(flags, &tel)?;
     let model_path = PathBuf::from(flags.require("model")?);
-    let mut model =
-        load_model(&model_path, LogiRecConfig::default()).map_err(|e| e.to_string())?;
+    let base_cfg = LogiRecConfig { telemetry: tel.clone(), ..LogiRecConfig::default() };
+    let mut model = load_model(&model_path, base_cfg).map_err(|e| e.to_string())?;
     model.propagate(&ds.train);
     let threads = flags.parse_or("threads", default_threads())?;
-    let res = evaluate(&model, &ds, Split::Test, &[10, 20], threads);
+    let res = {
+        let mut eval_span = tel.span("eval");
+        eval_span.field("split", "test");
+        evaluate_traced(&model, &ds, Split::Test, &[10, 20], threads, &tel)
+    };
+    flags.finish_telemetry(&tel);
     println!(
         "test: Recall@10 {:.4}  Recall@20 {:.4}  NDCG@10 {:.4}  NDCG@20 {:.4}  ({} users)",
         res.recall_at(10),
@@ -190,7 +250,7 @@ fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_recommend(flags: &Flags) -> Result<(), String> {
-    let ds = load(flags)?;
+    let ds = load(flags, &Telemetry::disabled())?;
     let model_path = PathBuf::from(flags.require("model")?);
     let user: usize = flags.require("user")?.parse().map_err(|_| "bad --user".to_string())?;
     if user >= ds.n_users() {

@@ -1,0 +1,102 @@
+//! `trace_check` — validates a JSONL telemetry trace emitted by
+//! `logirec --trace-json` or the bench harness.
+//!
+//! ```text
+//! trace_check out.jsonl
+//! trace_check out.jsonl --require-kinds train,epoch,batch,loss,mining,checkpoint,eval
+//! trace_check out.jsonl --min-spans 10
+//! ```
+//!
+//! Checks, in order: every line parses as a flat JSON event with `t_us` /
+//! `kind` / `name`; span ids are unique; every parent was opened before its
+//! child and the child's interval is contained in the parent's; every span
+//! name listed in `--require-kinds` occurs at least once. Exits non-zero on
+//! the first violation — `scripts/tier1.sh` uses this as the telemetry
+//! smoke gate.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use logirec_suite::obs::validate_trace_file;
+
+const USAGE: &str =
+    "usage: trace_check FILE [--require-kinds a,b,c] [--min-spans N] [--min-lines N]";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut file = None;
+    let mut require_kinds: Vec<String> = Vec::new();
+    let mut min_spans = 0usize;
+    let mut min_lines = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require-kinds" => {
+                let v = it.next().ok_or("--require-kinds needs a comma-separated list")?;
+                require_kinds =
+                    v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+            }
+            "--min-spans" => {
+                min_spans = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-spans needs an integer")?;
+            }
+            "--min-lines" => {
+                min_lines = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-lines needs an integer")?;
+            }
+            "--help" | "-h" => return Ok(USAGE.to_string()),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    let file = file.ok_or_else(|| format!("missing trace file\n{USAGE}"))?;
+
+    let stats = validate_trace_file(Path::new(&file))?;
+    if stats.lines < min_lines {
+        return Err(format!("only {} events (wanted ≥ {min_lines})", stats.lines));
+    }
+    if stats.spans < min_spans {
+        return Err(format!("only {} spans (wanted ≥ {min_spans})", stats.spans));
+    }
+    let missing: Vec<&str> = require_kinds
+        .iter()
+        .filter(|k| stats.span_count(k) == 0)
+        .map(String::as_str)
+        .collect();
+    if !missing.is_empty() {
+        let seen: Vec<&str> = stats.span_kinds.keys().map(String::as_str).collect();
+        return Err(format!(
+            "missing required span kinds: {} (trace has: {})",
+            missing.join(", "),
+            seen.join(", ")
+        ));
+    }
+
+    let kinds: Vec<String> = stats
+        .span_kinds
+        .iter()
+        .map(|(k, n)| format!("{k}×{n}"))
+        .collect();
+    Ok(format!(
+        "{file}: OK — {} events, {} spans, well-nested ({})",
+        stats.lines,
+        stats.spans,
+        kinds.join(", ")
+    ))
+}
