@@ -1,0 +1,89 @@
+//! Parallel training scaling — epoch wall-time vs `train_threads`.
+//!
+//! Trains the same LogiRec++ configuration on a Small synthetic dataset at
+//! 1/2/4/8 training threads, reports mean epoch time and speedup over the
+//! single-thread run, and asserts that every multi-threaded model is
+//! bit-identical to the single-threaded one (the determinism contract of
+//! the sharded gradient path; see DESIGN.md "Parallel training").
+//!
+//! Run: `cargo run --release -p logirec-bench --bin par_scaling -- --scale small --datasets ciao`
+
+use std::time::Instant;
+
+use logirec_bench::harness::{logirec_config, RunArgs};
+use logirec_bench::table::{self, Row};
+use logirec_core::{train, LogiRec};
+use logirec_linalg::Embedding;
+
+/// True when every coordinate of every embedding family matches bitwise.
+fn bit_identical(a: &LogiRec, b: &LogiRec) -> bool {
+    let eq = |x: &Embedding, y: &Embedding| {
+        x.as_slice().len() == y.as_slice().len()
+            && x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+    };
+    eq(&a.tags, &b.tags) && eq(&a.items, &b.items) && eq(&a.users, &b.users)
+}
+
+fn main() {
+    let mut args = RunArgs::from_env();
+    if args.datasets.len() == 4 {
+        args.datasets = vec!["ciao".into()];
+    }
+    args.enable_bin_trace("par_scaling");
+    let tel = args.telemetry.clone();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    for spec in args.specs() {
+        let ds = spec.generate_traced(100, &tel);
+        let mut baseline: Option<(LogiRec, f64)> = None;
+        let mut rows = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let mut cfg = logirec_config(&args, spec.name, true, 1);
+            cfg.train_threads = threads;
+            // Isolate the training hot path: no mid-run validation evals.
+            cfg.eval_every = 0;
+            let epochs = cfg.epochs;
+            let t0 = Instant::now();
+            let (model, report) = train(cfg, &ds);
+            let secs = t0.elapsed().as_secs_f64();
+            let per_epoch = secs / report.epochs_run.max(1) as f64;
+            let (speedup, identical) = match &baseline {
+                None => (1.0, true),
+                Some((m1, e1)) => (e1 / per_epoch, bit_identical(&model, m1)),
+            };
+            assert!(
+                identical,
+                "train_threads={threads} diverged bitwise from train_threads=1"
+            );
+            rows.push(Row {
+                label: format!("{threads}"),
+                cells: vec![
+                    format!("{per_epoch:.3}"),
+                    format!("{speedup:.2}x"),
+                    "yes".into(),
+                ],
+            });
+            if baseline.is_none() {
+                baseline = Some((model, per_epoch));
+            }
+            tel.info(format!(
+                "{}: train_threads={threads} -> {per_epoch:.3} s/epoch over {epochs} epochs",
+                spec.name
+            ));
+        }
+        let rendered = table::render(
+            &format!(
+                "Parallel training scaling ({}, {:?}, {hw} hardware thread(s))",
+                spec.name, args.scale
+            ),
+            &["s/epoch", "speedup vs 1", "bit-identical"],
+            &rows,
+        );
+        tel.info(&rendered);
+        table::save("par_scaling", &rendered);
+    }
+    tel.finish();
+}

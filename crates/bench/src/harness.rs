@@ -19,6 +19,9 @@ pub struct RunArgs {
     pub datasets: Vec<String>,
     /// Evaluation threads (`--threads N`, default = available cores).
     pub threads: usize,
+    /// Training threads (`--train-threads N`, default = available cores).
+    /// Training is bit-identical for every value (see DESIGN.md).
+    pub train_threads: usize,
     /// Whether [`RunArgs::enable_bin_trace`] may attach a JSONL sink
     /// (`--no-trace` turns it off, default on).
     pub trace: bool,
@@ -36,6 +39,7 @@ impl Default for RunArgs {
             epochs: 0,
             datasets: vec!["ciao".into(), "cd".into(), "clothing".into(), "book".into()],
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            train_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             trace: true,
             telemetry: Telemetry::disabled(),
         }
@@ -82,13 +86,16 @@ impl RunArgs {
                 "--seeds" => out.seeds = value().parse().expect("--seeds N"),
                 "--epochs" => out.epochs = value().parse().expect("--epochs N"),
                 "--threads" => out.threads = value().parse().expect("--threads N"),
+                "--train-threads" => {
+                    out.train_threads = value().parse().expect("--train-threads N");
+                }
                 "--datasets" => {
                     out.datasets = value().split(',').map(|s| s.trim().to_string()).collect();
                 }
                 "--no-trace" => out.trace = false,
                 other => panic!(
                     "unknown flag {other}; known: --scale --seeds --epochs --datasets \
-                     --threads --no-trace"
+                     --threads --train-threads --no-trace"
                 ),
             }
         }
@@ -159,6 +166,7 @@ pub fn logirec_config(args: &RunArgs, dataset: &str, mining: bool, seed: u64) ->
         seed,
         epochs: args.epochs_or(args.default_epochs()) * 2,
         eval_threads: args.threads,
+        train_threads: args.train_threads,
         // Snapshot the best validation epoch (standard protocol; the
         // baselines' scorers are similarly selected by their final state
         // after per-method learning-rate tuning).
@@ -242,13 +250,14 @@ mod tests {
     fn parse_handles_every_flag() {
         let a = args(&[
             "--scale", "tiny", "--seeds", "5", "--epochs", "12", "--datasets", "cd,book",
-            "--threads", "3",
+            "--threads", "3", "--train-threads", "7",
         ]);
         assert_eq!(a.scale, Scale::Tiny);
         assert_eq!(a.seeds, 5);
         assert_eq!(a.epochs, 12);
         assert_eq!(a.datasets, vec!["cd", "book"]);
         assert_eq!(a.threads, 3);
+        assert_eq!(a.train_threads, 7);
         assert_eq!(a.specs().len(), 2);
     }
 

@@ -65,6 +65,11 @@ pub struct LogiRecConfig {
     pub alpha_floor: f64,
     /// RNG seed for init and sampling.
     pub seed: u64,
+    /// Threads used by the training hot path: sharded gradient
+    /// accumulation, GCN propagation, and the per-row optimizer updates.
+    /// Results are bit-identical for every value — shard layout and merge
+    /// order depend only on the workload (see `crate::shard`).
+    pub train_threads: usize,
     /// Threads used during evaluation.
     pub eval_threads: usize,
     /// Validate every `eval_every` epochs (0 disables tracking).
@@ -125,6 +130,7 @@ impl Default for LogiRecConfig {
             mining_refresh: 5,
             alpha_floor: 0.1,
             seed: 2024,
+            train_threads: 4,
             eval_threads: 4,
             eval_every: 5,
             patience: 3,
@@ -149,9 +155,33 @@ impl LogiRecConfig {
             epochs: 5,
             batch_size: 128,
             logic_batch: 32,
+            train_threads: 2,
             eval_threads: 2,
             ..Self::default()
         }
+    }
+
+    /// Normalizes degenerate knob values into the form the trainer actually
+    /// runs with, in **one** place:
+    ///
+    /// * `negatives = 0` → 1 (a positive with no negatives still trains on
+    ///   one sampled negative; previously two call sites independently
+    ///   applied `.max(1)`),
+    /// * `logic_batch = 0` → 1 (previously `sample_slice` silently returned
+    ///   an empty slice and the per-sample weight divided by zero),
+    /// * `batch_size = 0` → 1,
+    /// * `train_threads` / `eval_threads` = 0 → 1.
+    ///
+    /// [`crate::train`] calls this on entry, so a config built with zeros
+    /// behaves exactly like the equivalent config built with ones.
+    #[must_use]
+    pub fn validated(mut self) -> Self {
+        self.negatives = self.negatives.max(1);
+        self.logic_batch = self.logic_batch.max(1);
+        self.batch_size = self.batch_size.max(1);
+        self.train_threads = self.train_threads.max(1);
+        self.eval_threads = self.eval_threads.max(1);
+        self
     }
 
     /// Ambient width of user/item vectors in the carrier space:
@@ -177,6 +207,28 @@ mod tests {
         assert!((c.margin - 1.0).abs() < 1e-12);
         assert!(c.use_mem && c.use_hie && c.use_ex && c.mining);
         assert_eq!(c.geometry, Geometry::Hyperbolic);
+    }
+
+    #[test]
+    fn validated_clamps_every_zero_knob() {
+        let c = LogiRecConfig {
+            negatives: 0,
+            logic_batch: 0,
+            batch_size: 0,
+            train_threads: 0,
+            eval_threads: 0,
+            ..LogiRecConfig::default()
+        }
+        .validated();
+        assert_eq!(c.negatives, 1);
+        assert_eq!(c.logic_batch, 1);
+        assert_eq!(c.batch_size, 1);
+        assert_eq!(c.train_threads, 1);
+        assert_eq!(c.eval_threads, 1);
+        // Non-degenerate values pass through untouched.
+        let d = LogiRecConfig::default().validated();
+        assert_eq!(d.negatives, LogiRecConfig::default().negatives);
+        assert_eq!(d.logic_batch, LogiRecConfig::default().logic_batch);
     }
 
     #[test]

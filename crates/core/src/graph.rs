@@ -17,6 +17,85 @@ use logirec_linalg::{ops, Embedding};
 
 use crate::parallel::for_each_row;
 
+/// Immutable propagation cache for one interaction graph: flat CSR
+/// adjacency in both directions plus the pre-divided mean-aggregation
+/// normalizers `1/|N_u|` and `1/|N_v|`.
+///
+/// [`InteractionSet`] stores one `Vec` per node, so walking it re-derefs a
+/// heap pointer per row and recomputes `1.0 / len` per edge visit — every
+/// batch, for every layer, in both passes. A `PropGraph` is built **once
+/// per dataset** (the trainer builds it before the epoch loop) and reused
+/// by every propagate/backward call. The arithmetic is unchanged: the same
+/// neighbor order and the same `1/deg` values, so results are bit-identical
+/// to the uncached path.
+#[derive(Debug, Clone)]
+pub struct PropGraph {
+    n_users: usize,
+    n_items: usize,
+    /// CSR of items per user: neighbors of user `u` are
+    /// `u_adj[u_off[u]..u_off[u + 1]]`.
+    u_off: Vec<usize>,
+    u_adj: Vec<usize>,
+    /// CSR of users per item.
+    v_off: Vec<usize>,
+    v_adj: Vec<usize>,
+    /// `1/|N_u|` (0.0 for isolated users — never multiplied in that case).
+    u_norm: Vec<f64>,
+    /// `1/|N_v|`.
+    v_norm: Vec<f64>,
+}
+
+impl PropGraph {
+    /// Builds the cache from an interaction set (one pass per direction).
+    pub fn build(adj: &InteractionSet) -> Self {
+        let n_users = adj.n_users();
+        let n_items = adj.n_items();
+        let mut u_off = Vec::with_capacity(n_users + 1);
+        let mut u_adj = Vec::with_capacity(adj.len());
+        let mut u_norm = Vec::with_capacity(n_users);
+        u_off.push(0);
+        for u in 0..n_users {
+            let items = adj.items_of(u);
+            u_adj.extend_from_slice(items);
+            u_off.push(u_adj.len());
+            u_norm.push(if items.is_empty() { 0.0 } else { 1.0 / items.len() as f64 });
+        }
+        let mut v_off = Vec::with_capacity(n_items + 1);
+        let mut v_adj = Vec::with_capacity(adj.len());
+        let mut v_norm = Vec::with_capacity(n_items);
+        v_off.push(0);
+        for v in 0..n_items {
+            let users = adj.users_of(v);
+            v_adj.extend_from_slice(users);
+            v_off.push(v_adj.len());
+            v_norm.push(if users.is_empty() { 0.0 } else { 1.0 / users.len() as f64 });
+        }
+        Self { n_users, n_items, u_off, u_adj, v_off, v_adj, u_norm, v_norm }
+    }
+
+    /// Number of user rows.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of item rows.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Sorted item neighbors of user `u`.
+    #[inline]
+    pub fn items_of(&self, u: usize) -> &[usize] {
+        &self.u_adj[self.u_off[u]..self.u_off[u + 1]]
+    }
+
+    /// Sorted user neighbors of item `v`.
+    #[inline]
+    pub fn users_of(&self, v: usize) -> &[usize] {
+        &self.v_adj[self.v_off[v]..self.v_off[v + 1]]
+    }
+}
+
 /// Forward propagation: returns the final tangent embeddings
 /// `(user_final, item_final)`; with `layers == 0` these are copies of the
 /// inputs (the "w/o HGCN" variant).
@@ -30,9 +109,25 @@ pub fn propagate_forward(
 }
 
 /// [`propagate_forward`] with row-parallel aggregation across `threads`
-/// scoped threads (identical output; used at `paper` scale).
+/// scoped threads (identical output; used at `paper` scale). Builds a
+/// throwaway [`PropGraph`]; hot loops should build one and call
+/// [`propagate_forward_graph`].
 pub fn propagate_forward_par(
     adj: &InteractionSet,
+    z_u0: &Embedding,
+    z_v0: &Embedding,
+    layers: usize,
+    threads: usize,
+) -> (Embedding, Embedding) {
+    if layers == 0 {
+        return (z_u0.clone(), z_v0.clone());
+    }
+    propagate_forward_graph(&PropGraph::build(adj), z_u0, z_v0, layers, threads)
+}
+
+/// Forward propagation against a cached [`PropGraph`].
+pub fn propagate_forward_graph(
+    adj: &PropGraph,
     z_u0: &Embedding,
     z_v0: &Embedding,
     layers: usize,
@@ -70,9 +165,24 @@ pub fn propagate_backward(
 }
 
 /// [`propagate_backward`] with row-parallel aggregation (exact adjoint of
-/// [`propagate_forward_par`]).
+/// [`propagate_forward_par`]). Builds a throwaway [`PropGraph`]; hot loops
+/// should build one and call [`propagate_backward_graph`].
 pub fn propagate_backward_par(
     adj: &InteractionSet,
+    g_fu: &Embedding,
+    g_fv: &Embedding,
+    layers: usize,
+    threads: usize,
+) -> (Embedding, Embedding) {
+    if layers == 0 {
+        return (g_fu.clone(), g_fv.clone());
+    }
+    propagate_backward_graph(&PropGraph::build(adj), g_fu, g_fv, layers, threads)
+}
+
+/// Backward propagation against a cached [`PropGraph`].
+pub fn propagate_backward_graph(
+    adj: &PropGraph,
     g_fu: &Embedding,
     g_fv: &Embedding,
     layers: usize,
@@ -100,7 +210,7 @@ pub fn propagate_backward_par(
 
 /// One forward step `next = (I + A)·z`.
 fn step_forward(
-    adj: &InteractionSet,
+    adj: &PropGraph,
     zu: &Embedding,
     zv: &Embedding,
     next_u: &mut Embedding,
@@ -109,22 +219,16 @@ fn step_forward(
 ) {
     for_each_row(next_u, threads, |u, out| {
         ops::copy(out, zu.row(u));
-        let items = adj.items_of(u);
-        if !items.is_empty() {
-            let w = 1.0 / items.len() as f64;
-            for &v in items {
-                ops::axpy(w, zv.row(v), out);
-            }
+        let w = adj.u_norm[u];
+        for &v in adj.items_of(u) {
+            ops::axpy(w, zv.row(v), out);
         }
     });
     for_each_row(next_v, threads, |v, out| {
         ops::copy(out, zv.row(v));
-        let users = adj.users_of(v);
-        if !users.is_empty() {
-            let w = 1.0 / users.len() as f64;
-            for &u in users {
-                ops::axpy(w, zu.row(u), out);
-            }
+        let w = adj.v_norm[v];
+        for &u in adj.users_of(v) {
+            ops::axpy(w, zu.row(u), out);
         }
     });
 }
@@ -135,7 +239,7 @@ fn step_forward(
 /// `g_u/|N_u|` into item `v` for every edge `(u, v)` — note the
 /// normalization stays with the *source side of the forward pass*.
 fn step_transpose(
-    adj: &InteractionSet,
+    adj: &PropGraph,
     gu: &Embedding,
     gv: &Embedding,
     next_u: &mut Embedding,
@@ -145,15 +249,13 @@ fn step_transpose(
     for_each_row(next_u, threads, |u, out| {
         ops::copy(out, gu.row(u));
         for &v in adj.items_of(u) {
-            let w = 1.0 / adj.users_of(v).len() as f64;
-            ops::axpy(w, gv.row(v), out);
+            ops::axpy(adj.v_norm[v], gv.row(v), out);
         }
     });
     for_each_row(next_v, threads, |v, out| {
         ops::copy(out, gv.row(v));
         for &u in adj.users_of(v) {
-            let w = 1.0 / adj.items_of(u).len() as f64;
-            ops::axpy(w, gu.row(u), out);
+            ops::axpy(adj.u_norm[u], gu.row(u), out);
         }
     });
 }

@@ -30,10 +30,13 @@ pub mod losses;
 pub mod mining;
 pub mod parallel;
 pub mod model;
+pub mod shard;
 pub mod trainer;
 
 pub use ablation::Variant;
 pub use config::{Geometry, LogiRecConfig};
 pub use filter::{FilteredRanker, LogicFilter};
+pub use graph::PropGraph;
 pub use model::LogiRec;
+pub use shard::{merge_tree, shard_count, shard_ranges, Merge, SparseGrad};
 pub use trainer::{train, Recovery, RecoveryAction, TrainReport};

@@ -16,6 +16,21 @@ use logirec_taxonomy::TagId;
 
 use crate::config::Geometry;
 use crate::model::LogiRec;
+use crate::shard::{Merge, SparseGrad};
+
+/// Destination for logic-loss gradients. One trait, two accumulators: the
+/// dense [`LogicGrads`] (serial reference path, ablation probes) and the
+/// sparse [`LogicShard`] (per-worker shards in the parallel trainer). The
+/// loss functions are generic over the sink so the gradient math exists
+/// exactly once.
+pub trait LogicSink {
+    /// Adds a (weighted) loss contribution.
+    fn add_loss(&mut self, l: f64);
+    /// Adds `g` to the gradient of tag `t`'s defining point.
+    fn add_tag(&mut self, t: TagId, g: &[f64]);
+    /// Adds `g` to the gradient of item `v`'s point.
+    fn add_item(&mut self, v: usize, g: &[f64]);
+}
 
 /// Accumulated Euclidean gradients for the logical relation losses.
 #[derive(Debug)]
@@ -46,12 +61,83 @@ impl LogicGrads {
     }
 }
 
+impl LogicSink for LogicGrads {
+    fn add_loss(&mut self, l: f64) {
+        self.loss += l;
+    }
+
+    fn add_tag(&mut self, t: TagId, g: &[f64]) {
+        ops::axpy(1.0, g, self.tags.row_mut(t));
+    }
+
+    fn add_item(&mut self, v: usize, g: &[f64]) {
+        ops::axpy(1.0, g, self.items.row_mut(v));
+    }
+}
+
+/// One worker's sparse share of the logic-loss gradients: touched-row maps
+/// instead of dense `S × d` / `V × d` clones, so fanning out across
+/// `train_threads` workers costs memory proportional to the rows a shard
+/// actually hits.
+#[derive(Debug, Clone)]
+pub struct LogicShard {
+    /// Sparse gradients on tag defining points.
+    pub tags: SparseGrad,
+    /// Sparse gradients on item points.
+    pub items: SparseGrad,
+    /// Summed (weighted) loss of this shard.
+    pub loss: f64,
+}
+
+impl LogicShard {
+    /// Empty shard matching `model`'s embedding width.
+    pub fn new(model: &LogiRec) -> Self {
+        Self {
+            tags: SparseGrad::new(model.tags.dim()),
+            items: SparseGrad::new(model.items.dim()),
+            loss: 0.0,
+        }
+    }
+
+    /// Distinct gradient rows this shard touches.
+    pub fn rows_touched(&self) -> usize {
+        self.tags.nnz() + self.items.nnz()
+    }
+
+    /// True when every accumulated value is finite.
+    pub fn all_finite(&self) -> bool {
+        self.loss.is_finite() && self.tags.all_finite() && self.items.all_finite()
+    }
+}
+
+impl LogicSink for LogicShard {
+    fn add_loss(&mut self, l: f64) {
+        self.loss += l;
+    }
+
+    fn add_tag(&mut self, t: TagId, g: &[f64]) {
+        self.tags.add(t, g);
+    }
+
+    fn add_item(&mut self, v: usize, g: &[f64]) {
+        self.items.add(v, g);
+    }
+}
+
+impl Merge for LogicShard {
+    fn merge(&mut self, other: Self) {
+        self.tags.merge(other.tags);
+        self.items.merge(other.items);
+        self.loss += other.loss;
+    }
+}
+
 /// L_Mem (Eq. 3) over `(item, tag)` pairs, each weighted by `weight`.
 pub fn membership_loss_grad(
     model: &LogiRec,
     pairs: &[(usize, TagId)],
     weight: f64,
-    out: &mut LogicGrads,
+    out: &mut impl LogicSink,
 ) {
     for &(v, t) in pairs {
         let c = model.tags.row(t);
@@ -61,15 +147,15 @@ pub fn membership_loss_grad(
         if margin <= 0.0 {
             continue;
         }
-        out.loss += weight * margin;
+        out.add_loss(weight * margin);
         let diff = ops::sub(x, &ball.center);
         let n = ops::norm(&diff).max(1e-12);
         let unit = ops::scaled(&diff, weight / n);
         // ∂/∂x = unit; ∂/∂o = −unit; ∂/∂r = −weight.
-        ops::axpy(1.0, &unit, out.items.row_mut(v));
+        out.add_item(v, &unit);
         let neg_unit = ops::scaled(&unit, -1.0);
         let g_c = hyperplane::ball_vjp(c, &neg_unit, -weight);
-        ops::axpy(1.0, &g_c, out.tags.row_mut(t));
+        out.add_tag(t, &g_c);
     }
 }
 
@@ -78,7 +164,7 @@ pub fn hierarchy_loss_grad(
     model: &LogiRec,
     pairs: &[(TagId, TagId)],
     weight: f64,
-    out: &mut LogicGrads,
+    out: &mut impl LogicSink,
 ) {
     for &(parent, child) in pairs {
         let (ci, cj) = (model.tags.row(parent), model.tags.row(child));
@@ -87,7 +173,7 @@ pub fn hierarchy_loss_grad(
         if margin <= 0.0 {
             continue;
         }
-        out.loss += weight * margin;
+        out.add_loss(weight * margin);
         let diff = ops::sub(&bi.center, &bj.center);
         let n = ops::norm(&diff).max(1e-12);
         let unit = ops::scaled(&diff, weight / n);
@@ -95,8 +181,8 @@ pub fn hierarchy_loss_grad(
         let g_ci = hyperplane::ball_vjp(ci, &unit, -weight);
         let neg_unit = ops::scaled(&unit, -1.0);
         let g_cj = hyperplane::ball_vjp(cj, &neg_unit, weight);
-        ops::axpy(1.0, &g_ci, out.tags.row_mut(parent));
-        ops::axpy(1.0, &g_cj, out.tags.row_mut(child));
+        out.add_tag(parent, &g_ci);
+        out.add_tag(child, &g_cj);
     }
 }
 
@@ -106,7 +192,7 @@ pub fn exclusion_loss_grad(
     model: &LogiRec,
     pairs: &[(TagId, TagId)],
     weight: f64,
-    out: &mut LogicGrads,
+    out: &mut impl LogicSink,
 ) {
     for &(a, b) in pairs {
         let (ci, cj) = (model.tags.row(a), model.tags.row(b));
@@ -115,7 +201,7 @@ pub fn exclusion_loss_grad(
         if margin <= 0.0 {
             continue;
         }
-        out.loss += weight * margin;
+        out.add_loss(weight * margin);
         let diff = ops::sub(&bi.center, &bj.center);
         let n = ops::norm(&diff).max(1e-12);
         // margin = r_i + r_j − ‖o_i − o_j‖.
@@ -123,8 +209,8 @@ pub fn exclusion_loss_grad(
         let g_ci = hyperplane::ball_vjp(ci, &unit, weight);
         let neg_unit = ops::scaled(&unit, -1.0);
         let g_cj = hyperplane::ball_vjp(cj, &neg_unit, weight);
-        ops::axpy(1.0, &g_ci, out.tags.row_mut(a));
-        ops::axpy(1.0, &g_cj, out.tags.row_mut(b));
+        out.add_tag(a, &g_ci);
+        out.add_tag(b, &g_cj);
     }
 }
 
@@ -136,7 +222,7 @@ pub fn intersection_loss_grad(
     model: &LogiRec,
     pairs: &[(TagId, TagId)],
     weight: f64,
-    out: &mut LogicGrads,
+    out: &mut impl LogicSink,
 ) {
     for &(a, b) in pairs {
         let (ci, cj) = (model.tags.row(a), model.tags.row(b));
@@ -146,15 +232,15 @@ pub fn intersection_loss_grad(
         if margin <= 0.0 {
             continue;
         }
-        out.loss += weight * margin;
+        out.add_loss(weight * margin);
         let diff = ops::sub(&bi.center, &bj.center);
         let n = ops::norm(&diff).max(1e-12);
         let unit = ops::scaled(&diff, weight / n);
         let g_ci = hyperplane::ball_vjp(ci, &unit, -weight);
         let neg_unit = ops::scaled(&unit, -1.0);
         let g_cj = hyperplane::ball_vjp(cj, &neg_unit, -weight);
-        ops::axpy(1.0, &g_ci, out.tags.row_mut(a));
-        ops::axpy(1.0, &g_cj, out.tags.row_mut(b));
+        out.add_tag(a, &g_ci);
+        out.add_tag(b, &g_cj);
     }
 }
 
@@ -190,6 +276,36 @@ pub fn rank_loss_grad(
         loss: 0.0,
         active: 0,
     };
+    let (user_final, item_final) = (&mut out.user_final, &mut out.item_final);
+    let (loss, active) = rank_accumulate(
+        model,
+        triplets,
+        margin,
+        alpha,
+        per_triplet_weight,
+        |u, g| ops::axpy(1.0, g, user_final.row_mut(u)),
+        |v, g| ops::axpy(1.0, g, item_final.row_mut(v)),
+    );
+    out.loss = loss;
+    out.active = active;
+    out
+}
+
+/// The triplet walk shared by the dense and sharded ranking paths: calls
+/// `add_user(u, g)` / `add_item(v, g)` for every gradient contribution, in
+/// a fixed per-triplet order (`u⁺, u⁻, v⁺, v⁻`), and returns
+/// `(loss, active)`.
+fn rank_accumulate(
+    model: &LogiRec,
+    triplets: &[(usize, usize, usize)],
+    margin: f64,
+    alpha: Option<&[f64]>,
+    per_triplet_weight: f64,
+    mut add_user: impl FnMut(usize, &[f64]),
+    mut add_item: impl FnMut(usize, &[f64]),
+) -> (f64, usize) {
+    let st = model.state();
+    let (mut loss, mut active) = (0.0, 0usize);
     for &(u, vp, vq) in triplets {
         let urow = st.user_final.row(u);
         let dp = carrier_distance(model.cfg.geometry, urow, st.item_final.row(vp));
@@ -198,21 +314,163 @@ pub fn rank_loss_grad(
         if hinge <= 0.0 {
             continue;
         }
-        out.active += 1;
+        active += 1;
         let w = per_triplet_weight * alpha.map_or(1.0, |a| a[u]);
-        out.loss += w * hinge;
+        loss += w * hinge;
         // + d(u, v⁺): upstream +w on both ends.
         let (gu_p, gv_p) =
             carrier_distance_vjp(model.cfg.geometry, urow, st.item_final.row(vp), w);
         // − d(u, v⁻): upstream −w.
         let (gu_q, gv_q) =
             carrier_distance_vjp(model.cfg.geometry, urow, st.item_final.row(vq), -w);
-        ops::axpy(1.0, &gu_p, out.user_final.row_mut(u));
-        ops::axpy(1.0, &gu_q, out.user_final.row_mut(u));
-        ops::axpy(1.0, &gv_p, out.item_final.row_mut(vp));
-        ops::axpy(1.0, &gv_q, out.item_final.row_mut(vq));
+        add_user(u, &gu_p);
+        add_user(u, &gu_q);
+        add_item(vp, &gv_p);
+        add_item(vq, &gv_q);
     }
-    out
+    (loss, active)
+}
+
+/// One worker's sparse share of the ranking gradients (w.r.t. the final
+/// carrier-space embeddings).
+#[derive(Debug, Clone)]
+pub struct RankShard {
+    /// Sparse gradient on the final user embeddings (`ambient`-wide rows).
+    pub users: SparseGrad,
+    /// Sparse gradient on the final item embeddings.
+    pub items: SparseGrad,
+    /// Summed (weighted) hinge loss of this shard.
+    pub loss: f64,
+    /// Triplets with a positive hinge in this shard.
+    pub active: usize,
+}
+
+impl Merge for RankShard {
+    fn merge(&mut self, other: Self) {
+        self.users.merge(other.users);
+        self.items.merge(other.items);
+        self.loss += other.loss;
+        self.active += other.active;
+    }
+}
+
+/// [`rank_loss_grad`] over one contiguous shard of the triplet list,
+/// accumulating into touched-row maps instead of dense tables.
+pub fn rank_loss_shard(
+    model: &LogiRec,
+    triplets: &[(usize, usize, usize)],
+    margin: f64,
+    alpha: Option<&[f64]>,
+    per_triplet_weight: f64,
+) -> RankShard {
+    let ambient = model.state().user_final.dim();
+    let mut users = SparseGrad::new(ambient);
+    let mut items = SparseGrad::new(ambient);
+    let (loss, active) = rank_accumulate(
+        model,
+        triplets,
+        margin,
+        alpha,
+        per_triplet_weight,
+        |u, g| users.add(u, g),
+        |v, g| items.add(v, g),
+    );
+    RankShard { users, items, loss, active }
+}
+
+/// Parallel deterministic [`rank_loss_grad`]: shards the triplet list with
+/// [`crate::shard::shard_ranges`] (a pure function of `triplets.len()`),
+/// computes each shard's sparse gradient on up to `threads` workers, and
+/// combines them with the fixed-order [`crate::shard::merge_tree`]. The
+/// result is bit-identical for every `threads` value; it differs from the
+/// serial [`rank_loss_grad`] only in floating-point association (dense
+/// serial accumulation sums a row's triplets strictly left-to-right).
+///
+/// Returns the merged shard; scatter it into dense tables with
+/// [`SparseGrad::scatter_add`].
+pub fn rank_loss_grad_sharded(
+    model: &LogiRec,
+    triplets: &[(usize, usize, usize)],
+    margin: f64,
+    alpha: Option<&[f64]>,
+    per_triplet_weight: f64,
+    threads: usize,
+) -> RankShard {
+    let ranges = crate::shard::shard_ranges(triplets.len());
+    let shards = crate::parallel::map_jobs(ranges.len(), threads, |i| {
+        rank_loss_shard(model, &triplets[ranges[i].clone()], margin, alpha, per_triplet_weight)
+    });
+    crate::shard::merge_tree(shards).expect("shard_ranges yields at least one shard")
+}
+
+/// One sampled logic-relation batch, tagged with its loss type.
+#[derive(Debug, Clone, Copy)]
+pub enum LogicBatch<'a> {
+    /// L_Mem samples (`(item, tag)` pairs).
+    Membership(&'a [(usize, TagId)]),
+    /// L_Hie samples (`(parent, child)` pairs).
+    Hierarchy(&'a [(TagId, TagId)]),
+    /// L_Ex samples.
+    Exclusion(&'a [(TagId, TagId)]),
+    /// L_Int samples.
+    Intersection(&'a [(TagId, TagId)]),
+}
+
+impl LogicBatch<'_> {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            LogicBatch::Membership(p) => p.len(),
+            LogicBatch::Hierarchy(p) | LogicBatch::Exclusion(p) | LogicBatch::Intersection(p) => {
+                p.len()
+            }
+        }
+    }
+
+    /// True when the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs the batch's loss/gradient accumulation into `out`.
+    pub fn accumulate(&self, model: &LogiRec, range: std::ops::Range<usize>, weight: f64, out: &mut impl LogicSink) {
+        match self {
+            LogicBatch::Membership(p) => membership_loss_grad(model, &p[range], weight, out),
+            LogicBatch::Hierarchy(p) => hierarchy_loss_grad(model, &p[range], weight, out),
+            LogicBatch::Exclusion(p) => exclusion_loss_grad(model, &p[range], weight, out),
+            LogicBatch::Intersection(p) => intersection_loss_grad(model, &p[range], weight, out),
+        }
+    }
+}
+
+/// Parallel deterministic accumulation of all four logic losses: every
+/// `(batch, weight)` is sharded with [`crate::shard::shard_ranges`], all
+/// shards across all batches form one fixed-order job list (batch-major,
+/// range-minor), and the per-shard sparse gradients are combined by the
+/// fixed-shape [`crate::shard::merge_tree`]. Bit-identical for every
+/// `threads` value, because both the job list and the merge shape depend
+/// only on the batch lengths.
+pub fn logic_loss_grad_sharded(
+    model: &LogiRec,
+    batches: &[(LogicBatch<'_>, f64)],
+    threads: usize,
+) -> LogicShard {
+    let mut jobs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    for (bi, (batch, _)) in batches.iter().enumerate() {
+        for range in crate::shard::shard_ranges(batch.len()) {
+            if !range.is_empty() {
+                jobs.push((bi, range));
+            }
+        }
+    }
+    let shards = crate::parallel::map_jobs(jobs.len(), threads, |ji| {
+        let (bi, range) = &jobs[ji];
+        let (batch, weight) = &batches[*bi];
+        let mut shard = LogicShard::new(model);
+        batch.accumulate(model, range.clone(), *weight, &mut shard);
+        shard
+    });
+    crate::shard::merge_tree(shards).unwrap_or_else(|| LogicShard::new(model))
 }
 
 fn carrier_distance(geometry: Geometry, x: &[f64], y: &[f64]) -> f64 {

@@ -16,6 +16,7 @@ use logirec_hyperbolic::{lorentz, maps, poincare};
 use logirec_linalg::{ops, Embedding, SplitMix64};
 
 use crate::config::{Geometry, LogiRecConfig};
+use crate::graph::PropGraph;
 
 /// Cached forward-pass tensors (recomputed every SGD step).
 #[derive(Debug, Clone)]
@@ -141,12 +142,21 @@ impl LogiRec {
 
     /// Runs the forward pass against the training graph and caches the
     /// result (required before [`Self::state`], scoring, or backward).
+    ///
+    /// Builds a throwaway [`PropGraph`]; call sites that propagate in a
+    /// loop (the trainer) should build the graph once and use
+    /// [`Self::propagate_graph`].
     pub fn propagate(&mut self, adj: &InteractionSet) {
+        self.propagate_graph(&PropGraph::build(adj));
+    }
+
+    /// [`Self::propagate`] against a pre-built propagation cache.
+    pub fn propagate_graph(&mut self, adj: &PropGraph) {
         let fwd_timer = self.cfg.telemetry.timer();
         let dim = self.cfg.dim;
         let (item_carrier, z_u0, z_v0) = match self.cfg.geometry {
             Geometry::Hyperbolic => {
-                let threads = self.cfg.eval_threads;
+                let threads = self.cfg.train_threads;
                 let mut carrier = Embedding::zeros(self.items.rows(), dim + 1);
                 crate::parallel::for_each_row(&mut carrier, threads, |v, out| {
                     out.copy_from_slice(&maps::poincare_to_lorentz(self.items.row(v)));
@@ -164,17 +174,17 @@ impl LogiRec {
             Geometry::Euclidean => (self.items.clone(), self.users.clone(), self.items.clone()),
         };
 
-        let (user_final_tan, item_final_tan) = crate::graph::propagate_forward_par(
+        let (user_final_tan, item_final_tan) = crate::graph::propagate_forward_graph(
             adj,
             &z_u0,
             &z_v0,
             self.cfg.layers,
-            self.cfg.eval_threads,
+            self.cfg.train_threads,
         );
 
         let (user_final, item_final) = match self.cfg.geometry {
             Geometry::Hyperbolic => {
-                let threads = self.cfg.eval_threads;
+                let threads = self.cfg.train_threads;
                 let mut uf = Embedding::zeros(user_final_tan.rows(), dim + 1);
                 crate::parallel::for_each_row(&mut uf, threads, |u, out| {
                     out.copy_from_slice(&lorentz::exp_origin(user_final_tan.row(u)));
@@ -220,11 +230,21 @@ impl LogiRec {
         g_item_final: &Embedding,
         adj: &InteractionSet,
     ) -> (Embedding, Embedding) {
+        self.backward_rank_graph(g_user_final, g_item_final, &PropGraph::build(adj))
+    }
+
+    /// [`Self::backward_rank`] against a pre-built propagation cache.
+    pub fn backward_rank_graph(
+        &self,
+        g_user_final: &Embedding,
+        g_item_final: &Embedding,
+        adj: &PropGraph,
+    ) -> (Embedding, Embedding) {
         let st = self.state();
         let dim = self.cfg.dim;
         match self.cfg.geometry {
             Geometry::Hyperbolic => {
-                let threads = self.cfg.eval_threads;
+                let threads = self.cfg.train_threads;
                 let mut g_uft = Embedding::zeros(self.users.rows(), dim);
                 crate::parallel::for_each_row(&mut g_uft, threads, |u, out| {
                     let g = lorentz::exp_origin_vjp(st.user_final_tan.row(u), g_user_final.row(u));
@@ -235,12 +255,12 @@ impl LogiRec {
                     let g = lorentz::exp_origin_vjp(st.item_final_tan.row(v), g_item_final.row(v));
                     out.copy_from_slice(&g);
                 });
-                let (g_u0, g_v0) = crate::graph::propagate_backward_par(
+                let (g_u0, g_v0) = crate::graph::propagate_backward_graph(
                     adj,
                     &g_uft,
                     &g_vft,
                     self.cfg.layers,
-                    self.cfg.eval_threads,
+                    self.cfg.train_threads,
                 );
                 let mut g_users = Embedding::zeros(self.users.rows(), dim + 1);
                 crate::parallel::for_each_row(&mut g_users, threads, |u, out| {
@@ -255,12 +275,12 @@ impl LogiRec {
                 });
                 (g_users, g_items)
             }
-            Geometry::Euclidean => crate::graph::propagate_backward_par(
+            Geometry::Euclidean => crate::graph::propagate_backward_graph(
                 adj,
                 g_user_final,
                 g_item_final,
                 self.cfg.layers,
-                self.cfg.eval_threads,
+                self.cfg.train_threads,
             ),
         }
     }

@@ -55,6 +55,49 @@ where
     });
 }
 
+/// Runs `f(0), f(1), …, f(jobs - 1)` across up to `threads` scoped threads
+/// and returns the results **in job order**. Jobs are statically chunked
+/// (worker `w` gets a contiguous slice of job indices), so which worker
+/// computes a job is fixed — but results are independent of that anyway:
+/// every job sees only its own index.
+///
+/// This is the fan-out primitive for sharded gradient accumulation: jobs
+/// are shards, and the caller feeds the ordered results into
+/// [`crate::shard::merge_tree`].
+pub fn map_jobs<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(jobs.max(1));
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let chunk = jobs.div_ceil(threads);
+    let mut results: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let f = &f;
+                let start = (w * chunk).min(jobs);
+                let end = ((w + 1) * chunk).min(jobs);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(jobs);
+    for part in &mut results {
+        out.append(part);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +137,34 @@ mod tests {
         let mut m = Embedding::zeros(PAR_THRESHOLD * 2, 2);
         for_each_row(&mut m, 1, |r, row| row.fill((r % 5) as f64));
         assert_eq!(m.row(6)[0], 1.0);
+    }
+
+    #[test]
+    fn map_jobs_preserves_job_order() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let out = map_jobs(37, threads, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "threads {threads}");
+        }
+        assert!(map_jobs(0, 4, |i| i).is_empty());
+        assert_eq!(map_jobs(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn map_jobs_panic_propagates_original_payload() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_jobs(8, 4, |i| {
+                if i == 5 {
+                    panic!("injected job panic at {i}");
+                }
+                i
+            });
+        }));
+        let payload = result.expect_err("job panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected job panic"), "got: {msg:?}");
     }
 
     #[test]

@@ -35,12 +35,11 @@ use logirec_taxonomy::TagId;
 
 use crate::checkpoint::{self, BestSnapshot, Checkpoint};
 use crate::config::{Geometry, LogiRecConfig};
-use crate::losses::{
-    exclusion_loss_grad, hierarchy_loss_grad, intersection_loss_grad, membership_loss_grad,
-    rank_loss_grad, LogicGrads,
-};
+use crate::graph::PropGraph;
+use crate::losses::{logic_loss_grad_sharded, rank_loss_grad_sharded, LogicBatch};
 use crate::mining::{combine_weights, consistency_weights, granularity_weights};
 use crate::model::LogiRec;
+use crate::shard::shard_count;
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -172,11 +171,13 @@ impl GoodSnapshot {
 /// assert!(report.recoveries.is_empty());
 /// ```
 pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
+    let cfg = cfg.validated();
     let tel = cfg.telemetry.clone();
     let mut train_span = tel.span("train");
     let c_steps = tel.counter("trainer.steps");
     let c_skipped = tel.counter("trainer.skipped_steps");
     let c_ckpt_fail = tel.counter("checkpoint.write_failures");
+    let c_grad_rows = tel.counter("trainer.grad_rows_touched");
 
     let mut model = LogiRec::new(cfg.clone(), dataset);
     let mut state = TrainerState::fresh(&cfg);
@@ -204,6 +205,9 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
     }
 
     let n_users = dataset.n_users();
+    // Adjacency normalization + neighbor CSR, built once per dataset and
+    // reused by every forward/backward pass instead of per call.
+    let pg = PropGraph::build(&dataset.train);
     let rel = &dataset.relations;
     let exclusion_pairs: Vec<(TagId, TagId)> =
         rel.exclusion.iter().map(|&(a, b, _)| (a, b)).collect();
@@ -231,7 +235,7 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             if state.alpha.is_none() || epoch.is_multiple_of(cfg.mining_refresh.max(1)) {
                 let mut mine_span = tel.span("mining");
                 mine_span.field("users", n_users as u64);
-                model.propagate(&dataset.train);
+                model.propagate_graph(&pg);
                 let gr = granularity_weights(&model, n_users);
                 state.alpha = Some(combine_weights(con, &gr, cfg.alpha_floor));
             }
@@ -248,14 +252,15 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
         for batch in BatchIter::new(&dataset.train, cfg.batch_size, &mut batch_rng) {
             let mut batch_span = tel.span("batch");
             batch_span.field("pairs", batch.len() as u64);
-            model.propagate(&dataset.train);
+            model.propagate_graph(&pg);
 
             let mut rank_span = tel.span("loss");
             rank_span.field("term", "rank");
-            // Ranking triplets with sampled negatives.
+            // Ranking triplets with sampled negatives (sampling stays
+            // serial: the RNG stream must not depend on train_threads).
             let mut triplets = Vec::with_capacity(batch.len() * cfg.negatives);
             for &(u, vp) in &batch {
-                for _ in 0..cfg.negatives.max(1) {
+                for _ in 0..cfg.negatives {
                     triplets.push((u, vp, sampler.sample(u)));
                 }
             }
@@ -263,11 +268,32 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             // full gradient unit regardless of batch size): batched
             // full-graph steps then match the effective per-sample step
             // size of classic metric-learning SGD.
-            let per_triplet = 1.0 / cfg.negatives.max(1) as f64;
-            let rg =
-                rank_loss_grad(&model, &triplets, cfg.margin, state.alpha.as_deref(), per_triplet);
+            let per_triplet = 1.0 / cfg.negatives as f64;
+            let mut fan_span = tel.span("loss.shards");
+            fan_span.field("term", "rank");
+            fan_span.field("shards", shard_count(triplets.len()) as u64);
+            fan_span.field("threads", cfg.train_threads as u64);
+            let rg = rank_loss_grad_sharded(
+                &model,
+                &triplets,
+                cfg.margin,
+                state.alpha.as_deref(),
+                per_triplet,
+                cfg.train_threads,
+            );
+            fan_span.close();
+            let mut merge_span = tel.span("grad.merge");
+            merge_span.field("term", "rank");
+            let rank_rows = rg.users.nnz() + rg.items.nnz();
+            merge_span.field("rows", rank_rows as u64);
+            let ambient = cfg.ambient_dim();
+            let mut g_user_final = Embedding::zeros(model.users.rows(), ambient);
+            let mut g_item_final = Embedding::zeros(model.items.rows(), ambient);
+            rg.users.scatter_add(&mut g_user_final);
+            rg.items.scatter_add(&mut g_item_final);
+            merge_span.close();
             let (mut g_users, mut g_items) =
-                model.backward_rank(&rg.user_final, &rg.item_final, &dataset.train);
+                model.backward_rank_graph(&g_user_final, &g_item_final, &pg);
             rank_span.close();
 
             let mut logic_span = tel.span("loss");
@@ -277,36 +303,50 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             // share of Eq. 10/15: the rank part covers batch_len of
             // n_pairs positives, so each relation type is scaled by
             // λ · (batch_len / n_pairs) · (N_type / sample_len).
-            let mut lg = LogicGrads::zeros(&model);
+            // Sampling is serial (fixed RNG stream); only the gradient
+            // accumulation fans out across shards.
+            let (mem_s, hie_s, ex_s, int_s);
+            let mut batches: Vec<(LogicBatch<'_>, f64)> = Vec::new();
             if cfg.lambda > 0.0 {
                 let batch_frac = batch.len() as f64 / dataset.train.len().max(1) as f64;
+                let type_weight = |n_total: usize, n_sampled: usize| {
+                    cfg.lambda * batch_frac * n_total as f64 / n_sampled as f64
+                };
                 if cfg.use_mem && !rel.membership.is_empty() {
-                    let s = sample_slice(&rel.membership, cfg.logic_batch, &mut logic_rng);
-                    let w = cfg.lambda * batch_frac * rel.membership.len() as f64
-                        / s.len() as f64;
-                    membership_loss_grad(&model, &s, w, &mut lg);
+                    mem_s = sample_slice(&rel.membership, cfg.logic_batch, &mut logic_rng);
+                    let w = type_weight(rel.membership.len(), mem_s.len());
+                    batches.push((LogicBatch::Membership(&mem_s), w));
                 }
                 if cfg.use_hie && !rel.hierarchy.is_empty() {
-                    let s = sample_slice(&rel.hierarchy, cfg.logic_batch, &mut logic_rng);
-                    let w =
-                        cfg.lambda * batch_frac * rel.hierarchy.len() as f64 / s.len() as f64;
-                    hierarchy_loss_grad(&model, &s, w, &mut lg);
+                    hie_s = sample_slice(&rel.hierarchy, cfg.logic_batch, &mut logic_rng);
+                    let w = type_weight(rel.hierarchy.len(), hie_s.len());
+                    batches.push((LogicBatch::Hierarchy(&hie_s), w));
                 }
                 if cfg.use_ex && !exclusion_pairs.is_empty() {
-                    let s = sample_slice(&exclusion_pairs, cfg.logic_batch, &mut logic_rng);
-                    let w =
-                        cfg.lambda * batch_frac * exclusion_pairs.len() as f64 / s.len() as f64;
-                    exclusion_loss_grad(&model, &s, w, &mut lg);
+                    ex_s = sample_slice(&exclusion_pairs, cfg.logic_batch, &mut logic_rng);
+                    let w = type_weight(exclusion_pairs.len(), ex_s.len());
+                    batches.push((LogicBatch::Exclusion(&ex_s), w));
                 }
                 if cfg.use_int && !intersection_pairs.is_empty() {
-                    let s = sample_slice(&intersection_pairs, cfg.logic_batch, &mut logic_rng);
-                    let w = cfg.lambda * batch_frac * intersection_pairs.len() as f64
-                        / s.len() as f64;
-                    intersection_loss_grad(&model, &s, w, &mut lg);
+                    int_s = sample_slice(&intersection_pairs, cfg.logic_batch, &mut logic_rng);
+                    let w = type_weight(intersection_pairs.len(), int_s.len());
+                    batches.push((LogicBatch::Intersection(&int_s), w));
                 }
             }
+            let mut fan_span = tel.span("loss.shards");
+            fan_span.field("term", "logic");
+            fan_span.field("threads", cfg.train_threads as u64);
+            let lg = logic_loss_grad_sharded(&model, &batches, cfg.train_threads);
+            fan_span.close();
+            let mut merge_span = tel.span("grad.merge");
+            merge_span.field("term", "logic");
+            merge_span.field("rows", lg.rows_touched() as u64);
+            let mut g_tags = Embedding::zeros(model.tags.rows(), cfg.dim);
+            lg.tags.scatter_add(&mut g_tags);
+            lg.items.scatter_add(&mut g_items);
+            merge_span.close();
             logic_span.close();
-            ops::axpy(1.0, lg.items.as_slice(), g_items.as_mut_slice());
+            c_grad_rows.add((rank_rows + lg.rows_touched()) as u64);
 
             inject_gradient_faults(&cfg, epoch, steps, &mut g_users, &mut g_items);
 
@@ -314,8 +354,8 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
             // corruption or injection) is dropped, not applied. The RSGD
             // steps have their own per-row guards, but skipping here keeps
             // the whole update consistent and lets us report it.
-            if g_users.all_finite() && g_items.all_finite() && lg.tags.all_finite() {
-                apply_updates(&mut model, &g_users, &g_items, &lg.tags, lr);
+            if g_users.all_finite() && g_items.all_finite() && g_tags.all_finite() {
+                apply_updates(&mut model, &g_users, &g_items, &g_tags, lr);
                 c_steps.incr();
             } else {
                 skipped_steps += 1;
@@ -409,7 +449,7 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
         if cfg.eval_every > 0 && (epoch + 1).is_multiple_of(cfg.eval_every) {
             let mut eval_span = tel.span("eval");
             eval_span.field("split", "validation");
-            model.propagate(&dataset.train);
+            model.propagate_graph(&pg);
             let res = evaluate_traced(
                 &model,
                 dataset,
@@ -466,7 +506,7 @@ pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
         model.items = items;
         model.users = users;
     }
-    model.propagate(&dataset.train);
+    model.propagate_graph(&pg);
     debug_assert!(model.all_finite());
     train_span.field("epochs_run", state.epoch as u64);
     train_span.field("recoveries", recoveries.len() as u64);
@@ -700,7 +740,7 @@ fn apply_updates(
     g_tags: &Embedding,
     lr: f64,
 ) {
-    let threads = model.cfg.eval_threads;
+    let threads = model.cfg.train_threads;
     match model.cfg.geometry {
         Geometry::Hyperbolic => {
             crate::parallel::for_each_row(&mut model.users, threads, |u, row| {

@@ -21,4 +21,14 @@ trap 'rm -rf "$smoke"' EXIT
 ./target/release/trace_check "$smoke/generate.jsonl" --require-kinds synth,dataset
 ./target/release/trace_check "$smoke/train.jsonl" \
   --require-kinds train,epoch,batch,loss,mining,checkpoint,eval --min-spans 10
+
+# Parallel-training determinism smoke: the sharded gradient path promises
+# bit-identical models for every --train-threads value. Train twice and
+# byte-compare the serialized models.
+./target/release/logirec train --data "$smoke/data" --model "$smoke/m1.logirec" \
+  --epochs 3 --dim 8 --train-threads 1
+./target/release/logirec train --data "$smoke/data" --model "$smoke/m2.logirec" \
+  --epochs 3 --dim 8 --train-threads 2
+cmp "$smoke/m1.logirec" "$smoke/m2.logirec" \
+  || { echo "tier1: train-threads determinism smoke FAILED (models differ)"; exit 1; }
 echo "tier1: all green"

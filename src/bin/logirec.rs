@@ -55,7 +55,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   logirec generate  --dataset ciao|cd|clothing|book --scale tiny|small|paper --seed N --out DIR
   logirec train     --data DIR --model FILE [--epochs N] [--lambda X] [--dim N] [--no-mining]
-                    [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
+                    [--train-threads N] [--checkpoint FILE [--checkpoint-every N]]
+                    [--resume FILE]
   logirec evaluate  --data DIR --model FILE [--threads N]
   logirec recommend --data DIR --model FILE --user N [--k N]
 
@@ -179,6 +180,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         mining: !flags.has("no-mining"),
         seed: flags.parse_or("seed", 2024)?,
         eval_threads: flags.parse_or("threads", default_threads())?,
+        train_threads: flags.parse_or("train-threads", default_threads())?,
         checkpoint_every: flags
             .parse_or("checkpoint-every", usize::from(checkpoint_path.is_some()))?,
         checkpoint_path,

@@ -1,0 +1,147 @@
+//! Property tests for the sparse-shard gradient accumulator: sharding a
+//! random batch of row updates and merging the shards in fixed tree order
+//! must reproduce dense serial accumulation (up to floating-point
+//! re-association — the tree changes the order in which a row's
+//! contributions are summed, nothing else), and the result must not depend
+//! on *how many* shards carry each row.
+
+use logirec_suite::core::{merge_tree, shard_ranges, SparseGrad};
+use proptest::prelude::*;
+
+const DIM: usize = 3;
+const ROWS: usize = 8;
+
+/// Dense serial reference: apply every `(row, values)` update in order.
+fn dense_accumulate(updates: &[(usize, [f64; DIM])]) -> Vec<f64> {
+    let mut table = vec![0.0; ROWS * DIM];
+    for &(row, vals) in updates {
+        for (c, v) in vals.iter().enumerate() {
+            table[row * DIM + c] += v;
+        }
+    }
+    table
+}
+
+/// Shard the update list exactly like the loss kernels do, accumulate each
+/// shard sparsely, tree-merge, and scatter into a dense table.
+fn sharded_accumulate(updates: &[(usize, [f64; DIM])]) -> Vec<f64> {
+    let shards: Vec<SparseGrad> = shard_ranges(updates.len())
+        .into_iter()
+        .map(|r| {
+            let mut g = SparseGrad::new(DIM);
+            for &(row, vals) in &updates[r] {
+                g.add(row, &vals);
+            }
+            g
+        })
+        .collect();
+    let merged = merge_tree(shards).expect("at least one shard");
+    let mut table = vec![0.0; ROWS * DIM];
+    let mut dense = logirec_suite::linalg::Embedding::zeros(ROWS, DIM);
+    merged.scatter_add(&mut dense);
+    table.copy_from_slice(dense.as_slice());
+    table
+}
+
+fn assert_close(a: &[f64], b: &[f64]) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+            "flat index {i}: sharded {x} vs dense {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_merged_shards_equal_dense_serial_accumulation(
+        raw in prop::collection::vec((0usize..ROWS, -1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 0..400),
+    ) {
+        let updates: Vec<(usize, [f64; DIM])> =
+            raw.iter().map(|&(r, a, b, c)| (r, [a, b, c])).collect();
+        if updates.is_empty() {
+            prop_assert!(merge_tree(Vec::<SparseGrad>::new()).is_none());
+            return Ok(());
+        }
+        let dense = dense_accumulate(&updates);
+        let sharded = sharded_accumulate(&updates);
+        assert_close(&sharded, &dense);
+    }
+
+    #[test]
+    fn merge_is_independent_of_shard_layout(
+        raw in prop::collection::vec((0usize..ROWS, -1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 1..200),
+        splits in prop::collection::vec(0usize..200, 0..6),
+    ) {
+        // The *canonical* sharding (shard_ranges) must give the same bits
+        // no matter how many threads execute it — that is trivially true
+        // (the shards are the same jobs). Here we additionally pin the
+        // weaker tolerance contract for arbitrary contiguous layouts:
+        // any split of the update list, tree-merged, matches dense serial
+        // accumulation within re-association error.
+        let updates: Vec<(usize, [f64; DIM])> =
+            raw.iter().map(|&(r, a, b, c)| (r, [a, b, c])).collect();
+        let mut cuts: Vec<usize> = splits.iter().map(|&s| s % (updates.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(updates.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let shards: Vec<SparseGrad> = cuts
+            .windows(2)
+            .map(|w| {
+                let mut g = SparseGrad::new(DIM);
+                for &(row, vals) in &updates[w[0]..w[1]] {
+                    g.add(row, &vals);
+                }
+                g
+            })
+            .collect();
+        let merged = merge_tree(shards).expect("at least one shard");
+        let mut dense = logirec_suite::linalg::Embedding::zeros(ROWS, DIM);
+        merged.scatter_add(&mut dense);
+        assert_close(dense.as_slice(), &dense_accumulate(&updates));
+    }
+}
+
+/// Edge case: shards that touched no rows merge away to nothing.
+#[test]
+fn empty_shards_merge_to_empty() {
+    let empties: Vec<SparseGrad> = (0..5).map(|_| SparseGrad::new(DIM)).collect();
+    let merged = merge_tree(empties).unwrap();
+    assert!(merged.is_empty());
+    assert_eq!(merged.nnz(), 0);
+}
+
+/// Edge case: the same row touched by every shard accumulates once per
+/// shard, exactly.
+#[test]
+fn duplicate_rows_across_shards_sum_once_per_shard() {
+    let shards: Vec<SparseGrad> = (0..7)
+        .map(|i| {
+            let mut g = SparseGrad::new(DIM);
+            g.add(2, &[1.0, 0.5, 0.25]);
+            if i % 2 == 0 {
+                g.add(5, &[-1.0, 0.0, 1.0]);
+            }
+            g
+        })
+        .collect();
+    let merged = merge_tree(shards).unwrap();
+    assert_eq!(merged.nnz(), 2);
+    assert_eq!(merged.get(2).unwrap(), &[7.0, 3.5, 1.75]);
+    assert_eq!(merged.get(5).unwrap(), &[-4.0, 0.0, 4.0]);
+    assert!(merged.get(0).is_none());
+}
+
+/// Edge case: a single-update batch is one shard; merging is the identity.
+#[test]
+fn single_update_batch_roundtrips() {
+    assert_eq!(shard_ranges(1), vec![0..1]);
+    let mut g = SparseGrad::new(DIM);
+    g.add(3, &[0.1, 0.2, 0.3]);
+    let merged = merge_tree(vec![g]).unwrap();
+    assert_eq!(merged.nnz(), 1);
+    assert_eq!(merged.get(3).unwrap(), &[0.1, 0.2, 0.3]);
+}
