@@ -12,8 +12,8 @@ fn bench_gcn(c: &mut Criterion) {
     let ds = DatasetSpec::cd(Scale::Tiny).generate(1);
     let dim = 64;
     let mut rng = SplitMix64::new(2);
-    let zu = Embedding::normal(ds.n_users(), dim, 0.1, &mut rng);
-    let zv = Embedding::normal(ds.n_items(), dim, 0.1, &mut rng);
+    let zu: Embedding = Embedding::normal(ds.n_users(), dim, 0.1, &mut rng);
+    let zv: Embedding = Embedding::normal(ds.n_items(), dim, 0.1, &mut rng);
 
     let mut group = c.benchmark_group("gcn_propagate");
     for layers in [1usize, 2, 3, 4] {

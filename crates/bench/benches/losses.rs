@@ -13,7 +13,7 @@ use std::hint::black_box;
 fn bench_losses(c: &mut Criterion) {
     let ds = DatasetSpec::cd(Scale::Tiny).generate(1);
     let cfg = LogiRecConfig { dim: 64, ..LogiRecConfig::default() };
-    let mut model = LogiRec::new(cfg, &ds);
+    let mut model: LogiRec = LogiRec::new(cfg, &ds);
     model.propagate(&ds.train);
 
     // A 256-triplet ranking batch.

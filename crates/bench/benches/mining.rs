@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 fn bench_mining(c: &mut Criterion) {
     let ds = DatasetSpec::cd(Scale::Tiny).generate(1);
-    let mut model = LogiRec::new(LogiRecConfig::default(), &ds);
+    let mut model: LogiRec = LogiRec::new(LogiRecConfig::default(), &ds);
     model.propagate(&ds.train);
 
     c.bench_function("consistency_weights", |b| {

@@ -11,11 +11,16 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"LOGICKP1"
-//! 8       4     format version (u32, currently 1)
+//! 8       4     format version (u32, currently 2)
 //! 12      8     payload length in bytes (u64)
 //! 20      4     CRC-32 (IEEE 802.3) of the payload (u32)
 //! 24      n     payload (versioned binary serialization of [`Checkpoint`])
 //! ```
+//!
+//! Version 2 appends a single precision byte (0 = `f64`, 1 = `f32`) at the
+//! **end** of the version-1 payload, recording which [`Precision`] the run
+//! trained in. Version-1 files (always double precision) still load and
+//! decode as [`Precision::F64`].
 //!
 //! Writes are atomic and durable: the bytes go to a `.tmp` sibling, the file
 //! is fsynced, then renamed over the destination (and the directory synced),
@@ -30,13 +35,14 @@ use std::path::Path;
 
 use logirec_linalg::Embedding;
 
-use crate::config::Geometry;
+use crate::config::{Geometry, Precision};
 use crate::trainer::{EpochStats, Recovery, RecoveryAction};
 
 /// File magic for checkpoint files.
 pub const MAGIC: &[u8; 8] = b"LOGICKP1";
-/// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 added the trailing
+/// precision byte; version 1 files load as [`Precision::F64`].
+pub const VERSION: u32 = 2;
 /// Refuse to allocate for payloads beyond this size (defense against
 /// corrupted length headers).
 const MAX_PAYLOAD: u64 = 1 << 38;
@@ -61,7 +67,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "io error: {e}"),
             CheckpointError::BadMagic => write!(f, "not a LogiRec checkpoint file"),
             CheckpointError::BadVersion(v) => {
-                write!(f, "unsupported checkpoint version {v} (supported: {VERSION})")
+                write!(f, "unsupported checkpoint version {v} (supported: 1..={VERSION})")
             }
             CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
         }
@@ -98,6 +104,9 @@ pub struct Checkpoint {
     pub dim: usize,
     /// GCN layer count (validated against the resuming config).
     pub layers: usize,
+    /// Working precision the run trains in (validated against the resuming
+    /// config; version-1 checkpoints decode as [`Precision::F64`]).
+    pub precision: Precision,
     /// Completed epochs; training resumes at this epoch index.
     pub epoch: usize,
     /// Raw state of the trainer's master RNG at the end of `epoch`.
@@ -150,7 +159,7 @@ pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
         return Err(CheckpointError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(CheckpointError::BadVersion(version));
     }
     let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
@@ -174,7 +183,7 @@ pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
             "CRC mismatch (stored {crc_stored:#010x}, computed {crc_actual:#010x})"
         )));
     }
-    decode_payload(payload)
+    decode_payload(payload, version)
 }
 
 // ---------------------------------------------------------------------------
@@ -245,10 +254,16 @@ fn encode_payload(ck: &Checkpoint) -> Vec<u8> {
     put_embedding(&mut w, &ck.tags);
     put_embedding(&mut w, &ck.items);
     put_embedding(&mut w, &ck.users);
+    // Version 2: the precision byte rides at the very end so the v1 prefix
+    // stays byte-identical and old fields keep their offsets.
+    w.push(match ck.precision {
+        Precision::F64 => 0u8,
+        Precision::F32 => 1u8,
+    });
     w
 }
 
-fn decode_payload(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+fn decode_payload(bytes: &[u8], version: u32) -> Result<Checkpoint, CheckpointError> {
     let mut r = Reader { bytes, pos: 0 };
     let geometry = match r.u8()? {
         0 => Geometry::Hyperbolic,
@@ -318,6 +333,15 @@ fn decode_payload(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
     let tags = r.embedding()?;
     let items = r.embedding()?;
     let users = r.embedding()?;
+    let precision = if version >= 2 {
+        match r.u8()? {
+            0 => Precision::F64,
+            1 => Precision::F32,
+            t => return Err(corrupt(format!("unknown precision tag {t}"))),
+        }
+    } else {
+        Precision::F64
+    };
     if r.pos != bytes.len() {
         return Err(corrupt(format!(
             "{} unparsed trailing bytes in payload",
@@ -333,6 +357,7 @@ fn decode_payload(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
         geometry,
         dim,
         layers,
+        precision,
         epoch,
         rng_state,
         lr_scale,
@@ -520,6 +545,7 @@ mod tests {
             geometry: Geometry::Hyperbolic,
             dim: 4,
             layers: 2,
+            precision: Precision::F64,
             epoch: 11,
             rng_state: rng.state(),
             lr_scale: 0.25,
@@ -646,6 +672,39 @@ mod tests {
         // Standard test vector: CRC-32("123456789") = 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn precision_tag_round_trips() {
+        let mut ck = sample_checkpoint();
+        ck.precision = Precision::F32;
+        let path = tmp("precision");
+        save(&ck, &path).expect("save");
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.precision, Precision::F32);
+        assert_eq!(loaded, ck);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version1_files_load_as_f64() {
+        // Hand-build a pre-precision (version 1) file: the v2 payload minus
+        // its trailing precision byte, under a version-1 header.
+        let ck = sample_checkpoint();
+        let payload = encode_payload(&ck);
+        let v1_payload = &payload[..payload.len() - 1];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(v1_payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(v1_payload).to_le_bytes());
+        bytes.extend_from_slice(v1_payload);
+        let path = tmp("v1");
+        fs::write(&path, &bytes).unwrap();
+        let loaded = load(&path).expect("v1 checkpoint must load");
+        assert_eq!(loaded.precision, Precision::F64);
+        assert_eq!(loaded, ck);
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

@@ -13,6 +13,45 @@ pub enum Geometry {
     Euclidean,
 }
 
+/// Numeric precision the training and serving hot path runs in.
+///
+/// `F64` is the reference path: bit-identical to the original
+/// double-precision implementation (the determinism suite byte-compares
+/// trained models across thread counts against it). `F32` instantiates the
+/// same generic kernels at single precision — roughly half the memory
+/// traffic and wider autovectorization — with accuracy bounded by the
+/// parity tests (see DESIGN.md, "Precision & kernels"). Model files on disk
+/// stay f64 in both modes; checkpoints record the precision they were
+/// written with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Single precision (`f32`) training/serving.
+    F32,
+    /// Double precision (`f64`) — the default, bit-identical reference.
+    #[default]
+    F64,
+}
+
+impl Precision {
+    /// Parses the CLI spelling (`"f32"` / `"f64"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(Self::F32),
+            "f64" => Some(Self::F64),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::F32 => "f32",
+            Self::F64 => "f64",
+        })
+    }
+}
+
 /// Hyperparameters of LogiRec / LogiRec++.
 ///
 /// Defaults follow the paper's structural choices (`d = 64`, `L = 3`,
@@ -45,6 +84,11 @@ pub struct LogiRecConfig {
     pub logic_batch: usize,
     /// Carrier space.
     pub geometry: Geometry,
+    /// Numeric precision of the training/serving hot path. `F64` (the
+    /// default) reproduces the original double-precision arithmetic bit for
+    /// bit; `F32` runs the same kernels in single precision (see
+    /// [`Precision`]).
+    pub precision: Precision,
     /// Enable L_Mem (Eq. 3).
     pub use_mem: bool,
     /// Enable L_Hie (Eq. 4).
@@ -122,6 +166,7 @@ impl Default for LogiRecConfig {
             negatives: 8,
             logic_batch: 256,
             geometry: Geometry::Hyperbolic,
+            precision: Precision::F64,
             use_mem: true,
             use_hie: true,
             use_ex: true,
@@ -229,6 +274,16 @@ mod tests {
         let d = LogiRecConfig::default().validated();
         assert_eq!(d.negatives, LogiRecConfig::default().negatives);
         assert_eq!(d.logic_batch, LogiRecConfig::default().logic_batch);
+    }
+
+    #[test]
+    fn precision_defaults_to_f64_and_parses() {
+        assert_eq!(LogiRecConfig::default().precision, Precision::F64);
+        assert_eq!(Precision::parse("f32"), Some(Precision::F32));
+        assert_eq!(Precision::parse("f64"), Some(Precision::F64));
+        assert_eq!(Precision::parse("f16"), None);
+        assert_eq!(Precision::F32.to_string(), "f32");
+        assert_eq!(Precision::F64.to_string(), "f64");
     }
 
     #[test]

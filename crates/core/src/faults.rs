@@ -23,7 +23,7 @@ use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-use logirec_linalg::{ops, Embedding, SplitMix64};
+use logirec_linalg::{ops, Embedding, Scalar, SplitMix64};
 
 use crate::model::LogiRec;
 
@@ -86,12 +86,12 @@ impl FaultPlan {
 
     /// Trainer hook: poisons gradient tables for faults scheduled at
     /// (`epoch`, `step`). Fired faults are removed from the plan.
-    pub fn corrupt_gradients(
+    pub fn corrupt_gradients<S: Scalar>(
         &self,
         epoch: usize,
         step: usize,
-        g_users: &mut Embedding,
-        g_items: &mut Embedding,
+        g_users: &mut Embedding<S>,
+        g_items: &mut Embedding<S>,
     ) {
         let mut inner = self.inner.lock().expect("fault plan poisoned");
         let mut i = 0;
@@ -110,7 +110,7 @@ impl FaultPlan {
                 let table = if into_items { &mut *g_items } else { &mut *g_users };
                 let row = inner.rng.index(table.rows().max(1));
                 let col = inner.rng.index(table.dim().max(1));
-                table.row_mut(row)[col] = bad;
+                table.row_mut(row)[col] = S::from_f64(bad);
                 inner.pending.remove(i);
                 inner.fired.push(fault);
             } else {
@@ -121,7 +121,7 @@ impl FaultPlan {
 
     /// Trainer hook: corrupts model parameters for faults scheduled at the
     /// end of `epoch`. Fired faults are removed from the plan.
-    pub fn corrupt_model(&self, epoch: usize, model: &mut LogiRec) {
+    pub fn corrupt_model<S: Scalar>(&self, epoch: usize, model: &mut LogiRec<S>) {
         let mut inner = self.inner.lock().expect("fault plan poisoned");
         let mut i = 0;
         while i < inner.pending.len() {
@@ -129,14 +129,14 @@ impl FaultPlan {
                 Fault::ItemBoundaryEscape { epoch: e } if e == epoch => {
                     let v = inner.rng.index(model.items.rows().max(1));
                     let row = model.items.row_mut(v);
-                    let n = ops::norm(row).max(1e-9);
-                    ops::scale(row, 1.5 / n);
+                    let n = ops::norm(row).max(S::from_f64(1e-9));
+                    ops::scale(row, S::from_f64(1.5) / n);
                     let fault = inner.pending.remove(i);
                     inner.fired.push(fault);
                 }
                 Fault::UserOffSheet { epoch: e } if e == epoch => {
                     let u = inner.rng.index(model.users.rows().max(1));
-                    model.users.row_mut(u)[0] *= 2.0;
+                    model.users.row_mut(u)[0] *= S::from_f64(2.0);
                     let fault = inner.pending.remove(i);
                     inner.fired.push(fault);
                 }
@@ -188,8 +188,8 @@ mod tests {
             1,
             vec![Fault::NanGradient { epoch: 2, step: 0 }, Fault::InfGradient { epoch: 2, step: 1 }],
         );
-        let mut gu = Embedding::zeros(4, 3);
-        let mut gi = Embedding::zeros(5, 3);
+        let mut gu: Embedding = Embedding::zeros(4, 3);
+        let mut gi: Embedding = Embedding::zeros(5, 3);
         plan.corrupt_gradients(0, 0, &mut gu, &mut gi);
         assert!(gu.all_finite() && gi.all_finite(), "wrong slot must not fire");
         plan.corrupt_gradients(2, 0, &mut gu, &mut gi);
@@ -199,8 +199,8 @@ mod tests {
         assert!(!gu.all_finite(), "Inf fault should hit the user table");
         assert!(plan.exhausted());
         // Firing again is a no-op.
-        let mut gu2 = Embedding::zeros(4, 3);
-        let mut gi2 = Embedding::zeros(5, 3);
+        let mut gu2: Embedding = Embedding::zeros(4, 3);
+        let mut gi2: Embedding = Embedding::zeros(5, 3);
         plan.corrupt_gradients(2, 0, &mut gu2, &mut gi2);
         assert!(gu2.all_finite() && gi2.all_finite());
         assert_eq!(plan.fired().len(), 2);
@@ -210,8 +210,8 @@ mod tests {
     fn clones_share_one_plan() {
         let plan = FaultPlan::new(3, vec![Fault::NanGradient { epoch: 0, step: 0 }]);
         let clone = plan.clone();
-        let mut gu = Embedding::zeros(2, 2);
-        let mut gi = Embedding::zeros(2, 2);
+        let mut gu: Embedding = Embedding::zeros(2, 2);
+        let mut gi: Embedding = Embedding::zeros(2, 2);
         clone.corrupt_gradients(0, 0, &mut gu, &mut gi);
         assert!(plan.exhausted(), "clone firing must drain the original");
     }

@@ -13,7 +13,7 @@
 //! `l` to the final sum (`g_final` for `1 ≤ l ≤ L`, zero for `l = 0`).
 
 use logirec_data::InteractionSet;
-use logirec_linalg::{ops, Embedding};
+use logirec_linalg::{ops, Embedding, Scalar};
 
 use crate::parallel::for_each_row;
 
@@ -29,7 +29,7 @@ use crate::parallel::for_each_row;
 /// neighbor order and the same `1/deg` values, so results are bit-identical
 /// to the uncached path.
 #[derive(Debug, Clone)]
-pub struct PropGraph {
+pub struct PropGraph<S: Scalar = f64> {
     n_users: usize,
     n_items: usize,
     /// CSR of items per user: neighbors of user `u` are
@@ -40,12 +40,12 @@ pub struct PropGraph {
     v_off: Vec<usize>,
     v_adj: Vec<usize>,
     /// `1/|N_u|` (0.0 for isolated users — never multiplied in that case).
-    u_norm: Vec<f64>,
+    u_norm: Vec<S>,
     /// `1/|N_v|`.
-    v_norm: Vec<f64>,
+    v_norm: Vec<S>,
 }
 
-impl PropGraph {
+impl<S: Scalar> PropGraph<S> {
     /// Builds the cache from an interaction set (one pass per direction).
     pub fn build(adj: &InteractionSet) -> Self {
         let n_users = adj.n_users();
@@ -58,7 +58,11 @@ impl PropGraph {
             let items = adj.items_of(u);
             u_adj.extend_from_slice(items);
             u_off.push(u_adj.len());
-            u_norm.push(if items.is_empty() { 0.0 } else { 1.0 / items.len() as f64 });
+            u_norm.push(if items.is_empty() {
+                S::ZERO
+            } else {
+                S::from_f64(1.0 / items.len() as f64)
+            });
         }
         let mut v_off = Vec::with_capacity(n_items + 1);
         let mut v_adj = Vec::with_capacity(adj.len());
@@ -68,7 +72,11 @@ impl PropGraph {
             let users = adj.users_of(v);
             v_adj.extend_from_slice(users);
             v_off.push(v_adj.len());
-            v_norm.push(if users.is_empty() { 0.0 } else { 1.0 / users.len() as f64 });
+            v_norm.push(if users.is_empty() {
+                S::ZERO
+            } else {
+                S::from_f64(1.0 / users.len() as f64)
+            });
         }
         Self { n_users, n_items, u_off, u_adj, v_off, v_adj, u_norm, v_norm }
     }
@@ -99,12 +107,12 @@ impl PropGraph {
 /// Forward propagation: returns the final tangent embeddings
 /// `(user_final, item_final)`; with `layers == 0` these are copies of the
 /// inputs (the "w/o HGCN" variant).
-pub fn propagate_forward(
+pub fn propagate_forward<S: Scalar>(
     adj: &InteractionSet,
-    z_u0: &Embedding,
-    z_v0: &Embedding,
+    z_u0: &Embedding<S>,
+    z_v0: &Embedding<S>,
     layers: usize,
-) -> (Embedding, Embedding) {
+) -> (Embedding<S>, Embedding<S>) {
     propagate_forward_par(adj, z_u0, z_v0, layers, 1)
 }
 
@@ -112,13 +120,13 @@ pub fn propagate_forward(
 /// scoped threads (identical output; used at `paper` scale). Builds a
 /// throwaway [`PropGraph`]; hot loops should build one and call
 /// [`propagate_forward_graph`].
-pub fn propagate_forward_par(
+pub fn propagate_forward_par<S: Scalar>(
     adj: &InteractionSet,
-    z_u0: &Embedding,
-    z_v0: &Embedding,
+    z_u0: &Embedding<S>,
+    z_v0: &Embedding<S>,
     layers: usize,
     threads: usize,
-) -> (Embedding, Embedding) {
+) -> (Embedding<S>, Embedding<S>) {
     if layers == 0 {
         return (z_u0.clone(), z_v0.clone());
     }
@@ -126,13 +134,13 @@ pub fn propagate_forward_par(
 }
 
 /// Forward propagation against a cached [`PropGraph`].
-pub fn propagate_forward_graph(
-    adj: &PropGraph,
-    z_u0: &Embedding,
-    z_v0: &Embedding,
+pub fn propagate_forward_graph<S: Scalar>(
+    adj: &PropGraph<S>,
+    z_u0: &Embedding<S>,
+    z_v0: &Embedding<S>,
     layers: usize,
     threads: usize,
-) -> (Embedding, Embedding) {
+) -> (Embedding<S>, Embedding<S>) {
     if layers == 0 {
         return (z_u0.clone(), z_v0.clone());
     }
@@ -155,25 +163,25 @@ pub fn propagate_forward_graph(
 
 /// Backward pass: given gradients w.r.t. the final tangent embeddings,
 /// returns gradients w.r.t. the layer-0 embeddings.
-pub fn propagate_backward(
+pub fn propagate_backward<S: Scalar>(
     adj: &InteractionSet,
-    g_fu: &Embedding,
-    g_fv: &Embedding,
+    g_fu: &Embedding<S>,
+    g_fv: &Embedding<S>,
     layers: usize,
-) -> (Embedding, Embedding) {
+) -> (Embedding<S>, Embedding<S>) {
     propagate_backward_par(adj, g_fu, g_fv, layers, 1)
 }
 
 /// [`propagate_backward`] with row-parallel aggregation (exact adjoint of
 /// [`propagate_forward_par`]). Builds a throwaway [`PropGraph`]; hot loops
 /// should build one and call [`propagate_backward_graph`].
-pub fn propagate_backward_par(
+pub fn propagate_backward_par<S: Scalar>(
     adj: &InteractionSet,
-    g_fu: &Embedding,
-    g_fv: &Embedding,
+    g_fu: &Embedding<S>,
+    g_fv: &Embedding<S>,
     layers: usize,
     threads: usize,
-) -> (Embedding, Embedding) {
+) -> (Embedding<S>, Embedding<S>) {
     if layers == 0 {
         return (g_fu.clone(), g_fv.clone());
     }
@@ -181,13 +189,13 @@ pub fn propagate_backward_par(
 }
 
 /// Backward propagation against a cached [`PropGraph`].
-pub fn propagate_backward_graph(
-    adj: &PropGraph,
-    g_fu: &Embedding,
-    g_fv: &Embedding,
+pub fn propagate_backward_graph<S: Scalar>(
+    adj: &PropGraph<S>,
+    g_fu: &Embedding<S>,
+    g_fv: &Embedding<S>,
     layers: usize,
     threads: usize,
-) -> (Embedding, Embedding) {
+) -> (Embedding<S>, Embedding<S>) {
     if layers == 0 {
         return (g_fu.clone(), g_fv.clone());
     }
@@ -209,12 +217,12 @@ pub fn propagate_backward_graph(
 }
 
 /// One forward step `next = (I + A)·z`.
-fn step_forward(
-    adj: &PropGraph,
-    zu: &Embedding,
-    zv: &Embedding,
-    next_u: &mut Embedding,
-    next_v: &mut Embedding,
+fn step_forward<S: Scalar>(
+    adj: &PropGraph<S>,
+    zu: &Embedding<S>,
+    zv: &Embedding<S>,
+    next_u: &mut Embedding<S>,
+    next_v: &mut Embedding<S>,
     threads: usize,
 ) {
     for_each_row(next_u, threads, |u, out| {
@@ -238,12 +246,12 @@ fn step_forward(
 /// Forward sends `z_v/|N_u|` into user `u`; the transpose therefore sends
 /// `g_u/|N_u|` into item `v` for every edge `(u, v)` — note the
 /// normalization stays with the *source side of the forward pass*.
-fn step_transpose(
-    adj: &PropGraph,
-    gu: &Embedding,
-    gv: &Embedding,
-    next_u: &mut Embedding,
-    next_v: &mut Embedding,
+fn step_transpose<S: Scalar>(
+    adj: &PropGraph<S>,
+    gu: &Embedding<S>,
+    gv: &Embedding<S>,
+    next_u: &mut Embedding<S>,
+    next_v: &mut Embedding<S>,
     threads: usize,
 ) {
     for_each_row(next_u, threads, |u, out| {
@@ -260,8 +268,8 @@ fn step_transpose(
     });
 }
 
-fn accumulate(acc: &mut Embedding, x: &Embedding) {
-    ops::axpy(1.0, x.as_slice(), acc.as_mut_slice());
+fn accumulate<S: Scalar>(acc: &mut Embedding<S>, x: &Embedding<S>) {
+    ops::axpy(S::ONE, x.as_slice(), acc.as_mut_slice());
 }
 
 #[cfg(test)]
@@ -278,8 +286,8 @@ mod tests {
     fn zero_layers_is_identity() {
         let adj = toy_adj();
         let mut rng = SplitMix64::new(1);
-        let zu = Embedding::normal(3, 4, 1.0, &mut rng);
-        let zv = Embedding::normal(4, 4, 1.0, &mut rng);
+        let zu: Embedding = Embedding::normal(3, 4, 1.0, &mut rng);
+        let zv: Embedding = Embedding::normal(4, 4, 1.0, &mut rng);
         let (fu, fv) = propagate_forward(&adj, &zu, &zv, 0);
         assert_eq!(fu, zu);
         assert_eq!(fv, zv);
@@ -288,8 +296,8 @@ mod tests {
     #[test]
     fn one_layer_matches_manual_mean_aggregation() {
         let adj = toy_adj();
-        let mut zu = Embedding::zeros(3, 1);
-        let mut zv = Embedding::zeros(4, 1);
+        let mut zu: Embedding = Embedding::zeros(3, 1);
+        let mut zv: Embedding = Embedding::zeros(4, 1);
         for u in 0..3 {
             zu.row_mut(u)[0] = (u + 1) as f64; // 1, 2, 3
         }
@@ -313,9 +321,9 @@ mod tests {
     #[test]
     fn isolated_nodes_pass_through() {
         let adj = InteractionSet::from_pairs(2, 2, &[(0, 0)]);
-        let mut zu = Embedding::zeros(2, 1);
+        let mut zu: Embedding = Embedding::zeros(2, 1);
         zu.row_mut(1)[0] = 5.0;
-        let mut zv = Embedding::zeros(2, 1);
+        let mut zv: Embedding = Embedding::zeros(2, 1);
         zv.row_mut(1)[0] = 7.0;
         let (fu, fv) = propagate_forward(&adj, &zu, &zv, 2);
         // Isolated user 1 / item 1 only self-accumulate: Σ_{l=1,2} z = 2z.
@@ -331,7 +339,7 @@ mod tests {
         let adj = toy_adj();
         let mut rng = SplitMix64::new(7);
         for layers in 1..=4 {
-            let zu = Embedding::normal(3, 5, 1.0, &mut rng);
+            let zu: Embedding = Embedding::normal(3, 5, 1.0, &mut rng);
             let zv = Embedding::normal(4, 5, 1.0, &mut rng);
             let gu = Embedding::normal(3, 5, 1.0, &mut rng);
             let gv = Embedding::normal(4, 5, 1.0, &mut rng);
@@ -355,7 +363,7 @@ mod tests {
         let adj = toy_adj();
         let mut rng = SplitMix64::new(9);
         let layers = 3;
-        let zu = Embedding::normal(3, 2, 0.5, &mut rng);
+        let zu: Embedding = Embedding::normal(3, 2, 0.5, &mut rng);
         let zv = Embedding::normal(4, 2, 0.5, &mut rng);
         let wu = Embedding::normal(3, 2, 1.0, &mut rng);
         let wv = Embedding::normal(4, 2, 1.0, &mut rng);
@@ -393,7 +401,7 @@ mod tests {
         let pairs: Vec<(usize, usize)> =
             (0..2000).map(|_| (rng.index(50), rng.index(80))).collect();
         let adj = InteractionSet::from_pairs(50, 80, &pairs);
-        let zu = Embedding::normal(50, 8, 1.0, &mut rng);
+        let zu: Embedding = Embedding::normal(50, 8, 1.0, &mut rng);
         let zv = Embedding::normal(80, 8, 1.0, &mut rng);
         for layers in [1usize, 3] {
             let (a_u, a_v) = propagate_forward(&adj, &zu, &zv, layers);
@@ -412,11 +420,11 @@ mod tests {
         // Users 0 and 1 share item 1, so their embeddings should move
         // toward each other relative to disconnected user 2.
         let adj = toy_adj();
-        let mut zu = Embedding::zeros(3, 1);
+        let mut zu: Embedding = Embedding::zeros(3, 1);
         zu.row_mut(0)[0] = 1.0;
         zu.row_mut(1)[0] = -1.0;
         zu.row_mut(2)[0] = 1.0;
-        let zv = Embedding::zeros(4, 1);
+        let zv: Embedding = Embedding::zeros(4, 1);
         let (fu, _) = propagate_forward(&adj, &zu, &zv, 2);
         // After propagation through the shared item, user 0 picks up some
         // of user 1's negative mass.

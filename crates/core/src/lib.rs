@@ -34,9 +34,9 @@ pub mod shard;
 pub mod trainer;
 
 pub use ablation::Variant;
-pub use config::{Geometry, LogiRecConfig};
+pub use config::{Geometry, LogiRecConfig, Precision};
 pub use filter::{FilteredRanker, LogicFilter};
 pub use graph::PropGraph;
 pub use model::LogiRec;
 pub use shard::{merge_tree, shard_count, shard_ranges, Merge, SparseGrad};
-pub use trainer::{train, Recovery, RecoveryAction, TrainReport};
+pub use trainer::{train, train_typed, Recovery, RecoveryAction, TrainReport};

@@ -8,10 +8,19 @@
 //!
 //! All three logic losses are hinge functions of Euclidean norms of the
 //! derived ball parameters `(o_t, r_t)`; their gradients flow to the tag
-//! defining points through [`logirec_hyperbolic::hyperplane::ball_vjp`].
+//! defining points through
+//! [`logirec_hyperbolic::hyperplane::ball_vjp_into`].
+//!
+//! Everything here is generic over the working precision [`Scalar`] and
+//! **allocation-free per sample**: each loss function owns a small
+//! [`LogicScratch`] / [`RankScratch`] (allocated once per call — i.e. once
+//! per shard job in the parallel trainer) and every per-pair or per-triplet
+//! kernel writes into those buffers via the `*_into` variants. The `f64`
+//! instantiation performs the identical floating-point operation sequence
+//! as the historical allocating code, so sharded results stay bit-exact.
 
-use logirec_hyperbolic::{hyperplane, lorentz, Ball};
-use logirec_linalg::{ops, Embedding};
+use logirec_hyperbolic::{hyperplane, lorentz};
+use logirec_linalg::{ops, Embedding, Scalar};
 use logirec_taxonomy::TagId;
 
 use crate::config::Geometry;
@@ -23,29 +32,29 @@ use crate::shard::{Merge, SparseGrad};
 /// sparse [`LogicShard`] (per-worker shards in the parallel trainer). The
 /// loss functions are generic over the sink so the gradient math exists
 /// exactly once.
-pub trait LogicSink {
+pub trait LogicSink<S: Scalar> {
     /// Adds a (weighted) loss contribution.
     fn add_loss(&mut self, l: f64);
     /// Adds `g` to the gradient of tag `t`'s defining point.
-    fn add_tag(&mut self, t: TagId, g: &[f64]);
+    fn add_tag(&mut self, t: TagId, g: &[S]);
     /// Adds `g` to the gradient of item `v`'s point.
-    fn add_item(&mut self, v: usize, g: &[f64]);
+    fn add_item(&mut self, v: usize, g: &[S]);
 }
 
 /// Accumulated Euclidean gradients for the logical relation losses.
 #[derive(Debug)]
-pub struct LogicGrads {
+pub struct LogicGrads<S: Scalar = f64> {
     /// Gradients on the tag defining points (`S × d`).
-    pub tags: Embedding,
+    pub tags: Embedding<S>,
     /// Gradients on the item points (`V × d`).
-    pub items: Embedding,
+    pub items: Embedding<S>,
     /// Summed (weighted) loss value.
     pub loss: f64,
 }
 
-impl LogicGrads {
+impl<S: Scalar> LogicGrads<S> {
     /// Fresh zero accumulator matching `model`'s shapes.
-    pub fn zeros(model: &LogiRec) -> Self {
+    pub fn zeros(model: &LogiRec<S>) -> Self {
         Self {
             tags: Embedding::zeros(model.tags.rows(), model.tags.dim()),
             items: Embedding::zeros(model.items.rows(), model.items.dim()),
@@ -61,17 +70,17 @@ impl LogicGrads {
     }
 }
 
-impl LogicSink for LogicGrads {
+impl<S: Scalar> LogicSink<S> for LogicGrads<S> {
     fn add_loss(&mut self, l: f64) {
         self.loss += l;
     }
 
-    fn add_tag(&mut self, t: TagId, g: &[f64]) {
-        ops::axpy(1.0, g, self.tags.row_mut(t));
+    fn add_tag(&mut self, t: TagId, g: &[S]) {
+        ops::axpy(S::ONE, g, self.tags.row_mut(t));
     }
 
-    fn add_item(&mut self, v: usize, g: &[f64]) {
-        ops::axpy(1.0, g, self.items.row_mut(v));
+    fn add_item(&mut self, v: usize, g: &[S]) {
+        ops::axpy(S::ONE, g, self.items.row_mut(v));
     }
 }
 
@@ -80,18 +89,18 @@ impl LogicSink for LogicGrads {
 /// `train_threads` workers costs memory proportional to the rows a shard
 /// actually hits.
 #[derive(Debug, Clone)]
-pub struct LogicShard {
+pub struct LogicShard<S: Scalar = f64> {
     /// Sparse gradients on tag defining points.
-    pub tags: SparseGrad,
+    pub tags: SparseGrad<S>,
     /// Sparse gradients on item points.
-    pub items: SparseGrad,
+    pub items: SparseGrad<S>,
     /// Summed (weighted) loss of this shard.
     pub loss: f64,
 }
 
-impl LogicShard {
+impl<S: Scalar> LogicShard<S> {
     /// Empty shard matching `model`'s embedding width.
-    pub fn new(model: &LogiRec) -> Self {
+    pub fn new(model: &LogiRec<S>) -> Self {
         Self {
             tags: SparseGrad::new(model.tags.dim()),
             items: SparseGrad::new(model.items.dim()),
@@ -110,21 +119,21 @@ impl LogicShard {
     }
 }
 
-impl LogicSink for LogicShard {
+impl<S: Scalar> LogicSink<S> for LogicShard<S> {
     fn add_loss(&mut self, l: f64) {
         self.loss += l;
     }
 
-    fn add_tag(&mut self, t: TagId, g: &[f64]) {
+    fn add_tag(&mut self, t: TagId, g: &[S]) {
         self.tags.add(t, g);
     }
 
-    fn add_item(&mut self, v: usize, g: &[f64]) {
+    fn add_item(&mut self, v: usize, g: &[S]) {
         self.items.add(v, g);
     }
 }
 
-impl Merge for LogicShard {
+impl<S: Scalar> Merge for LogicShard<S> {
     fn merge(&mut self, other: Self) {
         self.tags.merge(other.tags);
         self.items.merge(other.items);
@@ -132,85 +141,128 @@ impl Merge for LogicShard {
     }
 }
 
+/// Reusable scratch for the logic-loss inner loops: two derived ball
+/// centers, the (later rescaled and negated in place) difference vector,
+/// and the `ball_vjp` output. Allocated once per loss-function call — the
+/// per-pair loop never touches the allocator.
+struct LogicScratch<S: Scalar> {
+    ci: Vec<S>,
+    cj: Vec<S>,
+    unit: Vec<S>,
+    gc: Vec<S>,
+}
+
+impl<S: Scalar> LogicScratch<S> {
+    fn new(dim: usize) -> Self {
+        Self {
+            ci: vec![S::ZERO; dim],
+            cj: vec![S::ZERO; dim],
+            unit: vec![S::ZERO; dim],
+            gc: vec![S::ZERO; dim],
+        }
+    }
+}
+
+/// `unit ← (a − b) · k` with `‖a − b‖` floored at `1e-12`; returns nothing,
+/// the caller reads `s.unit`. Identical operation sequence to the former
+/// `sub` / `norm` / `scaled` chain.
+#[inline]
+fn scaled_diff_into<S: Scalar>(a: &[S], b: &[S], k_over_n: impl FnOnce(S) -> S, unit: &mut [S]) {
+    unit.copy_from_slice(a);
+    for (u, bi) in unit.iter_mut().zip(b) {
+        *u -= *bi;
+    }
+    let n = ops::norm(unit).max(S::from_f64(1e-12));
+    ops::scale(unit, k_over_n(n));
+}
+
+/// Flips the sign of every element in place (bit-exact equivalent of the
+/// former `scaled(·, −1.0)`).
+#[inline]
+fn negate<S: Scalar>(x: &mut [S]) {
+    for v in x.iter_mut() {
+        *v = -*v;
+    }
+}
+
 /// L_Mem (Eq. 3) over `(item, tag)` pairs, each weighted by `weight`.
-pub fn membership_loss_grad(
-    model: &LogiRec,
+pub fn membership_loss_grad<S: Scalar>(
+    model: &LogiRec<S>,
     pairs: &[(usize, TagId)],
     weight: f64,
-    out: &mut impl LogicSink,
+    out: &mut impl LogicSink<S>,
 ) {
+    let mut s = LogicScratch::new(model.tags.dim());
     for &(v, t) in pairs {
         let c = model.tags.row(t);
-        let ball = Ball::from_center(c);
+        let radius = hyperplane::from_center_into(c, &mut s.ci);
         let x = model.items.row(v);
-        let margin = ball.membership_margin(x);
-        if margin <= 0.0 {
+        let margin = ops::dist(x, &s.ci) - radius;
+        if margin <= S::ZERO {
             continue;
         }
-        out.add_loss(weight * margin);
-        let diff = ops::sub(x, &ball.center);
-        let n = ops::norm(&diff).max(1e-12);
-        let unit = ops::scaled(&diff, weight / n);
+        out.add_loss(weight * margin.to_f64());
+        scaled_diff_into(x, &s.ci, |n| S::from_f64(weight) / n, &mut s.unit);
         // ∂/∂x = unit; ∂/∂o = −unit; ∂/∂r = −weight.
-        out.add_item(v, &unit);
-        let neg_unit = ops::scaled(&unit, -1.0);
-        let g_c = hyperplane::ball_vjp(c, &neg_unit, -weight);
-        out.add_tag(t, &g_c);
+        out.add_item(v, &s.unit);
+        negate(&mut s.unit);
+        hyperplane::ball_vjp_into(c, &s.unit, S::from_f64(-weight), &mut s.gc);
+        out.add_tag(t, &s.gc);
     }
 }
 
 /// L_Hie (Eq. 4) over `(parent, child)` pairs.
-pub fn hierarchy_loss_grad(
-    model: &LogiRec,
+pub fn hierarchy_loss_grad<S: Scalar>(
+    model: &LogiRec<S>,
     pairs: &[(TagId, TagId)],
     weight: f64,
-    out: &mut impl LogicSink,
+    out: &mut impl LogicSink<S>,
 ) {
+    let mut s = LogicScratch::new(model.tags.dim());
     for &(parent, child) in pairs {
         let (ci, cj) = (model.tags.row(parent), model.tags.row(child));
-        let (bi, bj) = (Ball::from_center(ci), Ball::from_center(cj));
-        let margin = bi.hierarchy_margin(&bj);
-        if margin <= 0.0 {
+        let ri = hyperplane::from_center_into(ci, &mut s.ci);
+        let rj = hyperplane::from_center_into(cj, &mut s.cj);
+        // margin = ‖o_i − o_j‖ + r_j − r_i.
+        let margin = ops::dist(&s.ci, &s.cj) + rj - ri;
+        if margin <= S::ZERO {
             continue;
         }
-        out.add_loss(weight * margin);
-        let diff = ops::sub(&bi.center, &bj.center);
-        let n = ops::norm(&diff).max(1e-12);
-        let unit = ops::scaled(&diff, weight / n);
-        // margin = ‖o_i − o_j‖ + r_j − r_i.
-        let g_ci = hyperplane::ball_vjp(ci, &unit, -weight);
-        let neg_unit = ops::scaled(&unit, -1.0);
-        let g_cj = hyperplane::ball_vjp(cj, &neg_unit, weight);
-        out.add_tag(parent, &g_ci);
-        out.add_tag(child, &g_cj);
+        out.add_loss(weight * margin.to_f64());
+        scaled_diff_into(&s.ci, &s.cj, |n| S::from_f64(weight) / n, &mut s.unit);
+        hyperplane::ball_vjp_into(ci, &s.unit, S::from_f64(-weight), &mut s.gc);
+        out.add_tag(parent, &s.gc);
+        negate(&mut s.unit);
+        hyperplane::ball_vjp_into(cj, &s.unit, S::from_f64(weight), &mut s.gc);
+        out.add_tag(child, &s.gc);
     }
 }
 
 /// L_Ex (Eq. 5) over exclusion pairs (levels are carried by the relation
 /// records but do not enter the loss itself).
-pub fn exclusion_loss_grad(
-    model: &LogiRec,
+pub fn exclusion_loss_grad<S: Scalar>(
+    model: &LogiRec<S>,
     pairs: &[(TagId, TagId)],
     weight: f64,
-    out: &mut impl LogicSink,
+    out: &mut impl LogicSink<S>,
 ) {
+    let mut s = LogicScratch::new(model.tags.dim());
     for &(a, b) in pairs {
         let (ci, cj) = (model.tags.row(a), model.tags.row(b));
-        let (bi, bj) = (Ball::from_center(ci), Ball::from_center(cj));
-        let margin = bi.exclusion_margin(&bj);
-        if margin <= 0.0 {
+        let ri = hyperplane::from_center_into(ci, &mut s.ci);
+        let rj = hyperplane::from_center_into(cj, &mut s.cj);
+        // margin = r_i + r_j − ‖o_i − o_j‖.
+        let margin = ri + rj - ops::dist(&s.ci, &s.cj);
+        if margin <= S::ZERO {
             continue;
         }
-        out.add_loss(weight * margin);
-        let diff = ops::sub(&bi.center, &bj.center);
-        let n = ops::norm(&diff).max(1e-12);
-        // margin = r_i + r_j − ‖o_i − o_j‖.
-        let unit = ops::scaled(&diff, -weight / n);
-        let g_ci = hyperplane::ball_vjp(ci, &unit, weight);
-        let neg_unit = ops::scaled(&unit, -1.0);
-        let g_cj = hyperplane::ball_vjp(cj, &neg_unit, weight);
-        out.add_tag(a, &g_ci);
-        out.add_tag(b, &g_cj);
+        out.add_loss(weight * margin.to_f64());
+        scaled_diff_into(&s.ci, &s.cj, |n| S::from_f64(-weight) / n, &mut s.unit);
+        hyperplane::ball_vjp_into(ci, &s.unit, S::from_f64(weight), &mut s.gc);
+        out.add_tag(a, &s.gc);
+        negate(&mut s.unit);
+        hyperplane::ball_vjp_into(cj, &s.unit, S::from_f64(weight), &mut s.gc);
+        out.add_tag(b, &s.gc);
     }
 }
 
@@ -218,40 +270,40 @@ pub fn exclusion_loss_grad(
 /// relation as future work): two overlapping tags' balls must actually
 /// overlap — the reverse of exclusion, hinged on geometric disjointness
 /// `[‖o_i − o_j‖ − (r_i + r_j)]₊`.
-pub fn intersection_loss_grad(
-    model: &LogiRec,
+pub fn intersection_loss_grad<S: Scalar>(
+    model: &LogiRec<S>,
     pairs: &[(TagId, TagId)],
     weight: f64,
-    out: &mut impl LogicSink,
+    out: &mut impl LogicSink<S>,
 ) {
+    let mut s = LogicScratch::new(model.tags.dim());
     for &(a, b) in pairs {
         let (ci, cj) = (model.tags.row(a), model.tags.row(b));
-        let (bi, bj) = (Ball::from_center(ci), Ball::from_center(cj));
+        let ri = hyperplane::from_center_into(ci, &mut s.ci);
+        let rj = hyperplane::from_center_into(cj, &mut s.cj);
         // margin = ‖o_i − o_j‖ − r_i − r_j (positive ⇔ disjoint).
-        let margin = -bi.exclusion_margin(&bj);
-        if margin <= 0.0 {
+        let margin = -(ri + rj - ops::dist(&s.ci, &s.cj));
+        if margin <= S::ZERO {
             continue;
         }
-        out.add_loss(weight * margin);
-        let diff = ops::sub(&bi.center, &bj.center);
-        let n = ops::norm(&diff).max(1e-12);
-        let unit = ops::scaled(&diff, weight / n);
-        let g_ci = hyperplane::ball_vjp(ci, &unit, -weight);
-        let neg_unit = ops::scaled(&unit, -1.0);
-        let g_cj = hyperplane::ball_vjp(cj, &neg_unit, -weight);
-        out.add_tag(a, &g_ci);
-        out.add_tag(b, &g_cj);
+        out.add_loss(weight * margin.to_f64());
+        scaled_diff_into(&s.ci, &s.cj, |n| S::from_f64(weight) / n, &mut s.unit);
+        hyperplane::ball_vjp_into(ci, &s.unit, S::from_f64(-weight), &mut s.gc);
+        out.add_tag(a, &s.gc);
+        negate(&mut s.unit);
+        hyperplane::ball_vjp_into(cj, &s.unit, S::from_f64(-weight), &mut s.gc);
+        out.add_tag(b, &s.gc);
     }
 }
 
 /// Output of [`rank_loss_grad`]: dense ambient gradients w.r.t. the final
 /// (propagated) user and item embeddings.
 #[derive(Debug)]
-pub struct RankGrads {
+pub struct RankGrads<S: Scalar = f64> {
     /// `U × ambient` gradient on the final user embeddings.
-    pub user_final: Embedding,
+    pub user_final: Embedding<S>,
     /// `V × ambient` gradient on the final item embeddings.
-    pub item_final: Embedding,
+    pub item_final: Embedding<S>,
     /// Summed (weighted) hinge loss.
     pub loss: f64,
     /// Number of triplets with a positive hinge.
@@ -261,13 +313,13 @@ pub struct RankGrads {
 /// L_Rec (Eq. 9 / Eq. 15): for each triplet `(u, v⁺, v⁻)` accumulate the
 /// hinge `[m + d(u,v⁺) − d(u,v⁻)]₊`, weighted by `alpha[u]` when mining
 /// weights are supplied.
-pub fn rank_loss_grad(
-    model: &LogiRec,
+pub fn rank_loss_grad<S: Scalar>(
+    model: &LogiRec<S>,
     triplets: &[(usize, usize, usize)],
     margin: f64,
     alpha: Option<&[f64]>,
     per_triplet_weight: f64,
-) -> RankGrads {
+) -> RankGrads<S> {
     let st = model.state();
     let ambient = st.user_final.dim();
     let mut out = RankGrads {
@@ -283,50 +335,71 @@ pub fn rank_loss_grad(
         margin,
         alpha,
         per_triplet_weight,
-        |u, g| ops::axpy(1.0, g, user_final.row_mut(u)),
-        |v, g| ops::axpy(1.0, g, item_final.row_mut(v)),
+        |u, g| ops::axpy(S::ONE, g, user_final.row_mut(u)),
+        |v, g| ops::axpy(S::ONE, g, item_final.row_mut(v)),
     );
     out.loss = loss;
     out.active = active;
     out
 }
 
+/// Reusable scratch for the ranking inner loop: the two distance-VJP
+/// outputs. Allocated once per [`rank_accumulate`] call (one shard job);
+/// the per-triplet loop writes into these via `distance_vjp_into`.
+struct RankScratch<S: Scalar> {
+    gx: Vec<S>,
+    gy: Vec<S>,
+}
+
 /// The triplet walk shared by the dense and sharded ranking paths: calls
 /// `add_user(u, g)` / `add_item(v, g)` for every gradient contribution, in
-/// a fixed per-triplet order (`u⁺, u⁻, v⁺, v⁻`), and returns
-/// `(loss, active)`.
-fn rank_accumulate(
-    model: &LogiRec,
+/// a fixed per-triplet order (`u⁺, v⁺, u⁻, v⁻` gradient computation with
+/// adds ordered `u⁺, u⁻, v⁺, v⁻`), and returns `(loss, active)`.
+fn rank_accumulate<S: Scalar>(
+    model: &LogiRec<S>,
     triplets: &[(usize, usize, usize)],
     margin: f64,
     alpha: Option<&[f64]>,
     per_triplet_weight: f64,
-    mut add_user: impl FnMut(usize, &[f64]),
-    mut add_item: impl FnMut(usize, &[f64]),
+    mut add_user: impl FnMut(usize, &[S]),
+    mut add_item: impl FnMut(usize, &[S]),
 ) -> (f64, usize) {
     let st = model.state();
+    let ambient = st.user_final.dim();
+    let mut sp = RankScratch { gx: vec![S::ZERO; ambient], gy: vec![S::ZERO; ambient] };
+    let mut sq = RankScratch { gx: vec![S::ZERO; ambient], gy: vec![S::ZERO; ambient] };
     let (mut loss, mut active) = (0.0, 0usize);
     for &(u, vp, vq) in triplets {
         let urow = st.user_final.row(u);
         let dp = carrier_distance(model.cfg.geometry, urow, st.item_final.row(vp));
         let dq = carrier_distance(model.cfg.geometry, urow, st.item_final.row(vq));
-        let hinge = margin + dp - dq;
-        if hinge <= 0.0 {
+        let hinge = S::from_f64(margin) + dp - dq;
+        if hinge <= S::ZERO {
             continue;
         }
         active += 1;
         let w = per_triplet_weight * alpha.map_or(1.0, |a| a[u]);
-        loss += w * hinge;
+        loss += w * hinge.to_f64();
         // + d(u, v⁺): upstream +w on both ends.
-        let (gu_p, gv_p) =
-            carrier_distance_vjp(model.cfg.geometry, urow, st.item_final.row(vp), w);
+        carrier_distance_vjp(
+            model.cfg.geometry,
+            urow,
+            st.item_final.row(vp),
+            S::from_f64(w),
+            &mut sp,
+        );
         // − d(u, v⁻): upstream −w.
-        let (gu_q, gv_q) =
-            carrier_distance_vjp(model.cfg.geometry, urow, st.item_final.row(vq), -w);
-        add_user(u, &gu_p);
-        add_user(u, &gu_q);
-        add_item(vp, &gv_p);
-        add_item(vq, &gv_q);
+        carrier_distance_vjp(
+            model.cfg.geometry,
+            urow,
+            st.item_final.row(vq),
+            S::from_f64(-w),
+            &mut sq,
+        );
+        add_user(u, &sp.gx);
+        add_user(u, &sq.gx);
+        add_item(vp, &sp.gy);
+        add_item(vq, &sq.gy);
     }
     (loss, active)
 }
@@ -334,18 +407,18 @@ fn rank_accumulate(
 /// One worker's sparse share of the ranking gradients (w.r.t. the final
 /// carrier-space embeddings).
 #[derive(Debug, Clone)]
-pub struct RankShard {
+pub struct RankShard<S: Scalar = f64> {
     /// Sparse gradient on the final user embeddings (`ambient`-wide rows).
-    pub users: SparseGrad,
+    pub users: SparseGrad<S>,
     /// Sparse gradient on the final item embeddings.
-    pub items: SparseGrad,
+    pub items: SparseGrad<S>,
     /// Summed (weighted) hinge loss of this shard.
     pub loss: f64,
     /// Triplets with a positive hinge in this shard.
     pub active: usize,
 }
 
-impl Merge for RankShard {
+impl<S: Scalar> Merge for RankShard<S> {
     fn merge(&mut self, other: Self) {
         self.users.merge(other.users);
         self.items.merge(other.items);
@@ -356,13 +429,13 @@ impl Merge for RankShard {
 
 /// [`rank_loss_grad`] over one contiguous shard of the triplet list,
 /// accumulating into touched-row maps instead of dense tables.
-pub fn rank_loss_shard(
-    model: &LogiRec,
+pub fn rank_loss_shard<S: Scalar>(
+    model: &LogiRec<S>,
     triplets: &[(usize, usize, usize)],
     margin: f64,
     alpha: Option<&[f64]>,
     per_triplet_weight: f64,
-) -> RankShard {
+) -> RankShard<S> {
     let ambient = model.state().user_final.dim();
     let mut users = SparseGrad::new(ambient);
     let mut items = SparseGrad::new(ambient);
@@ -388,14 +461,14 @@ pub fn rank_loss_shard(
 ///
 /// Returns the merged shard; scatter it into dense tables with
 /// [`SparseGrad::scatter_add`].
-pub fn rank_loss_grad_sharded(
-    model: &LogiRec,
+pub fn rank_loss_grad_sharded<S: Scalar>(
+    model: &LogiRec<S>,
     triplets: &[(usize, usize, usize)],
     margin: f64,
     alpha: Option<&[f64]>,
     per_triplet_weight: f64,
     threads: usize,
-) -> RankShard {
+) -> RankShard<S> {
     let ranges = crate::shard::shard_ranges(triplets.len());
     let shards = crate::parallel::map_jobs(ranges.len(), threads, |i| {
         rank_loss_shard(model, &triplets[ranges[i].clone()], margin, alpha, per_triplet_weight)
@@ -433,7 +506,13 @@ impl LogicBatch<'_> {
     }
 
     /// Runs the batch's loss/gradient accumulation into `out`.
-    pub fn accumulate(&self, model: &LogiRec, range: std::ops::Range<usize>, weight: f64, out: &mut impl LogicSink) {
+    pub fn accumulate<S: Scalar>(
+        &self,
+        model: &LogiRec<S>,
+        range: std::ops::Range<usize>,
+        weight: f64,
+        out: &mut impl LogicSink<S>,
+    ) {
         match self {
             LogicBatch::Membership(p) => membership_loss_grad(model, &p[range], weight, out),
             LogicBatch::Hierarchy(p) => hierarchy_loss_grad(model, &p[range], weight, out),
@@ -450,11 +529,11 @@ impl LogicBatch<'_> {
 /// fixed-shape [`crate::shard::merge_tree`]. Bit-identical for every
 /// `threads` value, because both the job list and the merge shape depend
 /// only on the batch lengths.
-pub fn logic_loss_grad_sharded(
-    model: &LogiRec,
+pub fn logic_loss_grad_sharded<S: Scalar>(
+    model: &LogiRec<S>,
     batches: &[(LogicBatch<'_>, f64)],
     threads: usize,
-) -> LogicShard {
+) -> LogicShard<S> {
     let mut jobs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
     for (bi, (batch, _)) in batches.iter().enumerate() {
         for range in crate::shard::shard_ranges(batch.len()) {
@@ -473,27 +552,36 @@ pub fn logic_loss_grad_sharded(
     crate::shard::merge_tree(shards).unwrap_or_else(|| LogicShard::new(model))
 }
 
-fn carrier_distance(geometry: Geometry, x: &[f64], y: &[f64]) -> f64 {
+fn carrier_distance<S: Scalar>(geometry: Geometry, x: &[S], y: &[S]) -> S {
     match geometry {
         Geometry::Hyperbolic => lorentz::distance(x, y),
         Geometry::Euclidean => ops::dist(x, y),
     }
 }
 
-fn carrier_distance_vjp(
+/// Writes the two carrier-distance gradients into `s.gx` / `s.gy` (every
+/// element overwritten).
+fn carrier_distance_vjp<S: Scalar>(
     geometry: Geometry,
-    x: &[f64],
-    y: &[f64],
-    upstream: f64,
-) -> (Vec<f64>, Vec<f64>) {
+    x: &[S],
+    y: &[S],
+    upstream: S,
+    s: &mut RankScratch<S>,
+) {
     match geometry {
-        Geometry::Hyperbolic => lorentz::distance_vjp(x, y, upstream),
+        Geometry::Hyperbolic => lorentz::distance_vjp_into(x, y, upstream, &mut s.gx, &mut s.gy),
         Geometry::Euclidean => {
-            let diff = ops::sub(x, y);
-            let n = ops::norm(&diff).max(1e-12);
-            let gx = ops::scaled(&diff, upstream / n);
-            let gy = ops::scaled(&diff, -upstream / n);
-            (gx, gy)
+            s.gx.copy_from_slice(x);
+            for (d, yi) in s.gx.iter_mut().zip(y) {
+                *d -= *yi;
+            }
+            let n = ops::norm(&s.gx).max(S::from_f64(1e-12));
+            let k = upstream / n;
+            let mk = -upstream / n;
+            for (gy, d) in s.gy.iter_mut().zip(&s.gx) {
+                *gy = *d * mk;
+            }
+            ops::scale(&mut s.gx, k);
         }
     }
 }
@@ -723,5 +811,38 @@ mod tests {
                 (g1.user_final.row(u)[col] * 0.5 - g2.user_final.row(u)[col]).abs() < 1e-12
             );
         }
+    }
+
+    /// The scratch-buffer loss path must be bit-identical to a
+    /// straightforward allocating reimplementation of the same math.
+    #[test]
+    fn scratch_membership_matches_allocating_reference_bitwise() {
+        use logirec_hyperbolic::Ball;
+        let (m, ds) = setup();
+        let pairs = &ds.relations.membership[..16.min(ds.relations.membership.len())];
+        let mut fast = LogicGrads::zeros(&m);
+        membership_loss_grad(&m, pairs, 0.7, &mut fast);
+        // Reference: the historical per-pair allocating implementation.
+        let mut slow = LogicGrads::zeros(&m);
+        for &(v, t) in pairs {
+            let c = m.tags.row(t);
+            let ball = Ball::from_center(c);
+            let x = m.items.row(v);
+            let margin = ball.membership_margin(x);
+            if margin <= 0.0 {
+                continue;
+            }
+            slow.loss += 0.7 * margin;
+            let diff = ops::sub(x, &ball.center);
+            let n = ops::norm(&diff).max(1e-12);
+            let unit = ops::scaled(&diff, 0.7 / n);
+            ops::axpy(1.0, &unit, slow.items.row_mut(v));
+            let neg_unit = ops::scaled(&unit, -1.0);
+            let g_c = hyperplane::ball_vjp(c, &neg_unit, -0.7);
+            ops::axpy(1.0, &g_c, slow.tags.row_mut(t));
+        }
+        assert_eq!(fast.loss, slow.loss);
+        assert_eq!(fast.tags, slow.tags);
+        assert_eq!(fast.items, slow.items);
     }
 }

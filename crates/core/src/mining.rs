@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use logirec_data::Dataset;
+use logirec_linalg::Scalar;
 use logirec_taxonomy::relations::tag_frequency;
 use logirec_taxonomy::TagId;
 
@@ -73,7 +74,7 @@ fn user_consistency(
 
 /// Per-user raw granularity scores GR_u (Eq. 13) from the model's current
 /// propagated embeddings. Requires [`LogiRec::propagate`] to have run.
-pub fn granularity_weights(model: &LogiRec, n_users: usize) -> Vec<f64> {
+pub fn granularity_weights<S: Scalar>(model: &LogiRec<S>, n_users: usize) -> Vec<f64> {
     (0..n_users).map(|u| model.user_origin_distance(u)).collect()
 }
 
@@ -203,7 +204,7 @@ mod tests {
     #[test]
     fn granularity_tracks_distance_to_origin() {
         let ds = DatasetSpec::ciao(Scale::Tiny).generate(3);
-        let mut m = LogiRec::new(LogiRecConfig::test_config(), &ds);
+        let mut m: LogiRec = LogiRec::new(LogiRecConfig::test_config(), &ds);
         m.propagate(&ds.train);
         let gr = granularity_weights(&m, ds.n_users());
         assert_eq!(gr.len(), ds.n_users());
@@ -243,7 +244,7 @@ mod tests {
     #[test]
     fn profiles_surface_top_tags() {
         let ds = DatasetSpec::ciao(Scale::Tiny).generate(4);
-        let mut m = LogiRec::new(LogiRecConfig::test_config(), &ds);
+        let mut m: LogiRec = LogiRec::new(LogiRecConfig::test_config(), &ds);
         m.propagate(&ds.train);
         let con = consistency_weights(&ds);
         let gr = granularity_weights(&m, ds.n_users());

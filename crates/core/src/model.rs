@@ -13,45 +13,48 @@
 
 use logirec_data::{Dataset, InteractionSet};
 use logirec_hyperbolic::{lorentz, maps, poincare};
-use logirec_linalg::{ops, Embedding, SplitMix64};
+use logirec_linalg::{ops, Embedding, Scalar, SplitMix64};
 
 use crate::config::{Geometry, LogiRecConfig};
 use crate::graph::PropGraph;
 
 /// Cached forward-pass tensors (recomputed every SGD step).
 #[derive(Debug, Clone)]
-pub struct ForwardState {
+pub struct ForwardState<S: Scalar = f64> {
     /// Items in the carrier space (`p⁻¹(v^P)`; `V × ambient`).
-    pub item_carrier: Embedding,
+    pub item_carrier: Embedding<S>,
     /// Layer-0 user tangents (`U × d`).
-    pub z_u0: Embedding,
+    pub z_u0: Embedding<S>,
     /// Layer-0 item tangents (`V × d`).
-    pub z_v0: Embedding,
+    pub z_v0: Embedding<S>,
     /// Final user tangents `Σ_l z_u^l` (`U × d`).
-    pub user_final_tan: Embedding,
+    pub user_final_tan: Embedding<S>,
     /// Final item tangents (`V × d`).
-    pub item_final_tan: Embedding,
+    pub item_final_tan: Embedding<S>,
     /// Final user embeddings in the carrier space (`U × ambient`).
-    pub user_final: Embedding,
+    pub user_final: Embedding<S>,
     /// Final item embeddings in the carrier space (`V × ambient`).
-    pub item_final: Embedding,
+    pub item_final: Embedding<S>,
 }
 
-/// The LogiRec / LogiRec++ model.
+/// The LogiRec / LogiRec++ model, generic over the working precision `S`
+/// (`f64` by default — the bit-exact reference path; `f32` for the
+/// single-precision training/serving path selected by
+/// [`crate::Precision::F32`]).
 #[derive(Debug, Clone)]
-pub struct LogiRec {
+pub struct LogiRec<S: Scalar = f64> {
     /// Hyperparameters.
     pub cfg: LogiRecConfig,
     /// Tag hyperplane defining points (`S × d`).
-    pub tags: Embedding,
+    pub tags: Embedding<S>,
     /// Item Poincaré points (`S × d`), or Euclidean points in the ablation.
-    pub items: Embedding,
+    pub items: Embedding<S>,
     /// User carrier points (`U × ambient`).
-    pub users: Embedding,
-    state: Option<ForwardState>,
+    pub users: Embedding<S>,
+    state: Option<ForwardState<S>>,
 }
 
-impl LogiRec {
+impl<S: Scalar> LogiRec<S> {
     /// Initializes a model for `dataset`.
     ///
     /// Tag centers are seeded by taxonomy level — coarse tags start near
@@ -69,8 +72,11 @@ impl LogiRec {
         // configuration in which the derived balls nest (Lemma 2) — and
         // norms grow with depth: 0.25 (level 1) … 0.7 (deepest), giving
         // coarse tags large regions and fine tags small ones.
+        // Initialization math always runs in f64 — the RNG stream and the
+        // derived geometry are precision-independent; the finished tables
+        // are rounded into `S` once at the end (identity for `S = f64`).
         let mut tag_rng = rng.fork(1);
-        let mut tags = Embedding::zeros(n_tags, dim);
+        let mut tags: Embedding = Embedding::zeros(n_tags, dim);
         for t in 0..n_tags {
             let level = dataset.taxonomy.level(t) as f64;
             let target = 0.25 + 0.45 * (level - 1.0) / (max_level - 1.0).max(1.0);
@@ -94,7 +100,8 @@ impl LogiRec {
         // point plus noise: membership (Eq. 3) then begins close to
         // satisfied and the tag structure shapes the geometry from the
         // first step.
-        let mut items = Embedding::poincare_burn_in(dataset.n_items(), dim, 0.05, &mut rng.fork(2));
+        let mut items: Embedding =
+            Embedding::poincare_burn_in(dataset.n_items(), dim, 0.05, &mut rng.fork(2));
         for v in 0..dataset.n_items() {
             let deepest = dataset.item_tags[v]
                 .iter()
@@ -107,10 +114,10 @@ impl LogiRec {
             }
         }
 
-        let users = match cfg.geometry {
+        let users: Embedding = match cfg.geometry {
             Geometry::Hyperbolic => {
-                let tangent = Embedding::normal(dataset.n_users(), dim, 0.05, &mut rng.fork(3));
-                let mut u = Embedding::zeros(dataset.n_users(), dim + 1);
+                let tangent: Embedding = Embedding::normal(dataset.n_users(), dim, 0.05, &mut rng.fork(3));
+                let mut u: Embedding = Embedding::zeros(dataset.n_users(), dim + 1);
                 for r in 0..u.rows() {
                     let point = lorentz::exp_origin(tangent.row(r));
                     u.row_mut(r).copy_from_slice(&point);
@@ -122,7 +129,27 @@ impl LogiRec {
             }
         };
 
-        Self { cfg, tags, items, users, state: None }
+        Self {
+            cfg,
+            tags: tags.cast(),
+            items: items.cast(),
+            users: users.cast(),
+            state: None,
+        }
+    }
+
+    /// Rounds every parameter table into precision `T`, dropping any cached
+    /// forward state (re-run [`Self::propagate`] on the result). Casting
+    /// `f64 → f64` is bit-exact, so this is also a cheap way to detach a
+    /// model from its state.
+    pub fn cast<T: Scalar>(&self) -> LogiRec<T> {
+        LogiRec {
+            cfg: self.cfg.clone(),
+            tags: self.tags.cast(),
+            items: self.items.cast(),
+            users: self.users.cast(),
+            state: None,
+        }
     }
 
     /// Reassembles a model from previously trained parameter tables
@@ -130,9 +157,9 @@ impl LogiRec {
     /// `cfg`; call [`Self::propagate`] before scoring.
     pub fn from_parts(
         cfg: LogiRecConfig,
-        tags: Embedding,
-        items: Embedding,
-        users: Embedding,
+        tags: Embedding<S>,
+        items: Embedding<S>,
+        users: Embedding<S>,
     ) -> Self {
         assert_eq!(tags.dim(), cfg.dim, "tag table width");
         assert_eq!(items.dim(), cfg.dim, "item table width");
@@ -151,23 +178,25 @@ impl LogiRec {
     }
 
     /// [`Self::propagate`] against a pre-built propagation cache.
-    pub fn propagate_graph(&mut self, adj: &PropGraph) {
+    pub fn propagate_graph(&mut self, adj: &PropGraph<S>) {
         let fwd_timer = self.cfg.telemetry.timer();
         let dim = self.cfg.dim;
         let (item_carrier, z_u0, z_v0) = match self.cfg.geometry {
             Geometry::Hyperbolic => {
                 let threads = self.cfg.train_threads;
+                // The `_into` kernels write each row in place: the forward
+                // pass performs zero per-row allocations.
                 let mut carrier = Embedding::zeros(self.items.rows(), dim + 1);
                 crate::parallel::for_each_row(&mut carrier, threads, |v, out| {
-                    out.copy_from_slice(&maps::poincare_to_lorentz(self.items.row(v)));
+                    maps::poincare_to_lorentz_into(self.items.row(v), out);
                 });
                 let mut z_v0 = Embedding::zeros(self.items.rows(), dim);
                 crate::parallel::for_each_row(&mut z_v0, threads, |v, out| {
-                    out.copy_from_slice(&lorentz::log_origin(carrier.row(v)));
+                    lorentz::log_origin_into(carrier.row(v), out);
                 });
                 let mut z_u0 = Embedding::zeros(self.users.rows(), dim);
                 crate::parallel::for_each_row(&mut z_u0, threads, |u, out| {
-                    out.copy_from_slice(&lorentz::log_origin(self.users.row(u)));
+                    lorentz::log_origin_into(self.users.row(u), out);
                 });
                 (carrier, z_u0, z_v0)
             }
@@ -187,11 +216,11 @@ impl LogiRec {
                 let threads = self.cfg.train_threads;
                 let mut uf = Embedding::zeros(user_final_tan.rows(), dim + 1);
                 crate::parallel::for_each_row(&mut uf, threads, |u, out| {
-                    out.copy_from_slice(&lorentz::exp_origin(user_final_tan.row(u)));
+                    lorentz::exp_origin_into(user_final_tan.row(u), out);
                 });
                 let mut vf = Embedding::zeros(item_final_tan.rows(), dim + 1);
                 crate::parallel::for_each_row(&mut vf, threads, |v, out| {
-                    out.copy_from_slice(&lorentz::exp_origin(item_final_tan.row(v)));
+                    lorentz::exp_origin_into(item_final_tan.row(v), out);
                 });
                 (uf, vf)
             }
@@ -211,7 +240,7 @@ impl LogiRec {
     }
 
     /// The cached forward state; panics if [`Self::propagate`] has not run.
-    pub fn state(&self) -> &ForwardState {
+    pub fn state(&self) -> &ForwardState<S> {
         self.state.as_ref().expect("propagate() must run before accessing state")
     }
 
@@ -226,20 +255,20 @@ impl LogiRec {
     /// Euclidean `d`-dim).
     pub fn backward_rank(
         &self,
-        g_user_final: &Embedding,
-        g_item_final: &Embedding,
+        g_user_final: &Embedding<S>,
+        g_item_final: &Embedding<S>,
         adj: &InteractionSet,
-    ) -> (Embedding, Embedding) {
+    ) -> (Embedding<S>, Embedding<S>) {
         self.backward_rank_graph(g_user_final, g_item_final, &PropGraph::build(adj))
     }
 
     /// [`Self::backward_rank`] against a pre-built propagation cache.
     pub fn backward_rank_graph(
         &self,
-        g_user_final: &Embedding,
-        g_item_final: &Embedding,
-        adj: &PropGraph,
-    ) -> (Embedding, Embedding) {
+        g_user_final: &Embedding<S>,
+        g_item_final: &Embedding<S>,
+        adj: &PropGraph<S>,
+    ) -> (Embedding<S>, Embedding<S>) {
         let st = self.state();
         let dim = self.cfg.dim;
         match self.cfg.geometry {
@@ -247,13 +276,11 @@ impl LogiRec {
                 let threads = self.cfg.train_threads;
                 let mut g_uft = Embedding::zeros(self.users.rows(), dim);
                 crate::parallel::for_each_row(&mut g_uft, threads, |u, out| {
-                    let g = lorentz::exp_origin_vjp(st.user_final_tan.row(u), g_user_final.row(u));
-                    out.copy_from_slice(&g);
+                    lorentz::exp_origin_vjp_into(st.user_final_tan.row(u), g_user_final.row(u), out);
                 });
                 let mut g_vft = Embedding::zeros(self.items.rows(), dim);
                 crate::parallel::for_each_row(&mut g_vft, threads, |v, out| {
-                    let g = lorentz::exp_origin_vjp(st.item_final_tan.row(v), g_item_final.row(v));
-                    out.copy_from_slice(&g);
+                    lorentz::exp_origin_vjp_into(st.item_final_tan.row(v), g_item_final.row(v), out);
                 });
                 let (g_u0, g_v0) = crate::graph::propagate_backward_graph(
                     adj,
@@ -264,14 +291,14 @@ impl LogiRec {
                 );
                 let mut g_users = Embedding::zeros(self.users.rows(), dim + 1);
                 crate::parallel::for_each_row(&mut g_users, threads, |u, out| {
-                    let g = lorentz::log_origin_vjp(self.users.row(u), g_u0.row(u));
-                    out.copy_from_slice(&g);
+                    lorentz::log_origin_vjp_into(self.users.row(u), g_u0.row(u), out);
                 });
                 let mut g_items = Embedding::zeros(self.items.rows(), dim);
                 crate::parallel::for_each_row(&mut g_items, threads, |v, out| {
+                    // One d+1 temporary per row: the two chained VJPs have
+                    // incompatible widths, so a hand-off buffer is needed.
                     let g_h = lorentz::log_origin_vjp(st.item_carrier.row(v), g_v0.row(v));
-                    let g = maps::poincare_to_lorentz_vjp(self.items.row(v), &g_h);
-                    out.copy_from_slice(&g);
+                    maps::poincare_to_lorentz_vjp_into(self.items.row(v), &g_h, out);
                 });
                 (g_users, g_items)
             }
@@ -290,9 +317,11 @@ impl LogiRec {
         let st = self.state();
         match self.cfg.geometry {
             Geometry::Hyperbolic => {
-                lorentz::distance(st.user_final.row(u), st.item_final.row(v))
+                lorentz::distance(st.user_final.row(u), st.item_final.row(v)).to_f64()
             }
-            Geometry::Euclidean => ops::dist(st.user_final.row(u), st.item_final.row(v)),
+            Geometry::Euclidean => {
+                ops::dist(st.user_final.row(u), st.item_final.row(v)).to_f64()
+            }
         }
     }
 
@@ -301,8 +330,8 @@ impl LogiRec {
     pub fn user_origin_distance(&self, u: usize) -> f64 {
         let st = self.state();
         match self.cfg.geometry {
-            Geometry::Hyperbolic => lorentz::distance_to_origin(st.user_final.row(u)),
-            Geometry::Euclidean => ops::norm(st.user_final.row(u)),
+            Geometry::Hyperbolic => lorentz::distance_to_origin(st.user_final.row(u)).to_f64(),
+            Geometry::Euclidean => ops::norm(st.user_final.row(u)).to_f64(),
         }
     }
 
@@ -311,19 +340,21 @@ impl LogiRec {
     /// vector is returned as-is.
     pub fn item_poincare(&self, v: usize) -> Vec<f64> {
         let st = self.state();
-        match self.cfg.geometry {
+        let row = match self.cfg.geometry {
             Geometry::Hyperbolic => maps::lorentz_to_poincare(st.item_final.row(v)),
             Geometry::Euclidean => st.item_final.row(v).to_vec(),
-        }
+        };
+        row.iter().map(|x| x.to_f64()).collect()
     }
 
     /// Final user embedding projected to Poincaré coordinates.
     pub fn user_poincare(&self, u: usize) -> Vec<f64> {
         let st = self.state();
-        match self.cfg.geometry {
+        let row = match self.cfg.geometry {
             Geometry::Hyperbolic => maps::lorentz_to_poincare(st.user_final.row(u)),
             Geometry::Euclidean => st.user_final.row(u).to_vec(),
-        }
+        };
+        row.iter().map(|x| x.to_f64()).collect()
     }
 
     /// Checks every parameter table for NaN/∞ — the invariant each
@@ -333,19 +364,19 @@ impl LogiRec {
     }
 }
 
-impl logirec_eval::Ranker for LogiRec {
+impl<S: Scalar> logirec_eval::Ranker for LogiRec<S> {
     fn score_user(&self, u: usize, out: &mut [f64]) {
         let st = self.state();
         let urow = st.user_final.row(u);
         match self.cfg.geometry {
             Geometry::Hyperbolic => {
                 for (v, o) in out.iter_mut().enumerate() {
-                    *o = -lorentz::distance(urow, st.item_final.row(v));
+                    *o = -lorentz::distance(urow, st.item_final.row(v)).to_f64();
                 }
             }
             Geometry::Euclidean => {
                 for (v, o) in out.iter_mut().enumerate() {
-                    *o = -ops::dist(urow, st.item_final.row(v));
+                    *o = -ops::dist(urow, st.item_final.row(v)).to_f64();
                 }
             }
         }
@@ -353,7 +384,7 @@ impl logirec_eval::Ranker for LogiRec {
 }
 
 /// Sanity helper for tests: asserts all item parameters stay in the ball.
-pub fn assert_items_in_ball(model: &LogiRec) {
+pub fn assert_items_in_ball<S: Scalar>(model: &LogiRec<S>) {
     if model.cfg.geometry == Geometry::Hyperbolic {
         for v in 0..model.items.rows() {
             assert!(poincare::in_ball(model.items.row(v)), "item {v} escaped the ball");
@@ -400,12 +431,17 @@ mod tests {
     #[test]
     fn tag_init_norm_grows_with_level() {
         let (m, ds) = tiny_model();
-        let mut level_norms: Vec<Vec<f64>> = vec![Vec::new(); 5];
+        // Flat fixed-width accumulators indexed by taxonomy level — no
+        // per-level Vec allocations.
+        let mut level_sums = [0.0f64; 5];
+        let mut level_counts = [0usize; 5];
         for t in 0..ds.n_tags() {
-            level_norms[ds.taxonomy.level(t)].push(ops::norm(m.tags.row(t)));
+            let level = ds.taxonomy.level(t);
+            level_sums[level] += ops::norm(m.tags.row(t));
+            level_counts[level] += 1;
         }
-        let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        assert!(avg(&level_norms[1]) < avg(&level_norms[4]));
+        let avg = |l: usize| level_sums[l] / level_counts[l].max(1) as f64;
+        assert!(avg(1) < avg(4));
     }
 
     #[test]
@@ -436,7 +472,7 @@ mod tests {
         let ds = DatasetSpec::ciao(Scale::Tiny).generate(2);
         let mut cfg = LogiRecConfig::test_config();
         cfg.geometry = Geometry::Euclidean;
-        let mut m = LogiRec::new(cfg, &ds);
+        let mut m: LogiRec = LogiRec::new(cfg, &ds);
         assert_eq!(m.users.dim(), m.cfg.dim);
         m.propagate(&ds.train);
         assert_eq!(m.state().user_final.dim(), m.cfg.dim);

@@ -6,7 +6,7 @@
 //! between minutes and hours per run; at test scale the helpers fall back
 //! to straight loops.
 
-use logirec_linalg::Embedding;
+use logirec_linalg::{Embedding, Scalar};
 
 /// Rows below which spawning threads costs more than it saves.
 const PAR_THRESHOLD: usize = 4_096;
@@ -14,9 +14,10 @@ const PAR_THRESHOLD: usize = 4_096;
 /// Applies `f(row_index, row)` to every row of `out`, splitting across up
 /// to `threads` scoped threads. Deterministic: each row is written by
 /// exactly one thread and `f` must not depend on other rows of `out`.
-pub fn for_each_row<F>(out: &mut Embedding, threads: usize, f: F)
+pub fn for_each_row<S, F>(out: &mut Embedding<S>, threads: usize, f: F)
 where
-    F: Fn(usize, &mut [f64]) + Sync,
+    S: Scalar,
+    F: Fn(usize, &mut [S]) + Sync,
 {
     let rows = out.rows();
     let dim = out.dim();
@@ -106,15 +107,15 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let mut rng = SplitMix64::new(1);
-        let src = Embedding::normal(PAR_THRESHOLD + 123, 7, 1.0, &mut rng);
-        let mut serial = Embedding::zeros(src.rows(), 7);
+        let src: Embedding = Embedding::normal(PAR_THRESHOLD + 123, 7, 1.0, &mut rng);
+        let mut serial: Embedding = Embedding::zeros(src.rows(), 7);
         for r in 0..src.rows() {
             let row = serial.row_mut(r);
             for (o, x) in row.iter_mut().zip(src.row(r)) {
                 *o = x * 2.0 + r as f64;
             }
         }
-        let mut parallel = Embedding::zeros(src.rows(), 7);
+        let mut parallel: Embedding = Embedding::zeros(src.rows(), 7);
         for_each_row(&mut parallel, 8, |r, row| {
             for (o, x) in row.iter_mut().zip(src.row(r)) {
                 *o = x * 2.0 + r as f64;
@@ -125,7 +126,7 @@ mod tests {
 
     #[test]
     fn small_matrices_use_the_serial_path() {
-        let mut m = Embedding::zeros(10, 3);
+        let mut m: Embedding = Embedding::zeros(10, 3);
         for_each_row(&mut m, 8, |r, row| row.fill(r as f64));
         for r in 0..10 {
             assert!(m.row(r).iter().all(|&x| x == r as f64));
@@ -134,7 +135,7 @@ mod tests {
 
     #[test]
     fn single_thread_request_is_honored() {
-        let mut m = Embedding::zeros(PAR_THRESHOLD * 2, 2);
+        let mut m: Embedding = Embedding::zeros(PAR_THRESHOLD * 2, 2);
         for_each_row(&mut m, 1, |r, row| row.fill((r % 5) as f64));
         assert_eq!(m.row(6)[0], 1.0);
     }
@@ -172,7 +173,7 @@ mod tests {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // Large enough to take the threaded path; the panic fires in a
             // worker thread, not the caller.
-            let mut m = Embedding::zeros(PAR_THRESHOLD + 1, 2);
+            let mut m: Embedding = Embedding::zeros(PAR_THRESHOLD + 1, 2);
             for_each_row(&mut m, 4, |r, _row| {
                 if r == PAR_THRESHOLD / 2 {
                     panic!("injected worker panic at row {r}");

@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 use std::ops::Range;
 
-use logirec_linalg::{ops, Embedding};
+use logirec_linalg::{ops, Embedding, Scalar};
 
 /// Target samples per shard: below this, splitting further only buys merge
 /// overhead.
@@ -57,15 +57,15 @@ pub fn shard_ranges(len: usize) -> Vec<Range<usize>> {
 /// touched. Row order is insertion order (first touch), which is itself
 /// deterministic because samples are walked in order.
 #[derive(Debug, Clone)]
-pub struct SparseGrad {
+pub struct SparseGrad<S: Scalar = f64> {
     dim: usize,
     /// Touched row ids in first-touch order; `data[k*dim..]` is row `rows[k]`.
     rows: Vec<usize>,
     slot: HashMap<usize, usize>,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl SparseGrad {
+impl<S: Scalar> SparseGrad<S> {
     /// Empty accumulator for `dim`-wide gradient rows.
     pub fn new(dim: usize) -> Self {
         Self { dim, rows: Vec::new(), slot: HashMap::new(), data: Vec::new() }
@@ -87,23 +87,23 @@ impl SparseGrad {
     }
 
     /// Adds `g` into row `row` (allocating the row on first touch).
-    pub fn add(&mut self, row: usize, g: &[f64]) {
+    pub fn add(&mut self, row: usize, g: &[S]) {
         debug_assert_eq!(g.len(), self.dim);
         let k = *self.slot.entry(row).or_insert_with(|| {
             self.rows.push(row);
-            self.data.resize(self.data.len() + self.dim, 0.0);
+            self.data.resize(self.data.len() + self.dim, S::ZERO);
             self.rows.len() - 1
         });
-        ops::axpy(1.0, g, &mut self.data[k * self.dim..(k + 1) * self.dim]);
+        ops::axpy(S::ONE, g, &mut self.data[k * self.dim..(k + 1) * self.dim]);
     }
 
     /// Read-only view of a touched row's accumulated gradient.
-    pub fn get(&self, row: usize) -> Option<&[f64]> {
+    pub fn get(&self, row: usize) -> Option<&[S]> {
         self.slot.get(&row).map(|&k| &self.data[k * self.dim..(k + 1) * self.dim])
     }
 
     /// Iterates `(row, gradient)` in first-touch order.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[S])> {
         self.rows.iter().zip(self.data.chunks_exact(self.dim)).map(|(&r, g)| (r, g))
     }
 
@@ -118,9 +118,9 @@ impl SparseGrad {
     }
 
     /// Scatters the accumulated rows into a dense table (`out[row] += g`).
-    pub fn scatter_add(&self, out: &mut Embedding) {
+    pub fn scatter_add(&self, out: &mut Embedding<S>) {
         for (row, g) in self.iter() {
-            ops::axpy(1.0, g, out.row_mut(row));
+            ops::axpy(S::ONE, g, out.row_mut(row));
         }
     }
 
@@ -136,7 +136,7 @@ pub trait Merge {
     fn merge(&mut self, other: Self);
 }
 
-impl Merge for SparseGrad {
+impl<S: Scalar> Merge for SparseGrad<S> {
     fn merge(&mut self, other: Self) {
         SparseGrad::merge(self, other);
     }

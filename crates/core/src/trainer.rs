@@ -29,12 +29,12 @@
 use logirec_data::{BatchIter, Dataset, NegativeSampler, Split};
 use logirec_eval::evaluate_traced;
 use logirec_hyperbolic::{lorentz, poincare, rsgd};
-use logirec_linalg::{ops, Embedding, SplitMix64};
+use logirec_linalg::{ops, Embedding, Scalar, SplitMix64};
 use logirec_obs::{Telemetry, Value};
 use logirec_taxonomy::TagId;
 
 use crate::checkpoint::{self, BestSnapshot, Checkpoint};
-use crate::config::{Geometry, LogiRecConfig};
+use crate::config::{Geometry, LogiRecConfig, Precision};
 use crate::graph::PropGraph;
 use crate::losses::{logic_loss_grad_sharded, rank_loss_grad_sharded, LogicBatch};
 use crate::mining::{combine_weights, consistency_weights, granularity_weights};
@@ -103,10 +103,13 @@ pub struct TrainReport {
     pub recoveries: Vec<Recovery>,
 }
 
+/// Best validation model: `(recall@10, tags, items, users)`.
+type BestModel<S> = Option<(f64, Embedding<S>, Embedding<S>, Embedding<S>)>;
+
 /// Everything that evolves across epochs besides the model parameters.
 /// Snapshotted wholesale for rollback and serialized into checkpoints.
 #[derive(Debug, Clone)]
-struct TrainerState {
+struct TrainerState<S: Scalar = f64> {
     /// Next epoch to run (== number of completed healthy epochs).
     epoch: usize,
     rng: SplitMix64,
@@ -114,10 +117,10 @@ struct TrainerState {
     bad_rounds: usize,
     history: Vec<EpochStats>,
     alpha: Option<Vec<f64>>,
-    best: Option<(f64, Embedding, Embedding, Embedding)>,
+    best: BestModel<S>,
 }
 
-impl TrainerState {
+impl<S: Scalar> TrainerState<S> {
     fn fresh(cfg: &LogiRecConfig) -> Self {
         Self {
             epoch: 0,
@@ -132,15 +135,15 @@ impl TrainerState {
 }
 
 /// The last healthy (state, parameters) pair, for divergence rollback.
-struct GoodSnapshot {
-    state: TrainerState,
-    tags: Embedding,
-    items: Embedding,
-    users: Embedding,
+struct GoodSnapshot<S: Scalar = f64> {
+    state: TrainerState<S>,
+    tags: Embedding<S>,
+    items: Embedding<S>,
+    users: Embedding<S>,
 }
 
-impl GoodSnapshot {
-    fn capture(state: &TrainerState, model: &LogiRec) -> Self {
+impl<S: Scalar> GoodSnapshot<S> {
+    fn capture(state: &TrainerState<S>, model: &LogiRec<S>) -> Self {
         Self {
             state: state.clone(),
             tags: model.tags.clone(),
@@ -149,7 +152,7 @@ impl GoodSnapshot {
         }
     }
 
-    fn restore(&self, state: &mut TrainerState, model: &mut LogiRec) {
+    fn restore(&self, state: &mut TrainerState<S>, model: &mut LogiRec<S>) {
         *state = self.state.clone();
         model.tags = self.tags.clone();
         model.items = self.items.clone();
@@ -171,6 +174,28 @@ impl GoodSnapshot {
 /// assert!(report.recoveries.is_empty());
 /// ```
 pub fn train(cfg: LogiRecConfig, dataset: &Dataset) -> (LogiRec, TrainReport) {
+    let cfg = cfg.validated();
+    match cfg.precision {
+        Precision::F64 => train_typed::<f64>(cfg, dataset),
+        Precision::F32 => {
+            let (model32, report) = train_typed::<f32>(cfg, dataset);
+            // Serve in f64: widen the learned tables exactly and rebuild the
+            // forward state at serving precision.
+            let mut model = model32.cast::<f64>();
+            model.propagate(&dataset.train);
+            (model, report)
+        }
+    }
+}
+
+/// [`train`] instantiated at an explicit working precision `S`. The `f64`
+/// instantiation is the bit-identical reference path the determinism suite
+/// byte-compares; `f32` runs the same kernels in single precision, with
+/// gradient accuracy bounded by the parity tests (`tests/precision.rs`).
+pub fn train_typed<S: Scalar>(
+    cfg: LogiRecConfig,
+    dataset: &Dataset,
+) -> (LogiRec<S>, TrainReport) {
     let cfg = cfg.validated();
     let tel = cfg.telemetry.clone();
     let mut train_span = tel.span("train");
@@ -553,8 +578,8 @@ fn record_recovery(tel: &Telemetry, r: &Recovery) {
 
 /// Validates the post-epoch state; returns a reason string when the epoch
 /// must be rolled back.
-fn check_health(
-    model: &LogiRec,
+fn check_health<S: Scalar>(
+    model: &LogiRec<S>,
     stats: &EpochStats,
     baseline_rank_loss: Option<f64>,
     explosion_factor: f64,
@@ -591,7 +616,7 @@ fn check_health(
             }
         }
         for t in 0..model.tags.rows() {
-            let n = ops::norm(model.tags.row(t));
+            let n = ops::norm(model.tags.row(t)).to_f64();
             if !(n > 0.0 && n < 1.0) {
                 return Some(format!("tag {t} hyperplane center has invalid norm {n}"));
             }
@@ -600,16 +625,17 @@ fn check_health(
     None
 }
 
-fn make_checkpoint(
+fn make_checkpoint<S: Scalar>(
     cfg: &LogiRecConfig,
-    state: &TrainerState,
-    model: &LogiRec,
+    state: &TrainerState<S>,
+    model: &LogiRec<S>,
     recoveries: &[Recovery],
 ) -> Checkpoint {
     Checkpoint {
         geometry: cfg.geometry,
         dim: cfg.dim,
         layers: cfg.layers,
+        precision: cfg.precision,
         epoch: state.epoch,
         rng_state: state.rng.state(),
         lr_scale: state.lr_scale,
@@ -619,26 +645,32 @@ fn make_checkpoint(
         alpha: state.alpha.clone(),
         best: state.best.as_ref().map(|(recall, tags, items, users)| BestSnapshot {
             recall: *recall,
-            tags: tags.clone(),
-            items: items.clone(),
-            users: users.clone(),
+            tags: tags.cast(),
+            items: items.cast(),
+            users: users.cast(),
         }),
-        tags: model.tags.clone(),
-        items: model.items.clone(),
-        users: model.users.clone(),
+        tags: model.tags.cast(),
+        items: model.items.cast(),
+        users: model.users.cast(),
     }
 }
 
 /// Validates a loaded checkpoint against the live config/dataset shapes and
 /// installs it into the trainer. Any mismatch is an error (the caller falls
 /// back to a fresh start).
-fn apply_checkpoint(
+fn apply_checkpoint<S: Scalar>(
     ck: Checkpoint,
     cfg: &LogiRecConfig,
-    model: &mut LogiRec,
-    state: &mut TrainerState,
+    model: &mut LogiRec<S>,
+    state: &mut TrainerState<S>,
     recoveries: &mut Vec<Recovery>,
 ) -> Result<(), String> {
+    if ck.precision != cfg.precision {
+        return Err(format!(
+            "checkpoint was written at {} precision but the config trains in {}",
+            ck.precision, cfg.precision
+        ));
+    }
     if ck.geometry != cfg.geometry || ck.dim != cfg.dim || ck.layers != cfg.layers {
         return Err(format!(
             "checkpoint geometry/dim/layers ({:?}/{}/{}) do not match the config \
@@ -653,10 +685,11 @@ fn apply_checkpoint(
         ));
     }
     let shape = |m: &Embedding| (m.rows(), m.dim());
+    let shape_s = |m: &Embedding<S>| (m.rows(), m.dim());
     for (name, got, want) in [
-        ("tags", shape(&ck.tags), shape(&model.tags)),
-        ("items", shape(&ck.items), shape(&model.items)),
-        ("users", shape(&ck.users), shape(&model.users)),
+        ("tags", shape(&ck.tags), shape_s(&model.tags)),
+        ("items", shape(&ck.items), shape_s(&model.items)),
+        ("users", shape(&ck.users), shape_s(&model.users)),
     ] {
         if got != want {
             return Err(format!(
@@ -666,9 +699,9 @@ fn apply_checkpoint(
         }
     }
     if let Some(b) = &ck.best {
-        if shape(&b.tags) != shape(&model.tags)
-            || shape(&b.items) != shape(&model.items)
-            || shape(&b.users) != shape(&model.users)
+        if shape(&b.tags) != shape_s(&model.tags)
+            || shape(&b.items) != shape_s(&model.items)
+            || shape(&b.users) != shape_s(&model.users)
         {
             return Err("checkpoint best-snapshot tables do not match the dataset".into());
         }
@@ -682,9 +715,9 @@ fn apply_checkpoint(
             ));
         }
     }
-    model.tags = ck.tags;
-    model.items = ck.items;
-    model.users = ck.users;
+    model.tags = ck.tags.cast();
+    model.items = ck.items.cast();
+    model.users = ck.users.cast();
     *state = TrainerState {
         epoch: ck.epoch,
         rng: SplitMix64::from_state(ck.rng_state),
@@ -692,19 +725,19 @@ fn apply_checkpoint(
         bad_rounds: ck.bad_rounds,
         history: ck.history,
         alpha: ck.alpha,
-        best: ck.best.map(|b| (b.recall, b.tags, b.items, b.users)),
+        best: ck.best.map(|b| (b.recall, b.tags.cast(), b.items.cast(), b.users.cast())),
     };
     *recoveries = ck.recoveries;
     Ok(())
 }
 
 #[cfg(feature = "fault-injection")]
-fn inject_gradient_faults(
+fn inject_gradient_faults<S: Scalar>(
     cfg: &LogiRecConfig,
     epoch: usize,
     step: usize,
-    g_users: &mut Embedding,
-    g_items: &mut Embedding,
+    g_users: &mut Embedding<S>,
+    g_items: &mut Embedding<S>,
 ) {
     if let Some(plan) = &cfg.faults {
         plan.corrupt_gradients(epoch, step, g_users, g_items);
@@ -712,32 +745,32 @@ fn inject_gradient_faults(
 }
 
 #[cfg(not(feature = "fault-injection"))]
-fn inject_gradient_faults(
+fn inject_gradient_faults<S: Scalar>(
     _cfg: &LogiRecConfig,
     _epoch: usize,
     _step: usize,
-    _g_users: &mut Embedding,
-    _g_items: &mut Embedding,
+    _g_users: &mut Embedding<S>,
+    _g_items: &mut Embedding<S>,
 ) {
 }
 
 #[cfg(feature = "fault-injection")]
-fn inject_model_faults(cfg: &LogiRecConfig, epoch: usize, model: &mut LogiRec) {
+fn inject_model_faults<S: Scalar>(cfg: &LogiRecConfig, epoch: usize, model: &mut LogiRec<S>) {
     if let Some(plan) = &cfg.faults {
         plan.corrupt_model(epoch, model);
     }
 }
 
 #[cfg(not(feature = "fault-injection"))]
-fn inject_model_faults(_cfg: &LogiRecConfig, _epoch: usize, _model: &mut LogiRec) {}
+fn inject_model_faults<S: Scalar>(_cfg: &LogiRecConfig, _epoch: usize, _model: &mut LogiRec<S>) {}
 
 /// Applies one optimizer step per parameter family with the geometry's
 /// Riemannian (or plain) SGD rules.
-fn apply_updates(
-    model: &mut LogiRec,
-    g_users: &Embedding,
-    g_items: &Embedding,
-    g_tags: &Embedding,
+fn apply_updates<S: Scalar>(
+    model: &mut LogiRec<S>,
+    g_users: &Embedding<S>,
+    g_items: &Embedding<S>,
+    g_tags: &Embedding<S>,
     lr: f64,
 ) {
     let threads = model.cfg.train_threads;
@@ -769,7 +802,7 @@ fn apply_updates(
             crate::parallel::for_each_row(&mut model.items, threads, |v, row| {
                 rsgd::euclidean_step(row, g_items.row(v), lr);
                 // Keep the ball parametrization of the tag losses valid.
-                ops::clip_norm(row, 1.0 - 1e-5);
+                ops::clip_norm(row, S::from_f64(1.0 - 1e-5));
             });
             crate::parallel::for_each_row(&mut model.tags, threads, |t, row| {
                 rsgd::euclidean_step(row, g_tags.row(t), lr);
@@ -780,8 +813,8 @@ fn apply_updates(
 }
 
 #[inline]
-fn is_zero(g: &[f64]) -> bool {
-    g.iter().all(|&x| x == 0.0)
+fn is_zero<S: Scalar>(g: &[S]) -> bool {
+    g.iter().all(|&x| x == S::ZERO)
 }
 
 /// Samples up to `n` elements uniformly without replacement-ish (with
@@ -821,7 +854,7 @@ mod tests {
     fn trained_model_beats_untrained_on_validation() {
         let ds = DatasetSpec::ciao(Scale::Tiny).generate(2);
         let cfg = quick_cfg();
-        let mut untrained = LogiRec::new(cfg.clone(), &ds);
+        let mut untrained: LogiRec = LogiRec::new(cfg.clone(), &ds);
         untrained.propagate(&ds.train);
         let base = evaluate(&untrained, &ds, Split::Validation, &[10], 2).recall_at(10);
         let (model, _) = train(cfg, &ds);

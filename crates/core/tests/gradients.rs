@@ -15,7 +15,7 @@ fn model_with_params(tag_jitter: &[f64], item_jitter: &[f64]) -> (LogiRec, logir
     let ds = DatasetSpec::ciao(Scale::Tiny).generate(17);
     let mut cfg = LogiRecConfig::test_config();
     cfg.dim = 4;
-    let mut m = LogiRec::new(cfg, &ds);
+    let mut m: LogiRec = LogiRec::new(cfg, &ds);
     // Jitter a few parameters so proptest explores distinct configurations.
     for (i, &j) in tag_jitter.iter().enumerate() {
         let t = i % m.tags.rows();

@@ -1,0 +1,141 @@
+//! f32 parity bounds for the precision-generic kernels.
+//!
+//! The f64 path is pinned bit-exactly by the determinism suite; these
+//! tests bound the *single-precision* path instead: the sharded logic
+//! losses must still match central finite differences (at f32-appropriate
+//! step sizes and tolerances), and a short f32 training run must land
+//! within a small absolute drift of the f64 run on ranking metrics.
+
+use logirec_core::losses::{logic_loss_grad_sharded, LogicBatch};
+use logirec_core::{train, LogiRec, LogiRecConfig, Precision};
+use logirec_data::{DatasetSpec, Scale, Split};
+use logirec_eval::evaluate;
+use logirec_linalg::Scalar;
+use logirec_taxonomy::TagId;
+
+fn f32_model() -> (LogiRec<f32>, logirec_data::Dataset) {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(17);
+    let mut cfg = LogiRecConfig::test_config();
+    cfg.dim = 4;
+    let m: LogiRec = LogiRec::new(cfg, &ds);
+    (m.cast::<f32>(), ds)
+}
+
+/// Central finite differences of the sharded loss w.r.t. a few tag
+/// coordinates, in f32. The loss is accumulated in f64 but every margin
+/// and distance is computed in f32, so the step and tolerance are much
+/// coarser than the f64 checks in `gradients.rs`.
+fn fd_check_tags(m: &LogiRec<f32>, batch: LogicBatch<'_>, tags: &[TagId]) {
+    let f = |m: &LogiRec<f32>| logic_loss_grad_sharded(m, &[(batch, 1.0)], 2).loss;
+    let shard = logic_loss_grad_sharded(m, &[(batch, 1.0)], 2);
+    assert!(shard.all_finite(), "f32 shard produced non-finite values");
+    let h = 1e-3f32;
+    for &t in tags {
+        for col in 0..2 {
+            let mut mp = m.clone();
+            mp.tags.row_mut(t)[col] += h;
+            let mut mm = m.clone();
+            mm.tags.row_mut(t)[col] -= h;
+            let num = (f(&mp) - f(&mm)) / (2.0 * h as f64);
+            let ana = shard.tags.get(t).map(|r| r[col].to_f64()).unwrap_or(0.0);
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "tag[{t}][{col}]: fd {num} vs analytic {ana}"
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_membership_gradients_match_fd() {
+    let (m, ds) = f32_model();
+    let pairs = &ds.relations.membership[..12.min(ds.relations.membership.len())];
+    let tags: Vec<TagId> = pairs.iter().take(3).map(|&(_, t)| t).collect();
+    fd_check_tags(&m, LogicBatch::Membership(pairs), &tags);
+}
+
+#[test]
+fn f32_hierarchy_gradients_match_fd() {
+    let (m, ds) = f32_model();
+    let pairs = &ds.relations.hierarchy[..10.min(ds.relations.hierarchy.len())];
+    let tags: Vec<TagId> = pairs.iter().take(2).flat_map(|&(p, c)| [p, c]).collect();
+    fd_check_tags(&m, LogicBatch::Hierarchy(pairs), &tags);
+}
+
+#[test]
+fn f32_exclusion_gradients_match_fd() {
+    let (m, ds) = f32_model();
+    let pairs: Vec<(TagId, TagId)> =
+        ds.relations.exclusion.iter().take(10).map(|&(a, b, _)| (a, b)).collect();
+    assert!(!pairs.is_empty());
+    let tags: Vec<TagId> = pairs.iter().take(2).flat_map(|&(a, b)| [a, b]).collect();
+    fd_check_tags(&m, LogicBatch::Exclusion(&pairs), &tags);
+}
+
+#[test]
+fn f32_intersection_gradients_match_fd() {
+    let (m, ds) = f32_model();
+    let pairs = ds.relations.intersection_pairs();
+    assert!(!pairs.is_empty());
+    let probe = &pairs[..10.min(pairs.len())];
+    let tags: Vec<TagId> = probe.iter().take(2).flat_map(|&(a, b)| [a, b]).collect();
+    fd_check_tags(&m, LogicBatch::Intersection(probe), &tags);
+}
+
+/// Same seed, same dataset, same epochs — the f32 run's ranking metrics
+/// must land within a small absolute drift of the f64 run. This is the
+/// end-to-end bound on accumulated rounding across sharded gradients,
+/// RSGD steps, and the propagate pass.
+#[test]
+fn f32_training_metrics_track_f64() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(3);
+    let mut cfg = LogiRecConfig::test_config();
+    cfg.epochs = 3;
+    cfg.eval_every = 0;
+
+    let (m64, r64) = train(cfg.clone(), &ds);
+    cfg.precision = Precision::F32;
+    let (m32, r32) = train(cfg, &ds);
+
+    assert!(m32.all_finite(), "f32-trained model has non-finite values");
+    let last32 = r32.history.last().expect("f32 run recorded no epochs");
+    let last64 = r64.history.last().expect("f64 run recorded no epochs");
+    let (l32, l64) = (last32.rank_loss + last32.logic_loss, last64.rank_loss + last64.logic_loss);
+    assert!(l32.is_finite(), "f32 training diverged");
+    assert!(
+        (l32 - l64).abs() < 0.05 * (1.0 + l64.abs()),
+        "loss drift: f32 {l32} vs f64 {l64}"
+    );
+
+    let e64 = evaluate(&m64, &ds, Split::Test, &[10], 2);
+    let e32 = evaluate(&m32, &ds, Split::Test, &[10], 2);
+    let dr = (e32.recall_at(10) - e64.recall_at(10)).abs();
+    let dn = (e32.ndcg_at(10) - e64.ndcg_at(10)).abs();
+    assert!(dr <= 0.05, "Recall@10 drift {dr}: f32 {} vs f64 {}", e32.recall_at(10), e64.recall_at(10));
+    assert!(dn <= 0.05, "NDCG@10 drift {dn}: f32 {} vs f64 {}", e32.ndcg_at(10), e64.ndcg_at(10));
+}
+
+/// Evaluating a model cast to f32 (the `--precision f32` serving path)
+/// must produce nearly the same metrics as scoring in f64.
+#[test]
+fn f32_serving_metrics_track_f64() {
+    let ds = DatasetSpec::ciao(Scale::Tiny).generate(3);
+    let mut cfg = LogiRecConfig::test_config();
+    cfg.epochs = 2;
+    cfg.eval_every = 0;
+    let (m64, _) = train(cfg, &ds);
+
+    let mut m32 = m64.cast::<f32>();
+    m32.propagate(&ds.train);
+
+    let e64 = evaluate(&m64, &ds, Split::Test, &[10, 20], 2);
+    let e32 = evaluate(&m32, &ds, Split::Test, &[10, 20], 2);
+    for k in [10usize, 20] {
+        assert!(
+            (e32.recall_at(k) - e64.recall_at(k)).abs() <= 0.05,
+            "Recall@{k} drift: f32 {} vs f64 {}",
+            e32.recall_at(k),
+            e64.recall_at(k)
+        );
+    }
+}

@@ -13,8 +13,12 @@
 //! Tags are modeled as hyperplanes; items as points. The three logical
 //! relations then become the geometric predicates of Lemmas 1–3, which
 //! `logirec-core` turns into hinge losses (Eq. 3–5).
+//!
+//! Everything is generic over [`Scalar`]; the hot derivation and its VJP
+//! also exist as `*_into` variants writing into caller-owned buffers so the
+//! sharded logic losses run allocation-free.
 
-use logirec_linalg::ops;
+use logirec_linalg::{ops, Scalar};
 
 use crate::{BALL_EPS, MIN_NORM};
 
@@ -25,14 +29,29 @@ pub const MIN_CENTER_NORM: f64 = 1e-3;
 
 /// The enclosing Euclidean d-ball `B(o, r)` of a Poincaré hyperplane.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Ball {
+pub struct Ball<S: Scalar = f64> {
     /// Euclidean center `o_c` (lies outside the unit ball).
-    pub center: Vec<f64>,
+    pub center: Vec<S>,
     /// Euclidean radius `r_c`.
-    pub radius: f64,
+    pub radius: S,
 }
 
-impl Ball {
+/// [`Ball::from_center`] writing the ball center into a caller buffer
+/// (`c.len()` long, fully overwritten) and returning the radius.
+pub fn from_center_into<S: Scalar>(c: &[S], center: &mut [S]) -> S {
+    debug_assert_eq!(center.len(), c.len());
+    let two = S::from_f64(2.0);
+    let s2 = ops::norm_sq(c)
+        .clamp(S::from_f64(MIN_CENTER_NORM * MIN_CENTER_NORM), S::from_f64(1.0 - BALL_EPS));
+    let s = s2.sqrt();
+    let k = (S::ONE + s2) / (two * s2);
+    for (o, ci) in center.iter_mut().zip(c) {
+        *o = k * *ci;
+    }
+    (S::ONE - s2) / (two * s)
+}
+
+impl<S: Scalar> Ball<S> {
     /// Derives the enclosing ball from the hyperplane's defining point `c`.
     ///
     /// `c` must be nonzero and inside the unit ball; callers uphold this via
@@ -45,46 +64,44 @@ impl Ball {
     /// let o2: f64 = b.center.iter().map(|x| x * x).sum();
     /// assert!((o2 - (1.0 + b.radius * b.radius)).abs() < 1e-9);
     /// ```
-    pub fn from_center(c: &[f64]) -> Self {
-        let s2 = ops::norm_sq(c).clamp(MIN_CENTER_NORM * MIN_CENTER_NORM, 1.0 - BALL_EPS);
-        let s = s2.sqrt();
-        let center = ops::scaled(c, (1.0 + s2) / (2.0 * s2));
-        let radius = (1.0 - s2) / (2.0 * s);
+    pub fn from_center(c: &[S]) -> Self {
+        let mut center = vec![S::ZERO; c.len()];
+        let radius = from_center_into(c, &mut center);
         Self { center, radius }
     }
 
     /// Lemma 1 (membership): point `v` lies inside this ball.
-    pub fn contains_point(&self, v: &[f64]) -> bool {
+    pub fn contains_point(&self, v: &[S]) -> bool {
         ops::dist(v, &self.center) < self.radius
     }
 
     /// Lemma 2 (hierarchy): this ball geometrically contains `other`
     /// (`‖o_i − o_j‖ + r_j < r_i` with `self = i`).
-    pub fn contains_ball(&self, other: &Ball) -> bool {
+    pub fn contains_ball(&self, other: &Ball<S>) -> bool {
         ops::dist(&self.center, &other.center) + other.radius < self.radius
     }
 
     /// Lemma 3 (exclusion): this ball is disjoint from `other`
     /// (`r_i + r_j < ‖o_i − o_j‖`).
-    pub fn disjoint_from(&self, other: &Ball) -> bool {
+    pub fn disjoint_from(&self, other: &Ball<S>) -> bool {
         self.radius + other.radius < ops::dist(&self.center, &other.center)
     }
 
     /// Margin of Lemma 1: `‖v − o‖ − r` (negative inside, positive outside).
     /// `max(0, ·)` of this is the membership loss L_Mem (Eq. 3).
-    pub fn membership_margin(&self, v: &[f64]) -> f64 {
+    pub fn membership_margin(&self, v: &[S]) -> S {
         ops::dist(v, &self.center) - self.radius
     }
 
     /// Margin of Lemma 2 for `self ⊃ other`: `‖o_i − o_j‖ + r_j − r_i`.
     /// `max(0, ·)` of this is the hierarchy loss L_Hie (Eq. 4).
-    pub fn hierarchy_margin(&self, other: &Ball) -> f64 {
+    pub fn hierarchy_margin(&self, other: &Ball<S>) -> S {
         ops::dist(&self.center, &other.center) + other.radius - self.radius
     }
 
     /// Margin of Lemma 3: `r_i + r_j − ‖o_i − o_j‖`.
     /// `max(0, ·)` of this is the exclusion loss L_Ex (Eq. 5).
-    pub fn exclusion_margin(&self, other: &Ball) -> f64 {
+    pub fn exclusion_margin(&self, other: &Ball<S>) -> S {
         self.radius + other.radius - ops::dist(&self.center, &other.center)
     }
 }
@@ -92,21 +109,42 @@ impl Ball {
 /// Clamps a hyperplane defining point in place so `‖c‖ ∈
 /// [MIN_CENTER_NORM, 1 − BALL_EPS]`. Applied after every optimizer step on a
 /// tag embedding.
-pub fn clamp_center(c: &mut [f64]) {
+pub fn clamp_center<S: Scalar>(c: &mut [S]) {
     let n = ops::norm(c);
-    if n < MIN_CENTER_NORM {
-        if n < MIN_NORM {
+    let min_center = S::from_f64(MIN_CENTER_NORM);
+    if n < min_center {
+        if n < S::from_f64(MIN_NORM) {
             // Degenerate zero vector: nudge deterministically along e₀.
-            c[0] = MIN_CENTER_NORM;
+            c[0] = min_center;
             for v in &mut c[1..] {
-                *v = 0.0;
+                *v = S::ZERO;
             }
         } else {
-            ops::scale(c, MIN_CENTER_NORM / n);
+            ops::scale(c, min_center / n);
         }
-    } else if n > 1.0 - BALL_EPS {
-        ops::scale(c, (1.0 - BALL_EPS) / n);
+    } else if n > S::from_f64(1.0 - BALL_EPS) {
+        ops::scale(c, S::from_f64(1.0 - BALL_EPS) / n);
     }
+}
+
+/// [`ball_vjp`] writing into a caller buffer (`c.len()` long; every element
+/// is overwritten, so the buffer need not be zeroed).
+pub fn ball_vjp_into<S: Scalar>(c: &[S], g_o: &[S], g_r: S, out: &mut [S]) {
+    debug_assert_eq!(out.len(), c.len());
+    let two = S::from_f64(2.0);
+    let s2 = ops::norm_sq(c)
+        .clamp(S::from_f64(MIN_CENTER_NORM * MIN_CENTER_NORM), S::from_f64(1.0 - BALL_EPS));
+    let s = s2.sqrt();
+    let g = (S::ONE + s2) / (two * s2);
+    let cdotgo = ops::dot(c, g_o);
+    for (o, gi) in out.iter_mut().zip(g_o) {
+        *o = g * *gi;
+    }
+    // Center term: −(c·g_o)/s⁴ · c.
+    let mut coeff = -cdotgo / (s2 * s2);
+    // Radius term: g_r · dr/ds · c/s = g_r · (−(1+s²)/(2s²)) · c/s.
+    coeff += g_r * (-(S::ONE + s2) / (two * s2)) / s;
+    ops::axpy(coeff, c, out);
 }
 
 /// VJP of the `c ↦ (o_c, r_c)` derivation: given gradients `g_o ∈ R^d`
@@ -115,17 +153,9 @@ pub fn clamp_center(c: &mut [f64]) {
 ///
 /// With `s² = ‖c‖²`, `g(s²) = (1+s²)/(2s²)` and `r(s) = (1−s²)/(2s)`:
 /// `∂o_i/∂c_j = g δ_ij − c_i c_j / s⁴` and `dr/ds = −(1+s²)/(2s²)`.
-pub fn ball_vjp(c: &[f64], g_o: &[f64], g_r: f64) -> Vec<f64> {
-    let s2 = ops::norm_sq(c).clamp(MIN_CENTER_NORM * MIN_CENTER_NORM, 1.0 - BALL_EPS);
-    let s = s2.sqrt();
-    let g = (1.0 + s2) / (2.0 * s2);
-    let cdotgo = ops::dot(c, g_o);
-    let mut out = ops::scaled(g_o, g);
-    // Center term: −(c·g_o)/s⁴ · c.
-    let mut coeff = -cdotgo / (s2 * s2);
-    // Radius term: g_r · dr/ds · c/s = g_r · (−(1+s²)/(2s²)) · c/s.
-    coeff += g_r * (-(1.0 + s2) / (2.0 * s2)) / s;
-    ops::axpy(coeff, c, &mut out);
+pub fn ball_vjp<S: Scalar>(c: &[S], g_o: &[S], g_r: S) -> Vec<S> {
+    let mut out = vec![S::ZERO; c.len()];
+    ball_vjp_into(c, g_o, g_r, &mut out);
     out
 }
 
@@ -133,7 +163,7 @@ pub fn ball_vjp(c: &[f64], g_o: &[f64], g_r: f64) -> Vec<f64> {
 /// origin — `d_P(0, c)` since `c` is the hyperplane's closest point. Small
 /// for coarse-grained (abstract) tags, large for fine-grained tags
 /// (Section V-B's granularity argument).
-pub fn hyperplane_distance_to_origin(c: &[f64]) -> f64 {
+pub fn hyperplane_distance_to_origin<S: Scalar>(c: &[S]) -> S {
     crate::poincare::distance_to_origin(c)
 }
 
@@ -251,5 +281,19 @@ mod tests {
             let num = (f(&cp) - f(&cm)) / (2.0 * h);
             assert_close(grad[i], num, 1e-5);
         }
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_wrappers_bitwise() {
+        let c = [0.42, -0.31, 0.2];
+        let g_o = [1.3, -0.7, 0.25];
+        let b = Ball::from_center(&c);
+        let mut center = [0.0; 3];
+        let radius = from_center_into(&c, &mut center);
+        assert_eq!(b.center, center);
+        assert_eq!(b.radius, radius);
+        let mut out = [0.0; 3];
+        ball_vjp_into(&c, &g_o, -0.9, &mut out);
+        assert_eq!(ball_vjp(&c, &g_o, -0.9), out);
     }
 }

@@ -11,22 +11,29 @@
 //! Vectors are stored as `d+1` ambient coordinates with the time component
 //! first. Tangent vectors at the origin have time component zero, so the GCN
 //! in `logirec-core` stores only their `d` spatial components.
+//!
+//! Every kernel is generic over [`Scalar`] and the hot ones exist in two
+//! forms: a `*_into` variant that writes into a caller-owned buffer (the
+//! training loop reuses per-shard scratch, so the inner loop never touches
+//! the allocator) and a thin allocating wrapper with the historical
+//! signature. The `f64` instantiation performs bit-identical arithmetic to
+//! the pre-generic code.
 
-use logirec_linalg::ops;
+use logirec_linalg::{ops, Scalar};
 
 use crate::MIN_NORM;
 
 /// Lorentzian inner product `⟨x,y⟩_L = −x₀y₀ + Σ_{i≥1} xᵢyᵢ`.
 #[inline]
-pub fn inner(x: &[f64], y: &[f64]) -> f64 {
+pub fn inner<S: Scalar>(x: &[S], y: &[S]) -> S {
     debug_assert_eq!(x.len(), y.len());
     -x[0] * y[0] + ops::dot(&x[1..], &y[1..])
 }
 
 /// The hyperboloid origin `o = (1, 0, …, 0)` in `d+1` ambient coordinates.
-pub fn origin(dim: usize) -> Vec<f64> {
-    let mut o = vec![0.0; dim + 1];
-    o[0] = 1.0;
+pub fn origin<S: Scalar>(dim: usize) -> Vec<S> {
+    let mut o = vec![S::ZERO; dim + 1];
+    o[0] = S::ONE;
     o
 }
 
@@ -35,30 +42,45 @@ pub fn origin(dim: usize) -> Vec<f64> {
 ///
 /// This is the cheap retraction applied after every Lorentz RSGD step to
 /// absorb floating-point drift off the manifold.
-pub fn project(x: &mut [f64]) {
-    x[0] = (1.0 + ops::norm_sq(&x[1..])).sqrt();
+pub fn project<S: Scalar>(x: &mut [S]) {
+    x[0] = (S::ONE + ops::norm_sq(&x[1..])).sqrt();
 }
 
 /// True when `x` lies on the hyperboloid up to tolerance.
-pub fn on_manifold(x: &[f64], tol: f64) -> bool {
-    x[0] > 0.0 && (inner(x, x) + 1.0).abs() <= tol
+pub fn on_manifold<S: Scalar>(x: &[S], tol: f64) -> bool {
+    x[0] > S::ZERO && (inner(x, x) + S::ONE).abs().to_f64() <= tol
 }
 
 /// Lorentz distance `d_H(x,y) = acosh(−⟨x,y⟩_L)` (Section III-A / Eq. 9).
 ///
 /// ```
 /// use logirec_hyperbolic::lorentz;
-/// let x = lorentz::exp_origin(&[0.6, 0.8]); // distance 1 from the origin
+/// let x: Vec<f64> = lorentz::exp_origin(&[0.6, 0.8]); // distance 1 from the origin
 /// assert!((lorentz::distance(&lorentz::origin(2), &x) - 1.0).abs() < 1e-9);
 /// ```
-pub fn distance(x: &[f64], y: &[f64]) -> f64 {
+pub fn distance<S: Scalar>(x: &[S], y: &[S]) -> S {
     ops::acosh_clamped(-inner(x, y))
 }
 
 /// Distance to the origin: `acosh(x₀)` — the granularity score GR (Eq. 13).
 #[inline]
-pub fn distance_to_origin(x: &[f64]) -> f64 {
+pub fn distance_to_origin<S: Scalar>(x: &[S]) -> S {
     ops::acosh_clamped(x[0])
+}
+
+/// [`distance_vjp`] writing into caller buffers `gx`/`gy` (each `d+1` long;
+/// every element is overwritten, so the buffers need not be zeroed).
+pub fn distance_vjp_into<S: Scalar>(x: &[S], y: &[S], upstream: S, gx: &mut [S], gy: &mut [S]) {
+    debug_assert_eq!(gx.len(), x.len());
+    debug_assert_eq!(gy.len(), y.len());
+    let s = -inner(x, y);
+    let ds = upstream / ((s * s - S::ONE).sqrt()).max(S::from_f64(MIN_NORM));
+    gx[0] = ds * y[0];
+    gy[0] = ds * x[0];
+    for i in 1..x.len() {
+        gx[i] = -ds * y[i];
+        gy[i] = -ds * x[i];
+    }
 }
 
 /// Ambient Euclidean gradients of [`distance`] w.r.t. both arguments, scaled
@@ -67,18 +89,22 @@ pub fn distance_to_origin(x: &[f64]) -> f64 {
 /// With `s = −⟨x,y⟩_L`, `d = acosh(s)` and `∂s/∂x = (y₀, −y₁, …, −y_d)`.
 /// Feed the results through [`crate::rsgd::lorentz_step`], which converts
 /// ambient gradients to Riemannian ones (Eq. 16).
-pub fn distance_vjp(x: &[f64], y: &[f64], upstream: f64) -> (Vec<f64>, Vec<f64>) {
-    let s = -inner(x, y);
-    let ds = upstream / ((s * s - 1.0).sqrt()).max(MIN_NORM);
-    let mut gx = vec![0.0; x.len()];
-    let mut gy = vec![0.0; y.len()];
-    gx[0] = ds * y[0];
-    gy[0] = ds * x[0];
-    for i in 1..x.len() {
-        gx[i] = -ds * y[i];
-        gy[i] = -ds * x[i];
-    }
+pub fn distance_vjp<S: Scalar>(x: &[S], y: &[S], upstream: S) -> (Vec<S>, Vec<S>) {
+    let mut gx = vec![S::ZERO; x.len()];
+    let mut gy = vec![S::ZERO; y.len()];
+    distance_vjp_into(x, y, upstream, &mut gx, &mut gy);
     (gx, gy)
+}
+
+/// [`exp_origin`] writing into a caller buffer (`z.len() + 1` long).
+pub fn exp_origin_into<S: Scalar>(z: &[S], out: &mut [S]) {
+    debug_assert_eq!(out.len(), z.len() + 1);
+    let n = ops::norm(z);
+    out[0] = n.cosh();
+    let scale = sinhc(n);
+    for (o, zi) in out[1..].iter_mut().zip(z) {
+        *o = scale * *zi;
+    }
 }
 
 /// Exponential map at the origin (Eq. 8), taking the **spatial** tangent
@@ -86,15 +112,26 @@ pub fn distance_vjp(x: &[f64], y: &[f64], upstream: f64) -> (Vec<f64>, Vec<f64>)
 /// zero) to a point on `H^d` in `d+1` ambient coordinates:
 ///
 /// `exp_o(z) = (cosh‖z‖, sinh(‖z‖)·z/‖z‖)`.
-pub fn exp_origin(z: &[f64]) -> Vec<f64> {
-    let n = ops::norm(z);
-    let mut out = vec![0.0; z.len() + 1];
-    out[0] = n.cosh();
-    let scale = sinhc(n);
-    for (o, zi) in out[1..].iter_mut().zip(z) {
-        *o = scale * zi;
-    }
+pub fn exp_origin<S: Scalar>(z: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; z.len() + 1];
+    exp_origin_into(z, &mut out);
     out
+}
+
+/// [`log_origin`] writing into a caller buffer (`u.len() − 1` long).
+pub fn log_origin_into<S: Scalar>(u: &[S], out: &mut [S]) {
+    debug_assert_eq!(out.len() + 1, u.len());
+    let us = &u[1..];
+    let m = ops::norm(us);
+    if m < S::from_f64(MIN_NORM) {
+        out.copy_from_slice(us);
+        return;
+    }
+    let a = ops::acosh_clamped(u[0]);
+    let k = a / m;
+    for (o, ui) in out.iter_mut().zip(us) {
+        *o = k * *ui;
+    }
 }
 
 /// Logarithmic map at the origin (Eq. 6), returning the spatial tangent
@@ -102,26 +139,23 @@ pub fn exp_origin(z: &[f64]) -> Vec<f64> {
 ///
 /// `log_o(u) = acosh(u₀) · u_s / ‖u_s‖`, where `u_s` are the spatial
 /// coordinates (the general formula in Eq. 6 reduces to this at `o`).
-pub fn log_origin(u: &[f64]) -> Vec<f64> {
-    let us = &u[1..];
-    let m = ops::norm(us);
-    if m < MIN_NORM {
-        return us.to_vec();
-    }
-    let a = ops::acosh_clamped(u[0]);
-    ops::scaled(us, a / m)
+pub fn log_origin<S: Scalar>(u: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; u.len() - 1];
+    log_origin_into(u, &mut out);
+    out
 }
 
-/// VJP of [`exp_origin`]: given the ambient gradient `g ∈ R^{d+1}` w.r.t.
-/// the output point, returns the gradient w.r.t. the spatial tangent input
-/// `z ∈ R^d`.
-pub fn exp_origin_vjp(z: &[f64], g: &[f64]) -> Vec<f64> {
+/// [`exp_origin_vjp`] writing into a caller buffer (`z.len()` long; every
+/// element is overwritten).
+pub fn exp_origin_vjp_into<S: Scalar>(z: &[S], g: &[S], out: &mut [S]) {
     debug_assert_eq!(g.len(), z.len() + 1);
+    debug_assert_eq!(out.len(), z.len());
     let n = ops::norm(z);
     let gs = &g[1..];
-    if n < MIN_NORM {
+    if n < S::from_f64(MIN_NORM) {
         // exp_o(z) ≈ (1 + n²/2, z): d(out₀)/dz ≈ z → 0, spatial Jacobian ≈ I.
-        return gs.to_vec();
+        out.copy_from_slice(gs);
+        return;
     }
     let sh = n.sinh();
     let ch = n.cosh();
@@ -130,30 +164,40 @@ pub fn exp_origin_vjp(z: &[f64], g: &[f64]) -> Vec<f64> {
     // ∂out_i/∂z_j = (sinh n / n) δ_ij + z_i z_j (n cosh n − sinh n)/n³
     let zdotg = ops::dot(z, gs);
     let k = (n * ch - sh) / (n * n * n);
-    let mut out = ops::scaled(gs, shc);
+    for (o, gi) in out.iter_mut().zip(gs) {
+        *o = shc * *gi;
+    }
     let coeff = g[0] * shc + zdotg * k;
-    ops::axpy(coeff, z, &mut out);
+    ops::axpy(coeff, z, out);
     // The g[0]·sinh(n)/n·z_j term is folded in via `coeff` above:
     // coeff·z_j = g₀·(sinh n/n)·z_j + (z·g_s)·k·z_j.
+}
+
+/// VJP of [`exp_origin`]: given the ambient gradient `g ∈ R^{d+1}` w.r.t.
+/// the output point, returns the gradient w.r.t. the spatial tangent input
+/// `z ∈ R^d`.
+pub fn exp_origin_vjp<S: Scalar>(z: &[S], g: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; z.len()];
+    exp_origin_vjp_into(z, g, &mut out);
     out
 }
 
-/// VJP of [`log_origin`]: given the gradient `g ∈ R^d` w.r.t. the tangent
-/// output, returns the **ambient** gradient w.r.t. the input point
-/// `u ∈ R^{d+1}`.
-pub fn log_origin_vjp(u: &[f64], g: &[f64]) -> Vec<f64> {
+/// [`log_origin_vjp`] writing into a caller buffer (`u.len()` long; every
+/// element is overwritten).
+pub fn log_origin_vjp_into<S: Scalar>(u: &[S], g: &[S], out: &mut [S]) {
     debug_assert_eq!(g.len() + 1, u.len());
+    debug_assert_eq!(out.len(), u.len());
     let us = &u[1..];
     let m = ops::norm(us);
-    let mut out = vec![0.0; u.len()];
-    if m < MIN_NORM {
+    if m < S::from_f64(MIN_NORM) {
         // Near the origin log_o(u) ≈ u_s.
+        out[0] = S::ZERO;
         out[1..].copy_from_slice(g);
-        return out;
+        return;
     }
     let a = ops::acosh_clamped(u[0]);
     // ∂z_j/∂u₀ = u_j / (m·sqrt(u₀²−1))
-    let root = (u[0] * u[0] - 1.0).sqrt().max(MIN_NORM);
+    let root = (u[0] * u[0] - S::ONE).sqrt().max(S::from_f64(MIN_NORM));
     let udotg = ops::dot(us, g);
     out[0] = udotg / (m * root);
     // ∂z_j/∂u_i = a(δ_ij/m − u_i u_j/m³)
@@ -162,6 +206,14 @@ pub fn log_origin_vjp(u: &[f64], g: &[f64]) -> Vec<f64> {
     for i in 0..g.len() {
         out[i + 1] = am * g[i] - am3 * udotg * us[i];
     }
+}
+
+/// VJP of [`log_origin`]: given the gradient `g ∈ R^d` w.r.t. the tangent
+/// output, returns the **ambient** gradient w.r.t. the input point
+/// `u ∈ R^{d+1}`.
+pub fn log_origin_vjp<S: Scalar>(u: &[S], g: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; u.len()];
+    log_origin_vjp_into(u, g, &mut out);
     out
 }
 
@@ -169,10 +221,10 @@ pub fn log_origin_vjp(u: &[f64], g: &[f64]) -> Vec<f64> {
 /// `exp_x(v) = cosh(‖v‖_L)·x + sinh(‖v‖_L)·v/‖v‖_L`,
 /// where `v` is a tangent vector at `x` (so `⟨x,v⟩_L = 0` and
 /// `‖v‖_L = sqrt(⟨v,v⟩_L)` is real).
-pub fn exp_point(x: &[f64], v: &[f64]) -> Vec<f64> {
-    let vv = inner(v, v).max(0.0);
+pub fn exp_point<S: Scalar>(x: &[S], v: &[S]) -> Vec<S> {
+    let vv = inner(v, v).max(S::ZERO);
     let n = vv.sqrt();
-    if n < MIN_NORM {
+    if n < S::from_f64(MIN_NORM) {
         return x.to_vec();
     }
     let mut out = ops::scaled(x, n.cosh());
@@ -183,7 +235,7 @@ pub fn exp_point(x: &[f64], v: &[f64]) -> Vec<f64> {
 
 /// Projects an ambient vector `h` onto the tangent space at `x`:
 /// `proj_x(h) = h + ⟨x,h⟩_L · x`.
-pub fn tangent_project(x: &[f64], h: &[f64]) -> Vec<f64> {
+pub fn tangent_project<S: Scalar>(x: &[S], h: &[S]) -> Vec<S> {
     let xh = inner(x, h);
     let mut out = h.to_vec();
     ops::axpy(xh, x, &mut out);
@@ -192,9 +244,9 @@ pub fn tangent_project(x: &[f64], h: &[f64]) -> Vec<f64> {
 
 /// `sinh(n)/n`, with the Taylor limit at small `n`.
 #[inline]
-fn sinhc(n: f64) -> f64 {
-    if n < 1e-6 {
-        1.0 + n * n / 6.0
+fn sinhc<S: Scalar>(n: S) -> S {
+    if n < S::from_f64(1e-6) {
+        S::ONE + n * n / S::from_f64(6.0)
     } else {
         n.sinh() / n
     }
@@ -210,7 +262,7 @@ mod tests {
 
     #[test]
     fn origin_is_on_manifold() {
-        let o = origin(5);
+        let o: Vec<f64> = origin(5);
         assert!(on_manifold(&o, 1e-12));
         assert_close(inner(&o, &o), -1.0, 1e-15);
     }
@@ -241,7 +293,7 @@ mod tests {
 
     #[test]
     fn log_origin_of_origin_is_zero() {
-        let o = origin(3);
+        let o: Vec<f64> = origin(3);
         let z = log_origin(&o);
         assert!(ops::norm(&z) < 1e-12);
     }
@@ -349,5 +401,55 @@ mod tests {
         let gz = exp_origin_vjp(&z, &g);
         assert_close(gz[0], 1.0, 1e-9);
         assert_close(gz[1], 2.0, 1e-9);
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_wrappers_bitwise() {
+        let z = [0.45, -0.85, 0.1];
+        let u = exp_origin(&z);
+        let g4 = [0.2, -0.6, 1.1, 0.3];
+        let g3 = [0.9, -0.4, 0.7];
+
+        let mut buf4a = [0.0; 4];
+        let mut buf4b = [0.0; 4];
+        let (gx, gy) = distance_vjp(&u, &exp_origin(&g3), 0.8);
+        distance_vjp_into(&u, &exp_origin(&g3), 0.8, &mut buf4a, &mut buf4b);
+        assert_eq!(gx, buf4a);
+        assert_eq!(gy, buf4b);
+
+        exp_origin_into(&z, &mut buf4a);
+        assert_eq!(u, buf4a);
+
+        let mut buf3 = [0.0; 3];
+        log_origin_into(&u, &mut buf3);
+        assert_eq!(log_origin(&u), buf3);
+
+        exp_origin_vjp_into(&z, &g4, &mut buf3);
+        assert_eq!(exp_origin_vjp(&z, &g4), buf3);
+
+        log_origin_vjp_into(&u, &g3, &mut buf4a);
+        assert_eq!(log_origin_vjp(&u, &g3), buf4a);
+    }
+
+    #[test]
+    fn f32_kernels_track_f64_within_single_precision() {
+        let z64 = [0.35, -0.6, 0.9, 0.15];
+        let z32: Vec<f32> = z64.iter().map(|&v| v as f32).collect();
+        let u64v = exp_origin(&z64);
+        let u32v = exp_origin(&z32);
+        assert!(on_manifold(&u32v, 1e-5));
+        for (a, b) in u64v.iter().zip(&u32v) {
+            assert!((a - f64::from(*b)).abs() < 1e-5, "{a} vs {b}");
+        }
+        let back = log_origin(&u32v);
+        for (a, b) in back.iter().zip(&z32) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        let d64 = distance(&u64v, &exp_origin(&[0.1, 0.2, -0.4, 0.55]));
+        let d32 = distance(
+            &u32v,
+            &exp_origin(&[0.1f32, 0.2, -0.4, 0.55]),
+        );
+        assert!((d64 - f64::from(d32)).abs() < 1e-4);
     }
 }

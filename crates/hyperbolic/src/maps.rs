@@ -5,31 +5,73 @@
 //! the GCN + ranking loss; `p` maps Lorentz points back for visualization and
 //! the granularity analysis. `p` and `p⁻¹` are mutually inverse bijections
 //! between `P^d` and `H^d`.
+//!
+//! All kernels are generic over [`Scalar`]; the `*_into` variants write into
+//! caller-owned buffers so the propagation and gradient loops run
+//! allocation-free (see DESIGN.md, "Precision & kernels").
 
-use logirec_linalg::ops;
+use logirec_linalg::{ops, Scalar};
 
 use crate::MIN_NORM;
 
 #[cfg(test)]
 use crate::{lorentz, poincare};
 
+/// [`lorentz_to_poincare`] writing into a caller buffer (`x.len() − 1` long).
+pub fn lorentz_to_poincare_into<S: Scalar>(x: &[S], out: &mut [S]) {
+    debug_assert_eq!(out.len() + 1, x.len());
+    let denom = x[0] + S::ONE;
+    let k = S::ONE / denom;
+    for (o, xi) in out.iter_mut().zip(&x[1..]) {
+        *o = k * *xi;
+    }
+}
+
 /// `p : H^d → P^d` (Eq. 1): `p(x₀, x₁, …, x_d) = (x₁, …, x_d)/(x₀ + 1)`.
-pub fn lorentz_to_poincare(x: &[f64]) -> Vec<f64> {
-    let denom = x[0] + 1.0;
-    ops::scaled(&x[1..], 1.0 / denom)
+pub fn lorentz_to_poincare<S: Scalar>(x: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; x.len() - 1];
+    lorentz_to_poincare_into(x, &mut out);
+    out
+}
+
+/// [`poincare_to_lorentz`] writing into a caller buffer (`x.len() + 1` long).
+pub fn poincare_to_lorentz_into<S: Scalar>(x: &[S], out: &mut [S]) {
+    debug_assert_eq!(out.len(), x.len() + 1);
+    let q = ops::norm_sq(x).min(S::from_f64(1.0 - crate::BALL_EPS));
+    let denom = S::ONE - q;
+    out[0] = (S::ONE + q) / denom;
+    let two = S::from_f64(2.0);
+    for (o, xi) in out[1..].iter_mut().zip(x) {
+        *o = two * *xi / denom;
+    }
 }
 
 /// `p⁻¹ : P^d → H^d` (Eq. 2):
 /// `p⁻¹(x) = ((1 + ‖x‖²), 2x₁, …, 2x_d) / (1 − ‖x‖²)`.
-pub fn poincare_to_lorentz(x: &[f64]) -> Vec<f64> {
-    let q = ops::norm_sq(x).min(1.0 - crate::BALL_EPS);
-    let denom = 1.0 - q;
-    let mut out = vec![0.0; x.len() + 1];
-    out[0] = (1.0 + q) / denom;
-    for (o, xi) in out[1..].iter_mut().zip(x) {
-        *o = 2.0 * xi / denom;
-    }
+pub fn poincare_to_lorentz<S: Scalar>(x: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; x.len() + 1];
+    poincare_to_lorentz_into(x, &mut out);
     out
+}
+
+/// [`poincare_to_lorentz_vjp`] writing into a caller buffer (`x.len()` long;
+/// every element is overwritten).
+pub fn poincare_to_lorentz_vjp_into<S: Scalar>(x: &[S], g: &[S], out: &mut [S]) {
+    debug_assert_eq!(g.len(), x.len() + 1);
+    debug_assert_eq!(out.len(), x.len());
+    let q = ops::norm_sq(x);
+    let d = (S::ONE - q).max(S::from_f64(MIN_NORM));
+    let d2 = d * d;
+    let gs = &g[1..];
+    let xdotg = ops::dot(x, gs);
+    let two = S::from_f64(2.0);
+    let four = S::from_f64(4.0);
+    let k = two / d;
+    for (o, gi) in out.iter_mut().zip(gs) {
+        *o = k * *gi;
+    }
+    let coeff = four * g[0] / d2 + four * xdotg / d2;
+    ops::axpy(coeff, x, out);
 }
 
 /// VJP of [`poincare_to_lorentz`]: given the ambient gradient
@@ -38,31 +80,31 @@ pub fn poincare_to_lorentz(x: &[f64]) -> Vec<f64> {
 ///
 /// With `q = ‖x‖²`, `D = 1 − q`:
 /// `∂y₀/∂x_j = 4x_j/D²`, `∂y_i/∂x_j = 2δ_ij/D + 4x_i x_j/D²`.
-pub fn poincare_to_lorentz_vjp(x: &[f64], g: &[f64]) -> Vec<f64> {
-    debug_assert_eq!(g.len(), x.len() + 1);
-    let q = ops::norm_sq(x);
-    let d = (1.0 - q).max(MIN_NORM);
-    let d2 = d * d;
-    let gs = &g[1..];
-    let xdotg = ops::dot(x, gs);
-    let mut out = ops::scaled(gs, 2.0 / d);
-    let coeff = 4.0 * g[0] / d2 + 4.0 * xdotg / d2;
-    ops::axpy(coeff, x, &mut out);
+pub fn poincare_to_lorentz_vjp<S: Scalar>(x: &[S], g: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; x.len()];
+    poincare_to_lorentz_vjp_into(x, g, &mut out);
     out
+}
+
+/// [`lorentz_to_poincare_vjp`] writing into a caller buffer (`x.len()` long;
+/// every element is overwritten).
+pub fn lorentz_to_poincare_vjp_into<S: Scalar>(x: &[S], g: &[S], out: &mut [S]) {
+    debug_assert_eq!(g.len() + 1, x.len());
+    debug_assert_eq!(out.len(), x.len());
+    let denom = x[0] + S::ONE;
+    out[0] = -ops::dot(&x[1..], g) / (denom * denom);
+    for (o, gi) in out[1..].iter_mut().zip(g) {
+        *o = *gi / denom;
+    }
 }
 
 /// VJP of [`lorentz_to_poincare`]: given the gradient `g ∈ R^d` w.r.t. the
 /// Poincaré output, returns the ambient gradient w.r.t. the Lorentz input.
 ///
 /// `∂y_i/∂x₀ = −x_i/(x₀+1)²`, `∂y_i/∂x_j = δ_ij/(x₀+1)` for `j ≥ 1`.
-pub fn lorentz_to_poincare_vjp(x: &[f64], g: &[f64]) -> Vec<f64> {
-    debug_assert_eq!(g.len() + 1, x.len());
-    let denom = x[0] + 1.0;
-    let mut out = vec![0.0; x.len()];
-    out[0] = -ops::dot(&x[1..], g) / (denom * denom);
-    for (o, gi) in out[1..].iter_mut().zip(g) {
-        *o = gi / denom;
-    }
+pub fn lorentz_to_poincare_vjp<S: Scalar>(x: &[S], g: &[S]) -> Vec<S> {
+    let mut out = vec![S::ZERO; x.len()];
+    lorentz_to_poincare_vjp_into(x, g, &mut out);
     out
 }
 
@@ -108,7 +150,7 @@ mod tests {
         let o_h = poincare_to_lorentz(&o_p);
         assert_close(o_h[0], 1.0, 1e-15);
         assert_close(o_h[1], 0.0, 1e-15);
-        let back = lorentz_to_poincare(&lorentz::origin(2));
+        let back: Vec<f64> = lorentz_to_poincare(&lorentz::origin(2));
         assert!(ops::norm(&back) < 1e-15);
     }
 
@@ -158,5 +200,24 @@ mod tests {
             let num = (f(&zp) - f(&zm)) / (2.0 * h);
             assert_close(g_tan[i], num, 1e-5);
         }
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_wrappers_bitwise() {
+        let x = [0.31, -0.44, 0.12];
+        let u = poincare_to_lorentz(&x);
+        let g4 = [0.7, -1.3, 0.4, 2.0];
+        let g3 = [1.0, -0.5, 0.25];
+
+        let mut buf3 = [0.0; 3];
+        let mut buf4 = [0.0; 4];
+        poincare_to_lorentz_into(&x, &mut buf4);
+        assert_eq!(u, buf4);
+        lorentz_to_poincare_into(&u, &mut buf3);
+        assert_eq!(lorentz_to_poincare(&u), buf3);
+        poincare_to_lorentz_vjp_into(&x, &g4, &mut buf3);
+        assert_eq!(poincare_to_lorentz_vjp(&x, &g4), buf3);
+        lorentz_to_poincare_vjp_into(&u, &g3, &mut buf4);
+        assert_eq!(lorentz_to_poincare_vjp(&u, &g3), buf4);
     }
 }

@@ -3,8 +3,12 @@
 //! Provides the distance metric, Möbius addition, the exponential map used
 //! for Riemannian SGD on Poincaré parameters (Eq. 17 of the paper), the
 //! origin-anchored exp/log maps, and analytic gradients.
+//!
+//! All kernels are generic over [`Scalar`]; the gradient kernel also exists
+//! as a `*_into` variant writing into caller-owned buffers so the sharded
+//! ranking loss runs allocation-free.
 
-use logirec_linalg::ops;
+use logirec_linalg::{ops, Scalar};
 
 use crate::{BALL_EPS, MIN_NORM};
 
@@ -12,35 +16,58 @@ use crate::{BALL_EPS, MIN_NORM};
 ///
 /// Every optimizer step on Poincaré parameters must end with this projection:
 /// the distance metric and conformal factor are undefined at `‖x‖ ≥ 1`.
-pub fn project(x: &mut [f64]) {
-    ops::clip_norm(x, 1.0 - BALL_EPS);
+pub fn project<S: Scalar>(x: &mut [S]) {
+    ops::clip_norm(x, S::from_f64(1.0 - BALL_EPS));
 }
 
 /// True when `x` lies strictly inside the unit ball (with margin).
-pub fn in_ball(x: &[f64]) -> bool {
-    ops::norm(x) <= 1.0 - BALL_EPS / 2.0
+pub fn in_ball<S: Scalar>(x: &[S]) -> bool {
+    ops::norm(x) <= S::from_f64(1.0 - BALL_EPS / 2.0)
 }
 
 /// Conformal factor `λ_x = 2 / (1 − ‖x‖²)` of the Poincaré metric at `x`.
 #[inline]
-pub fn conformal_factor(x: &[f64]) -> f64 {
-    2.0 / (1.0 - ops::norm_sq(x)).max(BALL_EPS)
+pub fn conformal_factor<S: Scalar>(x: &[S]) -> S {
+    S::from_f64(2.0) / (S::ONE - ops::norm_sq(x)).max(S::from_f64(BALL_EPS))
 }
 
 /// Poincaré distance
 /// `d_P(x, y) = acosh(1 + 2‖x−y‖² / ((1−‖x‖²)(1−‖y‖²)))` (Section III-A).
-pub fn distance(x: &[f64], y: &[f64]) -> f64 {
+pub fn distance<S: Scalar>(x: &[S], y: &[S]) -> S {
     let a = ops::dist_sq(x, y);
-    let b = (1.0 - ops::norm_sq(x)).max(BALL_EPS);
-    let c = (1.0 - ops::norm_sq(y)).max(BALL_EPS);
-    ops::acosh_clamped(1.0 + 2.0 * a / (b * c))
+    let b = (S::ONE - ops::norm_sq(x)).max(S::from_f64(BALL_EPS));
+    let c = (S::ONE - ops::norm_sq(y)).max(S::from_f64(BALL_EPS));
+    ops::acosh_clamped(S::ONE + S::from_f64(2.0) * a / (b * c))
 }
 
 /// Distance from `x` to the origin: `acosh(1 + 2‖x‖²/(1−‖x‖²))`
 /// `= 2 atanh(‖x‖)`.
-pub fn distance_to_origin(x: &[f64]) -> f64 {
-    let n = ops::norm(x).min(1.0 - BALL_EPS);
-    2.0 * n.atanh()
+pub fn distance_to_origin<S: Scalar>(x: &[S]) -> S {
+    let n = ops::norm(x).min(S::from_f64(1.0 - BALL_EPS));
+    S::from_f64(2.0) * n.atanh()
+}
+
+/// [`distance_vjp`] writing into caller buffers `gx`/`gy` (each `d` long;
+/// every element is overwritten, so the buffers need not be zeroed).
+pub fn distance_vjp_into<S: Scalar>(x: &[S], y: &[S], upstream: S, gx: &mut [S], gy: &mut [S]) {
+    debug_assert_eq!(gx.len(), x.len());
+    debug_assert_eq!(gy.len(), y.len());
+    let a = ops::dist_sq(x, y);
+    let b = (S::ONE - ops::norm_sq(x)).max(S::from_f64(BALL_EPS));
+    let c = (S::ONE - ops::norm_sq(y)).max(S::from_f64(BALL_EPS));
+    let four = S::from_f64(4.0);
+    let s = S::ONE + S::from_f64(2.0) * a / (b * c);
+    // d(acosh s)/ds = 1/sqrt(s² − 1); clamp to avoid the x == y singularity.
+    let ds = upstream / (s * s - S::ONE).sqrt().max(S::from_f64(MIN_NORM));
+    // ∂s/∂x = 4(x−y)/(bc) + 4a·x/(b²c);  symmetric for y.
+    let k = four / (b * c);
+    let kx = four * a / (b * b * c);
+    let ky = four * a / (b * c * c);
+    for i in 0..x.len() {
+        let diff = x[i] - y[i];
+        gx[i] = ds * (k * diff + kx * x[i]);
+        gy[i] = ds * (-k * diff + ky * y[i]);
+    }
 }
 
 /// Gradients of [`distance`] with respect to both arguments.
@@ -48,35 +75,22 @@ pub fn distance_to_origin(x: &[f64]) -> f64 {
 /// Returns `(∂d/∂x, ∂d/∂y)` scaled by the upstream cotangent `upstream`.
 /// These are Euclidean (ambient) gradients; convert with
 /// [`crate::rsgd::poincare_riemannian_grad`] before a Riemannian step.
-pub fn distance_vjp(x: &[f64], y: &[f64], upstream: f64) -> (Vec<f64>, Vec<f64>) {
-    let a = ops::dist_sq(x, y);
-    let b = (1.0 - ops::norm_sq(x)).max(BALL_EPS);
-    let c = (1.0 - ops::norm_sq(y)).max(BALL_EPS);
-    let s = 1.0 + 2.0 * a / (b * c);
-    // d(acosh s)/ds = 1/sqrt(s² − 1); clamp to avoid the x == y singularity.
-    let ds = upstream / (s * s - 1.0).sqrt().max(MIN_NORM);
-    // ∂s/∂x = 4(x−y)/(bc) + 4a·x/(b²c);  symmetric for y.
-    let mut gx = vec![0.0; x.len()];
-    let mut gy = vec![0.0; y.len()];
-    let k = 4.0 / (b * c);
-    let kx = 4.0 * a / (b * b * c);
-    let ky = 4.0 * a / (b * c * c);
-    for i in 0..x.len() {
-        let diff = x[i] - y[i];
-        gx[i] = ds * (k * diff + kx * x[i]);
-        gy[i] = ds * (-k * diff + ky * y[i]);
-    }
+pub fn distance_vjp<S: Scalar>(x: &[S], y: &[S], upstream: S) -> (Vec<S>, Vec<S>) {
+    let mut gx = vec![S::ZERO; x.len()];
+    let mut gy = vec![S::ZERO; y.len()];
+    distance_vjp_into(x, y, upstream, &mut gx, &mut gy);
     (gx, gy)
 }
 
 /// Möbius addition `x ⊕ y` (definition under Eq. 17).
-pub fn mobius_add(x: &[f64], y: &[f64]) -> Vec<f64> {
+pub fn mobius_add<S: Scalar>(x: &[S], y: &[S]) -> Vec<S> {
+    let two = S::from_f64(2.0);
     let xy = ops::dot(x, y);
     let xx = ops::norm_sq(x);
     let yy = ops::norm_sq(y);
-    let denom = (1.0 + 2.0 * xy + xx * yy).max(MIN_NORM);
-    let cx = (1.0 + 2.0 * xy + yy) / denom;
-    let cy = (1.0 - xx) / denom;
+    let denom = (S::ONE + two * xy + xx * yy).max(S::from_f64(MIN_NORM));
+    let cx = (S::ONE + two * xy + yy) / denom;
+    let cy = (S::ONE - xx) / denom;
     let mut out = ops::scaled(x, cx);
     ops::axpy(cy, y, &mut out);
     out
@@ -88,12 +102,12 @@ pub fn mobius_add(x: &[f64], y: &[f64]) -> Vec<f64> {
 /// Combined with the Riemannian gradient rescaling `((1−‖x‖²)/2)²` this is
 /// the retraction Nickel & Kiela use for Poincaré RSGD. The result is
 /// projected back into the ball.
-pub fn exp_map_paper(x: &[f64], eta: &[f64]) -> Vec<f64> {
+pub fn exp_map_paper<S: Scalar>(x: &[S], eta: &[S]) -> Vec<S> {
     let n = ops::norm(eta);
-    if n < MIN_NORM {
+    if n < S::from_f64(MIN_NORM) {
         return x.to_vec();
     }
-    let y = ops::scaled(eta, (n / 2.0).tanh() / n);
+    let y = ops::scaled(eta, (n / S::from_f64(2.0)).tanh() / n);
     let mut out = mobius_add(x, &y);
     project(&mut out);
     out
@@ -101,22 +115,22 @@ pub fn exp_map_paper(x: &[f64], eta: &[f64]) -> Vec<f64> {
 
 /// The full Riemannian exponential map of the Poincaré ball (curvature −1):
 /// `exp_x(v) = x ⊕ (tanh(λ_x ‖v‖ / 2) · v/‖v‖)`.
-pub fn exp_map(x: &[f64], v: &[f64]) -> Vec<f64> {
+pub fn exp_map<S: Scalar>(x: &[S], v: &[S]) -> Vec<S> {
     let n = ops::norm(v);
-    if n < MIN_NORM {
+    if n < S::from_f64(MIN_NORM) {
         return x.to_vec();
     }
     let lam = conformal_factor(x);
-    let y = ops::scaled(v, (lam * n / 2.0).tanh() / n);
+    let y = ops::scaled(v, (lam * n / S::from_f64(2.0)).tanh() / n);
     let mut out = mobius_add(x, &y);
     project(&mut out);
     out
 }
 
 /// Exponential map at the origin: `exp_0(v) = tanh(‖v‖) · v/‖v‖`.
-pub fn exp_map_origin(v: &[f64]) -> Vec<f64> {
+pub fn exp_map_origin<S: Scalar>(v: &[S]) -> Vec<S> {
     let n = ops::norm(v);
-    if n < MIN_NORM {
+    if n < S::from_f64(MIN_NORM) {
         return v.to_vec();
     }
     let mut out = ops::scaled(v, n.tanh() / n);
@@ -126,12 +140,12 @@ pub fn exp_map_origin(v: &[f64]) -> Vec<f64> {
 
 /// Logarithmic map at the origin: `log_0(x) = atanh(‖x‖) · x/‖x‖`
 /// (inverse of [`exp_map_origin`]).
-pub fn log_map_origin(x: &[f64]) -> Vec<f64> {
+pub fn log_map_origin<S: Scalar>(x: &[S]) -> Vec<S> {
     let n = ops::norm(x);
-    if n < MIN_NORM {
+    if n < S::from_f64(MIN_NORM) {
         return x.to_vec();
     }
-    let nc = n.min(1.0 - BALL_EPS);
+    let nc = n.min(S::from_f64(1.0 - BALL_EPS));
     ops::scaled(x, nc.atanh() / n)
 }
 
@@ -270,5 +284,17 @@ mod tests {
         project(&mut x);
         assert!(in_ball(&x));
         assert_close(ops::norm(&x), 1.0 - BALL_EPS, 1e-12);
+    }
+
+    #[test]
+    fn into_kernel_matches_allocating_wrapper_bitwise() {
+        let x = [0.31, -0.22, 0.15];
+        let y = [-0.4, 0.05, 0.33];
+        let (gx, gy) = distance_vjp(&x, &y, 0.75);
+        let mut bx = [0.0; 3];
+        let mut by = [0.0; 3];
+        distance_vjp_into(&x, &y, 0.75, &mut bx, &mut by);
+        assert_eq!(gx, bx);
+        assert_eq!(gy, by);
     }
 }

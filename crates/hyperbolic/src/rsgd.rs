@@ -10,15 +10,22 @@
 //!   project onto the tangent space at `x` (this is what the paper's
 //!   `(I − X Xᵀ)∇` in Eq. 16 computes on the hyperboloid); the update uses
 //!   the hyperboloid exponential (Eq. 18) followed by a re-projection.
+//!
+//! The steps are generic over [`Scalar`] so the optimizer runs natively in
+//! either precision. Learning rates stay `f64` at the API boundary (they
+//! come from the config) and are rounded into `S` once per call. The steps
+//! still allocate small per-row temporaries — they run once per *touched
+//! row* per batch, not once per pair, so they are far off the hot path the
+//! `*_into` kernels serve.
 
-use logirec_linalg::ops;
+use logirec_linalg::{ops, Scalar};
 
 use crate::{hyperplane, lorentz, poincare};
 
 /// Converts a Euclidean gradient at a Poincaré point to the Riemannian
 /// gradient: `grad = ((1 − ‖x‖²)/2)² · ∇`.
-pub fn poincare_riemannian_grad(x: &[f64], egrad: &[f64]) -> Vec<f64> {
-    let factor = (1.0 - ops::norm_sq(x)).max(0.0) / 2.0;
+pub fn poincare_riemannian_grad<S: Scalar>(x: &[S], egrad: &[S]) -> Vec<S> {
+    let factor = (S::ONE - ops::norm_sq(x)).max(S::ZERO) / S::from_f64(2.0);
     ops::scaled(egrad, factor * factor)
 }
 
@@ -28,13 +35,13 @@ pub fn poincare_riemannian_grad(x: &[f64], egrad: &[f64]) -> Vec<f64> {
 /// Hostile gradients never poison the point: a non-finite gradient is
 /// dropped, a step whose retraction overflows keeps the old point, and the
 /// final projection guarantees the result stays strictly inside the ball.
-pub fn poincare_step(x: &mut [f64], egrad: &[f64], lr: f64) {
+pub fn poincare_step<S: Scalar>(x: &mut [S], egrad: &[S], lr: f64) {
     if !ops::all_finite(egrad) {
         poincare::project(x);
         return;
     }
     let mut rgrad = poincare_riemannian_grad(x, egrad);
-    ops::scale(&mut rgrad, -lr);
+    ops::scale(&mut rgrad, S::from_f64(-lr));
     let updated = poincare::exp_map_paper(x, &rgrad);
     if ops::all_finite(&updated) {
         x.copy_from_slice(&updated);
@@ -45,7 +52,7 @@ pub fn poincare_step(x: &mut [f64], egrad: &[f64], lr: f64) {
 /// One RSGD step on a hyperplane defining point `c`: same as
 /// [`poincare_step`] but additionally keeps `‖c‖` in the valid hyperplane
 /// range (nonzero, inside the ball).
-pub fn hyperplane_step(c: &mut [f64], egrad: &[f64], lr: f64) {
+pub fn hyperplane_step<S: Scalar>(c: &mut [S], egrad: &[S], lr: f64) {
     poincare_step(c, egrad, lr);
     hyperplane::clamp_center(c);
 }
@@ -53,7 +60,7 @@ pub fn hyperplane_step(c: &mut [f64], egrad: &[f64], lr: f64) {
 /// Converts an ambient Euclidean gradient at a Lorentz point to the
 /// Riemannian gradient (Eq. 16): apply `g_L⁻¹` (negate the time component),
 /// then project onto the tangent space at `x`.
-pub fn lorentz_riemannian_grad(x: &[f64], egrad: &[f64]) -> Vec<f64> {
+pub fn lorentz_riemannian_grad<S: Scalar>(x: &[S], egrad: &[S]) -> Vec<S> {
     let mut h = egrad.to_vec();
     h[0] = -h[0];
     lorentz::tangent_project(x, &h)
@@ -66,13 +73,13 @@ pub fn lorentz_riemannian_grad(x: &[f64], egrad: &[f64]) -> Vec<f64> {
 /// dropped, a step whose exponential map overflows (e.g. `cosh` of an
 /// enormous tangent norm) keeps the old point, and the final projection
 /// guarantees the result sits back on the sheet.
-pub fn lorentz_step(x: &mut [f64], egrad: &[f64], lr: f64) {
+pub fn lorentz_step<S: Scalar>(x: &mut [S], egrad: &[S], lr: f64) {
     if !ops::all_finite(egrad) {
         lorentz::project(x);
         return;
     }
     let mut rgrad = lorentz_riemannian_grad(x, egrad);
-    ops::scale(&mut rgrad, -lr);
+    ops::scale(&mut rgrad, S::from_f64(-lr));
     let updated = lorentz::exp_point(x, &rgrad);
     if ops::all_finite(&updated) {
         x.copy_from_slice(&updated);
@@ -84,11 +91,11 @@ pub fn lorentz_step(x: &mut [f64], egrad: &[f64], lr: f64) {
 /// Plain Euclidean SGD step, used by the Euclidean baselines and the
 /// "w/o Hyper" ablation so every method shares one optimizer surface.
 /// Non-finite gradients are dropped, matching the Riemannian steps.
-pub fn euclidean_step(x: &mut [f64], egrad: &[f64], lr: f64) {
+pub fn euclidean_step<S: Scalar>(x: &mut [S], egrad: &[S], lr: f64) {
     if !ops::all_finite(egrad) {
         return;
     }
-    ops::axpy(-lr, egrad, x);
+    ops::axpy(S::from_f64(-lr), egrad, x);
 }
 
 #[cfg(test)]
@@ -163,5 +170,28 @@ mod tests {
         let mut x = vec![1.0, 2.0];
         euclidean_step(&mut x, &[0.5, -0.5], 0.1);
         assert_eq!(x, vec![0.95, 2.05]);
+    }
+
+    #[test]
+    fn f32_steps_preserve_manifold_invariants() {
+        let target: Vec<f32> = lorentz::exp_origin(&[0.6f32, -0.4]);
+        let mut x: Vec<f32> = lorentz::origin(2);
+        for _ in 0..200 {
+            let d = lorentz::distance(&x, &target);
+            let (gx, _) = lorentz::distance_vjp(&x, &target, 2.0f32 * d);
+            lorentz_step(&mut x, &gx, 0.05);
+            assert!(lorentz::on_manifold(&x, 1e-4), "left the manifold: {x:?}");
+        }
+        assert!(lorentz::distance(&x, &target) < 1e-2);
+
+        let mut p = vec![0.01f32, 0.02];
+        let ptarget = [0.4f32, -0.3];
+        for _ in 0..300 {
+            let d = poincare::distance(&p, &ptarget);
+            let (gp, _) = poincare::distance_vjp(&p, &ptarget, 2.0f32 * d);
+            poincare_step(&mut p, &gp, 0.05);
+            assert!(poincare::in_ball(&p));
+        }
+        assert!(poincare::distance(&p, &ptarget) < 1e-2);
     }
 }

@@ -3,29 +3,37 @@
 //! An [`Embedding`] is an `n × d` matrix whose rows are the latent vectors of
 //! users, items, or tags. It is deliberately minimal: contiguous storage,
 //! row views, and the initialization schemes the paper's models need.
+//!
+//! The element type is generic over [`Scalar`] with an `f64` default, so the
+//! plain `Embedding` spelling every existing caller uses still means the
+//! double-precision matrix. The random initializers always *draw* in `f64`
+//! (one stream regardless of precision) and round into `S`, which makes an
+//! `f32` table the rounding of the corresponding `f64` table rather than a
+//! different random model.
 
 use crate::ops;
 use crate::rng::SplitMix64;
+use crate::Scalar;
 
-/// Dense row-major `n × d` matrix of `f64`.
+/// Dense row-major `n × d` matrix of scalars (default `f64`).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Embedding {
+pub struct Embedding<S: Scalar = f64> {
     rows: usize,
     dim: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl Embedding {
+impl<S: Scalar> Embedding<S> {
     /// Zero-initialized `rows × dim` matrix.
     pub fn zeros(rows: usize, dim: usize) -> Self {
-        Self { rows, dim, data: vec![0.0; rows * dim] }
+        Self { rows, dim, data: vec![S::ZERO; rows * dim] }
     }
 
     /// Uniform init in `[-scale, scale)`, the classic MF/GCN initialization.
     pub fn uniform(rows: usize, dim: usize, scale: f64, rng: &mut SplitMix64) -> Self {
         let mut m = Self::zeros(rows, dim);
         for v in &mut m.data {
-            *v = rng.uniform(-scale, scale);
+            *v = rng.uniform_in(-scale, scale);
         }
         m
     }
@@ -34,7 +42,7 @@ impl Embedding {
     pub fn normal(rows: usize, dim: usize, std: f64, rng: &mut SplitMix64) -> Self {
         let mut m = Self::zeros(rows, dim);
         for v in &mut m.data {
-            *v = rng.normal() * std;
+            *v = S::from_f64(rng.normal() * std);
         }
         m
     }
@@ -45,7 +53,7 @@ impl Embedding {
     pub fn poincare_burn_in(rows: usize, dim: usize, radius: f64, rng: &mut SplitMix64) -> Self {
         let mut m = Self::uniform(rows, dim, radius, rng);
         for r in 0..rows {
-            ops::clip_norm(m.row_mut(r), radius);
+            ops::clip_norm(m.row_mut(r), S::from_f64(radius));
         }
         m
     }
@@ -64,18 +72,18 @@ impl Embedding {
 
     /// Immutable view of row `i`.
     #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[S] {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
     /// Mutable view of row `i`.
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, i: usize) -> &mut [S] {
         &mut self.data[i * self.dim..(i + 1) * self.dim]
     }
 
     /// Two disjoint mutable rows; panics if `i == j`.
-    pub fn rows_mut2(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+    pub fn rows_mut2(&mut self, i: usize, j: usize) -> (&mut [S], &mut [S]) {
         assert_ne!(i, j, "rows_mut2 requires distinct rows");
         let d = self.dim;
         if i < j {
@@ -89,28 +97,28 @@ impl Embedding {
 
     /// Flat view of the whole buffer.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[S] {
         &self.data
     }
 
     /// Flat mutable view of the whole buffer.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
         &mut self.data
     }
 
     /// Sets every element to zero (reusing the allocation).
     pub fn fill_zero(&mut self) {
-        self.data.fill(0.0);
+        self.data.fill(S::ZERO);
     }
 
     /// Iterator over row views.
-    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[S]> {
         self.data.chunks_exact(self.dim)
     }
 
     /// Frobenius norm of the whole matrix.
-    pub fn frobenius_norm(&self) -> f64 {
+    pub fn frobenius_norm(&self) -> S {
         ops::norm(&self.data)
     }
 
@@ -118,6 +126,16 @@ impl Embedding {
     /// in this workspace must maintain.
     pub fn all_finite(&self) -> bool {
         ops::all_finite(&self.data)
+    }
+
+    /// Converts every entry through `f64` into precision `T` (exact when
+    /// widening `f32 → f64`, round-to-nearest when narrowing).
+    pub fn cast<T: Scalar>(&self) -> Embedding<T> {
+        Embedding {
+            rows: self.rows,
+            dim: self.dim,
+            data: self.data.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+        }
     }
 }
 
@@ -127,7 +145,7 @@ mod tests {
 
     #[test]
     fn shape_accessors() {
-        let m = Embedding::zeros(3, 4);
+        let m: Embedding = Embedding::zeros(3, 4);
         assert_eq!(m.rows(), 3);
         assert_eq!(m.dim(), 4);
         assert_eq!(m.as_slice().len(), 12);
@@ -161,7 +179,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "distinct rows")]
     fn rows_mut2_rejects_same_row() {
-        let mut m = Embedding::zeros(2, 2);
+        let mut m: Embedding = Embedding::zeros(2, 2);
         let _ = m.rows_mut2(1, 1);
     }
 
@@ -175,7 +193,7 @@ mod tests {
     #[test]
     fn burn_in_rows_stay_inside_radius() {
         let mut rng = SplitMix64::new(2);
-        let m = Embedding::poincare_burn_in(50, 16, 1e-3, &mut rng);
+        let m: Embedding = Embedding::poincare_burn_in(50, 16, 1e-3, &mut rng);
         for r in m.iter_rows() {
             assert!(crate::ops::norm(r) <= 1e-3 + 1e-12);
         }
@@ -184,8 +202,33 @@ mod tests {
     #[test]
     fn frobenius_norm_matches_flat_norm() {
         let mut rng = SplitMix64::new(3);
-        let m = Embedding::normal(10, 5, 1.0, &mut rng);
+        let m: Embedding = Embedding::normal(10, 5, 1.0, &mut rng);
         assert!((m.frobenius_norm() - crate::ops::norm(m.as_slice())).abs() < 1e-15);
         assert!(m.all_finite());
+    }
+
+    #[test]
+    fn f32_init_consumes_the_same_stream_as_f64() {
+        let mut rng64 = SplitMix64::new(17);
+        let mut rng32 = SplitMix64::new(17);
+        let m64: Embedding<f64> = Embedding::uniform(6, 5, 0.3, &mut rng64);
+        let m32: Embedding<f32> = Embedding::uniform(6, 5, 0.3, &mut rng32);
+        // Same draw count → generators end in the same state…
+        assert_eq!(rng64.state(), rng32.state());
+        // …and every f32 entry is the rounding of the f64 entry.
+        for (a, b) in m64.as_slice().iter().zip(m32.as_slice()) {
+            assert_eq!(*b, *a as f32);
+        }
+    }
+
+    #[test]
+    fn cast_round_trips_through_wider_precision() {
+        let mut rng = SplitMix64::new(4);
+        let m: Embedding<f32> = Embedding::normal(4, 3, 0.5, &mut rng);
+        let wide: Embedding<f64> = m.cast();
+        let back: Embedding<f32> = wide.cast();
+        assert_eq!(m, back);
+        assert_eq!(wide.rows(), 4);
+        assert_eq!(wide.dim(), 3);
     }
 }

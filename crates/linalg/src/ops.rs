@@ -3,57 +3,65 @@
 //! All functions operate on slices and assume equal lengths; they panic (via
 //! `debug_assert!` + indexing) on mismatch in debug builds, which is the
 //! contract every caller in this workspace upholds by construction.
+//!
+//! Every kernel is generic over [`Scalar`]. The element-wise kernels are
+//! order-preserving, so the `f64` instantiation is bit-identical to the
+//! historical `f64`-only versions; the reductions delegate to
+//! [`Scalar::dot`] / [`Scalar::dist_sq`], whose accumulation order is part
+//! of the trait contract (sequential for `f64`, chunked for `f32`).
+
+use crate::Scalar;
 
 /// Dot product `x · y`.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    S::dot(x, y)
 }
 
 /// Squared Euclidean norm `‖x‖²`.
 #[inline]
-pub fn norm_sq(x: &[f64]) -> f64 {
-    dot(x, x)
+pub fn norm_sq<S: Scalar>(x: &[S]) -> S {
+    S::dot(x, x)
 }
 
 /// Euclidean norm `‖x‖`.
 #[inline]
-pub fn norm(x: &[f64]) -> f64 {
+pub fn norm<S: Scalar>(x: &[S]) -> S {
     norm_sq(x).sqrt()
 }
 
 /// Squared Euclidean distance `‖x − y‖²`.
 #[inline]
-pub fn dist_sq(x: &[f64], y: &[f64]) -> f64 {
+pub fn dist_sq<S: Scalar>(x: &[S], y: &[S]) -> S {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+    S::dist_sq(x, y)
 }
 
 /// Euclidean distance `‖x − y‖`.
 #[inline]
-pub fn dist(x: &[f64], y: &[f64]) -> f64 {
+pub fn dist<S: Scalar>(x: &[S], y: &[S]) -> S {
     dist_sq(x, y).sqrt()
 }
 
 /// `out ← x`.
 #[inline]
-pub fn copy(out: &mut [f64], x: &[f64]) {
+pub fn copy<S: Scalar>(out: &mut [S], x: &[S]) {
     out.copy_from_slice(x);
 }
 
 /// `y ← y + a·x` (the BLAS `axpy`).
 #[inline]
-pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<S: Scalar>(a: S, x: &[S], y: &mut [S]) {
     debug_assert_eq!(x.len(), y.len());
     for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
+        *yi += a * *xi;
     }
 }
 
 /// `x ← a·x`.
 #[inline]
-pub fn scale(x: &mut [f64], a: f64) {
+pub fn scale<S: Scalar>(x: &mut [S], a: S) {
     for xi in x.iter_mut() {
         *xi *= a;
     }
@@ -61,28 +69,28 @@ pub fn scale(x: &mut [f64], a: f64) {
 
 /// Returns `x + y` as a fresh vector.
 #[inline]
-pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+pub fn add<S: Scalar>(x: &[S], y: &[S]) -> Vec<S> {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| a + b).collect()
+    x.iter().zip(y).map(|(a, b)| *a + *b).collect()
 }
 
 /// Returns `x − y` as a fresh vector.
 #[inline]
-pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+pub fn sub<S: Scalar>(x: &[S], y: &[S]) -> Vec<S> {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| a - b).collect()
+    x.iter().zip(y).map(|(a, b)| *a - *b).collect()
 }
 
 /// Returns `a·x` as a fresh vector.
 #[inline]
-pub fn scaled(x: &[f64], a: f64) -> Vec<f64> {
-    x.iter().map(|v| a * v).collect()
+pub fn scaled<S: Scalar>(x: &[S], a: S) -> Vec<S> {
+    x.iter().map(|v| a * *v).collect()
 }
 
 /// Fills `x` with zeros.
 #[inline]
-pub fn zero(x: &mut [f64]) {
-    x.fill(0.0);
+pub fn zero<S: Scalar>(x: &mut [S]) {
+    x.fill(S::ZERO);
 }
 
 /// Rescales `x` in place so that `‖x‖ ≤ max_norm`.
@@ -91,7 +99,7 @@ pub fn zero(x: &mut [f64]) {
 /// embeddings in the unit ball) and by Poincaré parameters, which must stay
 /// strictly inside the unit ball.
 #[inline]
-pub fn clip_norm(x: &mut [f64], max_norm: f64) {
+pub fn clip_norm<S: Scalar>(x: &mut [S], max_norm: S) {
     let n = norm(x);
     if n > max_norm {
         scale(x, max_norm / n);
@@ -100,7 +108,7 @@ pub fn clip_norm(x: &mut [f64], max_norm: f64) {
 
 /// True when every component is finite (neither NaN nor ±∞).
 #[inline]
-pub fn all_finite(x: &[f64]) -> bool {
+pub fn all_finite<S: Scalar>(x: &[S]) -> bool {
     x.iter().all(|v| v.is_finite())
 }
 
@@ -108,9 +116,9 @@ pub fn all_finite(x: &[f64]) -> bool {
 /// `acosh`, absorbing the `1 − ε` values produced by floating-point noise in
 /// hyperbolic distance formulas.
 #[inline]
-pub fn acosh_clamped(x: f64) -> f64 {
-    if x <= 1.0 {
-        0.0
+pub fn acosh_clamped<S: Scalar>(x: S) -> S {
+    if x <= S::ONE {
+        S::ZERO
     } else {
         x.acosh()
     }
@@ -187,5 +195,19 @@ mod tests {
         assert!(all_finite(&[0.0, 1.0, -1.0]));
         assert!(!all_finite(&[0.0, f64::NAN]));
         assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn f32_instantiation_matches_f64_on_exact_inputs() {
+        let x64 = [1.0f64, -2.0, 3.5, 0.25];
+        let y64 = [0.5f64, 2.0, -1.0, 4.0];
+        let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+        let y32: Vec<f32> = y64.iter().map(|&v| v as f32).collect();
+        // Dyadic inputs: every intermediate is exact in both precisions.
+        assert_eq!(f64::from(dot(&x32, &y32)), dot(&x64, &y64));
+        assert_eq!(f64::from(dist_sq(&x32, &y32)), dist_sq(&x64, &y64));
+        let mut c32 = x32.clone();
+        clip_norm(&mut c32, 0.5f32);
+        assert!(norm(&c32) <= 0.5 + 1e-6);
     }
 }

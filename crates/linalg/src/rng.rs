@@ -114,6 +114,24 @@ impl SplitMix64 {
         (self.next_u64() >> 32) as u32
     }
 
+    /// Uniform value in `[lo, hi)` rounded into precision `S`.
+    ///
+    /// The draw itself always consumes the `f64` stream (one `next_u64`),
+    /// so an `S = f32` run sees the *same* random sequence as `f64`, merely
+    /// rounded — initialization parity between precisions is exact up to
+    /// rounding, and the `f64` instantiation is the identity.
+    #[inline]
+    pub fn uniform_in<S: crate::Scalar>(&mut self, lo: f64, hi: f64) -> S {
+        S::from_f64(self.uniform(lo, hi))
+    }
+
+    /// Standard normal draw rounded into precision `S`; same stream-sharing
+    /// contract as [`SplitMix64::uniform_in`].
+    #[inline]
+    pub fn normal_in<S: crate::Scalar>(&mut self) -> S {
+        S::from_f64(self.normal())
+    }
+
     /// Fills `dest` with random bytes.
     pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);

@@ -31,4 +31,16 @@ trap 'rm -rf "$smoke"' EXIT
   --epochs 3 --dim 8 --train-threads 2
 cmp "$smoke/m1.logirec" "$smoke/m2.logirec" \
   || { echo "tier1: train-threads determinism smoke FAILED (models differ)"; exit 1; }
+
+# Single-precision smoke: generate → train 1 epoch → evaluate, all with
+# --precision f32. Fails on divergence (trainer exit code) or any NaN
+# leaking into the reported metrics.
+./target/release/logirec train --data "$smoke/data" --model "$smoke/m32.logirec" \
+  --epochs 1 --dim 8 --precision f32
+f32_out=$(./target/release/logirec evaluate --data "$smoke/data" \
+  --model "$smoke/m32.logirec" --precision f32)
+echo "$f32_out"
+case "$f32_out" in
+  *NaN*|*nan*) echo "tier1: f32 smoke FAILED (NaN in metrics)"; exit 1 ;;
+esac
 echo "tier1: all green"

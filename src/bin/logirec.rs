@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use logirec_suite::core::io::{load_model, save_model};
-use logirec_suite::core::{train, LogiRecConfig};
+use logirec_suite::core::{train, LogiRecConfig, Precision};
 use logirec_suite::data::{load_dataset_traced, save_dataset_traced, Dataset, DatasetSpec, Scale, Split};
 use logirec_suite::eval::{evaluate_traced, Ranker};
 use logirec_suite::obs::Telemetry;
@@ -55,9 +55,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   logirec generate  --dataset ciao|cd|clothing|book --scale tiny|small|paper --seed N --out DIR
   logirec train     --data DIR --model FILE [--epochs N] [--lambda X] [--dim N] [--no-mining]
-                    [--train-threads N] [--checkpoint FILE [--checkpoint-every N]]
-                    [--resume FILE]
-  logirec evaluate  --data DIR --model FILE [--threads N]
+                    [--precision f32|f64] [--train-threads N]
+                    [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
+  logirec evaluate  --data DIR --model FILE [--threads N] [--precision f32|f64]
+
+precision: f64 (default) is the bit-reproducible double-precision path;
+f32 runs the same kernels in single precision (model files stay f64).
   logirec recommend --data DIR --model FILE --user N [--k N]
 
 telemetry (generate / train / evaluate):
@@ -173,8 +176,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let ds = load(flags, &tel)?;
     let model_path = PathBuf::from(flags.require("model")?);
     let checkpoint_path = flags.get("checkpoint").map(PathBuf::from);
+    let precision = parse_precision(flags)?;
     let cfg = LogiRecConfig {
         epochs: flags.parse_or("epochs", 40)?,
+        precision,
         lambda: flags.parse_or("lambda", 0.5)?,
         dim: flags.parse_or("dim", 64)?,
         mining: !flags.has("no-mining"),
@@ -190,12 +195,13 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     };
     let label = if cfg.mining { "LogiRec++" } else { "LogiRec" };
     println!(
-        "training {label} on {} users / {} items for {} epochs (d={}, lambda={})",
+        "training {label} on {} users / {} items for {} epochs (d={}, lambda={}, {})",
         ds.n_users(),
         ds.n_items(),
         cfg.epochs,
         cfg.dim,
-        cfg.lambda
+        cfg.lambda,
+        cfg.precision
     );
     let (model, report) = train(cfg, &ds);
     let mut save_span = tel.span("checkpoint");
@@ -231,13 +237,27 @@ fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
     let ds = load(flags, &tel)?;
     let model_path = PathBuf::from(flags.require("model")?);
     let base_cfg = LogiRecConfig { telemetry: tel.clone(), ..LogiRecConfig::default() };
-    let mut model = load_model(&model_path, base_cfg).map_err(|e| e.to_string())?;
-    model.propagate(&ds.train);
+    let model = load_model(&model_path, base_cfg).map_err(|e| e.to_string())?;
     let threads = flags.parse_or("threads", default_threads())?;
+    let precision = parse_precision(flags)?;
     let res = {
         let mut eval_span = tel.span("eval");
         eval_span.field("split", "test");
-        evaluate_traced(&model, &ds, Split::Test, &[10, 20], threads, &tel)
+        eval_span.field("precision", format!("{precision}"));
+        // Model files are always f64; --precision f32 narrows the tables
+        // and runs propagation + ranking in single precision.
+        match precision {
+            Precision::F64 => {
+                let mut model = model;
+                model.propagate(&ds.train);
+                evaluate_traced(&model, &ds, Split::Test, &[10, 20], threads, &tel)
+            }
+            Precision::F32 => {
+                let mut model32 = model.cast::<f32>();
+                model32.propagate(&ds.train);
+                evaluate_traced(&model32, &ds, Split::Test, &[10, 20], threads, &tel)
+            }
+        }
     };
     flags.finish_telemetry(&tel);
     println!(
@@ -274,6 +294,15 @@ fn cmd_recommend(flags: &Flags) -> Result<(), String> {
         println!("  {:>2}. item {v} [{}]", rank + 1, tags.join(", "));
     }
     Ok(())
+}
+
+fn parse_precision(flags: &Flags) -> Result<Precision, String> {
+    match flags.get("precision") {
+        None => Ok(Precision::F64),
+        Some(v) => Precision::parse(v).ok_or_else(|| {
+            format!("bad value for --precision: {v:?} (expected f32 or f64)")
+        }),
+    }
 }
 
 fn default_threads() -> usize {
