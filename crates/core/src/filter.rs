@@ -10,11 +10,154 @@
 //! also yields the promised computation reduction when used as a hard
 //! pre-filter.
 
-use logirec_data::Dataset;
+use logirec_data::{Dataset, Split};
 use logirec_hyperbolic::Ball;
 use logirec_linalg::ops;
 
 use crate::model::LogiRec;
+
+/// Typed errors from the filtering layer: every id is validated against the
+/// filter's dimensions before it indexes anything, so callers (the serving
+/// path in particular, where user/item ids arrive over the wire) get a
+/// recoverable error instead of a slice-index panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterError {
+    /// A user id at or beyond the filter's user count.
+    UserOutOfRange {
+        /// The offending user id.
+        user: usize,
+        /// Number of users the filter was built for.
+        n_users: usize,
+    },
+    /// An item id at or beyond the filter's item count.
+    ItemOutOfRange {
+        /// The offending item id.
+        item: usize,
+        /// Number of items the filter was built for.
+        n_items: usize,
+    },
+    /// A tag id at or beyond the filter's tag count.
+    TagOutOfRange {
+        /// The offending tag id.
+        tag: usize,
+        /// Number of tags the filter was built for.
+        n_tags: usize,
+    },
+    /// A score buffer whose length does not match the item count.
+    ScoresLengthMismatch {
+        /// The item count the filter expects.
+        expected: usize,
+        /// The buffer length the caller passed.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterError::UserOutOfRange { user, n_users } => {
+                write!(f, "user {user} out of range ({n_users} users)")
+            }
+            FilterError::ItemOutOfRange { item, n_items } => {
+                write!(f, "item {item} out of range ({n_items} items)")
+            }
+            FilterError::TagOutOfRange { tag, n_tags } => {
+                write!(f, "tag {tag} out of range ({n_tags} tags)")
+            }
+            FilterError::ScoresLengthMismatch { expected, got } => {
+                write!(f, "score buffer holds {got} items but the filter expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// Per-user seen-item filter: the candidate mask the evaluator applies
+/// before top-K selection, packaged as a reusable, bounds-checked value so
+/// the serving path can apply **exactly** the same mask (and therefore
+/// return byte-identical rankings to offline evaluation).
+///
+/// Built from one or more dataset splits; masking writes `f64::NEG_INFINITY`
+/// over every seen item's score, which [`logirec_eval::ranking::top_k_indices`]
+/// then skips.
+#[derive(Debug, Clone)]
+pub struct SeenFilter {
+    n_items: usize,
+    /// `seen[u]` = sorted, distinct item ids user `u` has interacted with
+    /// in the splits the filter was built from.
+    seen: Vec<Vec<usize>>,
+}
+
+impl SeenFilter {
+    /// Builds the filter from the union of `splits` of `dataset`.
+    pub fn from_splits(dataset: &Dataset, splits: &[Split]) -> Self {
+        let n_users = dataset.n_users();
+        let mut seen: Vec<Vec<usize>> = vec![Vec::new(); n_users];
+        for &split in splits {
+            let set = dataset.split(split);
+            for (u, list) in seen.iter_mut().enumerate() {
+                list.extend_from_slice(set.items_of(u));
+            }
+        }
+        for list in &mut seen {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self { n_items: dataset.n_items(), seen }
+    }
+
+    /// The mask offline test-split evaluation applies (Train ∪ Validation)
+    /// — the serving default, so exact-path responses match `evaluate`.
+    pub fn eval_mask(dataset: &Dataset) -> Self {
+        Self::from_splits(dataset, &[Split::Train, Split::Validation])
+    }
+
+    /// Number of users the filter covers.
+    pub fn n_users(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Number of items the filter covers.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The sorted seen-item list of `u`, or a typed error for unknown users.
+    pub fn seen_of(&self, u: usize) -> Result<&[usize], FilterError> {
+        self.seen
+            .get(u)
+            .map(Vec::as_slice)
+            .ok_or(FilterError::UserOutOfRange { user: u, n_users: self.seen.len() })
+    }
+
+    /// True when user `u` has already interacted with item `v`.
+    pub fn is_seen(&self, u: usize, v: usize) -> Result<bool, FilterError> {
+        if v >= self.n_items {
+            return Err(FilterError::ItemOutOfRange { item: v, n_items: self.n_items });
+        }
+        Ok(self.seen_of(u)?.binary_search(&v).is_ok())
+    }
+
+    /// Masks every seen item of `u` out of `scores` (sets the slot to
+    /// `f64::NEG_INFINITY`). Returns the number of items masked. The buffer
+    /// length must equal [`Self::n_items`].
+    pub fn mask_scores(&self, u: usize, scores: &mut [f64]) -> Result<usize, FilterError> {
+        if scores.len() != self.n_items {
+            return Err(FilterError::ScoresLengthMismatch {
+                expected: self.n_items,
+                got: scores.len(),
+            });
+        }
+        let seen = self.seen_of(u)?;
+        for &v in seen {
+            // Construction guarantees v < n_items (ids come from the
+            // dataset's interaction sets), so this indexing cannot panic.
+            scores[v] = f64::NEG_INFINITY;
+        }
+        Ok(seen.len())
+    }
+}
 
 /// Precomputed logic-consistency filter.
 #[derive(Debug, Clone)]
@@ -63,32 +206,85 @@ impl LogicFilter {
     }
 
     /// True when tags `a` and `b` are confidently disjoint in the learned
-    /// geometry (the model's *refined* exclusion relation).
+    /// geometry (the model's *refined* exclusion relation). Panics on
+    /// out-of-range tags; see [`Self::try_tags_disjoint`] for the checked
+    /// form.
     #[inline]
     pub fn tags_disjoint(&self, a: usize, b: usize) -> bool {
-        self.disjoint[a * self.n_tags + b]
+        self.try_tags_disjoint(a, b).expect("tag id out of range")
+    }
+
+    /// Bounds-checked [`Self::tags_disjoint`].
+    #[inline]
+    pub fn try_tags_disjoint(&self, a: usize, b: usize) -> Result<bool, FilterError> {
+        for t in [a, b] {
+            if t >= self.n_tags {
+                return Err(FilterError::TagOutOfRange { tag: t, n_tags: self.n_tags });
+            }
+        }
+        Ok(self.disjoint[a * self.n_tags + b])
     }
 
     /// True when every tag of `item_tags` is disjoint from every tag in
     /// the user's profile — the "skip this item" condition. Untagged items
-    /// and users with empty profiles are never excluded.
+    /// and users with empty profiles are never excluded. Panics on
+    /// out-of-range ids; see [`Self::try_item_excluded`] for the checked
+    /// form used by the serving path.
     pub fn item_excluded(&self, u: usize, item_tags: &[usize]) -> bool {
-        let profile = &self.user_tags[u];
-        if profile.is_empty() || item_tags.is_empty() {
-            return false;
-        }
-        item_tags
-            .iter()
-            .all(|&it| profile.iter().all(|&ut| it != ut && self.tags_disjoint(it, ut)))
+        self.try_item_excluded(u, item_tags).expect("user or tag id out of range")
     }
 
-    /// Applies the penalty in place to a user's score vector.
-    pub fn apply(&self, u: usize, item_tags: &[Vec<usize>], scores: &mut [f64]) {
-        for (v, s) in scores.iter_mut().enumerate() {
-            if self.item_excluded(u, &item_tags[v]) {
-                *s -= self.penalty;
+    /// Bounds-checked [`Self::item_excluded`]: validates the user id and
+    /// every tag id before touching the disjointness matrix, so ids taken
+    /// from the wire surface as a typed [`FilterError`] instead of a panic.
+    pub fn try_item_excluded(&self, u: usize, item_tags: &[usize]) -> Result<bool, FilterError> {
+        let profile = self
+            .user_tags
+            .get(u)
+            .ok_or(FilterError::UserOutOfRange { user: u, n_users: self.user_tags.len() })?;
+        if profile.is_empty() || item_tags.is_empty() {
+            return Ok(false);
+        }
+        for &t in item_tags {
+            if t >= self.n_tags {
+                return Err(FilterError::TagOutOfRange { tag: t, n_tags: self.n_tags });
             }
         }
+        // Profile tags come from the dataset the filter was built from, so
+        // only the caller-supplied item tags needed validation above.
+        Ok(item_tags
+            .iter()
+            .all(|&it| profile.iter().all(|&ut| it != ut && self.disjoint[it * self.n_tags + ut])))
+    }
+
+    /// Applies the penalty in place to a user's score vector. Panics on
+    /// out-of-range ids; see [`Self::try_apply`] for the checked form.
+    pub fn apply(&self, u: usize, item_tags: &[Vec<usize>], scores: &mut [f64]) {
+        self.try_apply(u, item_tags, scores).expect("user or tag id out of range");
+    }
+
+    /// Bounds-checked [`Self::apply`]. Returns the number of penalized
+    /// items.
+    pub fn try_apply(
+        &self,
+        u: usize,
+        item_tags: &[Vec<usize>],
+        scores: &mut [f64],
+    ) -> Result<usize, FilterError> {
+        if scores.len() != item_tags.len() {
+            return Err(FilterError::ScoresLengthMismatch {
+                expected: item_tags.len(),
+                got: scores.len(),
+            });
+        }
+        let mut penalized = 0;
+        for (v, s) in scores.iter_mut().enumerate() {
+            if self.try_item_excluded(u, &item_tags[v])? {
+                *s -= self.penalty;
+                penalized += 1;
+            }
+        }
+        Ok(penalized)
     }
 
     /// Fraction of (user, item) pairs the hard version of the filter would
@@ -205,6 +401,93 @@ mod tests {
         let f = LogicFilter::build(&m, &ds, 0.05, 100.0);
         let frac = f.skip_fraction(&ds.item_tags);
         assert!((0.0..=1.0).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn seen_filter_masks_exactly_the_eval_mask() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(9);
+        let f = SeenFilter::eval_mask(&ds);
+        assert_eq!(f.n_users(), ds.n_users());
+        assert_eq!(f.n_items(), ds.n_items());
+        for u in 0..ds.n_users() {
+            let mut scores = vec![1.0; ds.n_items()];
+            let masked = f.mask_scores(u, &mut scores).expect("in range");
+            // Reproduce the evaluator's inline mask and compare.
+            let mut reference = vec![1.0; ds.n_items()];
+            for &v in ds.train.items_of(u) {
+                reference[v] = f64::NEG_INFINITY;
+            }
+            for &v in ds.validation.items_of(u) {
+                reference[v] = f64::NEG_INFINITY;
+            }
+            assert_eq!(scores, reference, "user {u}");
+            assert_eq!(
+                masked,
+                reference.iter().filter(|s| **s == f64::NEG_INFINITY).count(),
+                "user {u}"
+            );
+            for &v in ds.train.items_of(u) {
+                assert!(f.is_seen(u, v).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn seen_filter_returns_typed_errors_instead_of_panicking() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(10);
+        let f = SeenFilter::eval_mask(&ds);
+        let n_users = ds.n_users();
+        let n_items = ds.n_items();
+
+        let mut scores = vec![0.0; n_items];
+        assert_eq!(
+            f.mask_scores(n_users + 3, &mut scores),
+            Err(FilterError::UserOutOfRange { user: n_users + 3, n_users })
+        );
+        assert_eq!(
+            f.is_seen(0, n_items),
+            Err(FilterError::ItemOutOfRange { item: n_items, n_items })
+        );
+        let mut short = vec![0.0; n_items - 1];
+        assert_eq!(
+            f.mask_scores(0, &mut short),
+            Err(FilterError::ScoresLengthMismatch { expected: n_items, got: n_items - 1 })
+        );
+        assert!(f.seen_of(usize::MAX).is_err());
+        // The messages carry the ids so reload/serve logs are actionable.
+        let msg = f.seen_of(n_users).unwrap_err().to_string();
+        assert!(msg.contains(&n_users.to_string()), "{msg}");
+    }
+
+    #[test]
+    fn logic_filter_checked_apis_reject_bad_ids() {
+        let (m, ds) = trained();
+        let f = LogicFilter::build(&m, &ds, 0.05, 100.0);
+        let n_tags = ds.n_tags();
+        assert_eq!(
+            f.try_tags_disjoint(n_tags, 0),
+            Err(FilterError::TagOutOfRange { tag: n_tags, n_tags })
+        );
+        assert_eq!(
+            f.try_item_excluded(ds.n_users(), &[0]),
+            Err(FilterError::UserOutOfRange { user: ds.n_users(), n_users: ds.n_users() })
+        );
+        assert_eq!(
+            f.try_item_excluded(0, &[n_tags + 1]),
+            Err(FilterError::TagOutOfRange { tag: n_tags + 1, n_tags })
+        );
+        // The checked and panicking forms agree on valid input.
+        for u in 0..ds.n_users().min(4) {
+            for v in 0..ds.n_items().min(8) {
+                assert_eq!(
+                    f.try_item_excluded(u, &ds.item_tags[v]).unwrap(),
+                    f.item_excluded(u, &ds.item_tags[v])
+                );
+            }
+        }
+        let mut scores = vec![0.0; ds.n_items()];
+        let penalized = f.try_apply(0, &ds.item_tags, &mut scores).expect("valid input");
+        assert_eq!(penalized, scores.iter().filter(|s| **s != 0.0).count());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! parameter tables as little-endian `f64`).
 
 use std::fs;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::path::Path;
 
 use logirec_linalg::Embedding;
@@ -110,47 +110,84 @@ pub fn save_model(model: &LogiRec, path: &Path) -> io::Result<u64> {
 /// Loads a model saved by [`save_model`]. The returned model carries the
 /// saved `dim`/`layers`/`geometry` on top of `base_cfg` (training knobs
 /// like the learning rate come from `base_cfg`).
+///
+/// Every failure names the file and the byte offset where parsing stopped,
+/// so a truncated or bit-flipped model surfaced during a serving reload is
+/// immediately actionable (`<path>: corrupt model file at byte N: …`).
 pub fn load_model(path: &Path, base_cfg: LogiRecConfig) -> Result<LogiRec, ModelIoError> {
-    let mut r = io::BufReader::new(fs::File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    let where_io = |e: io::Error| {
+        ModelIoError::Io(io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+    };
+    let corrupt_at = |offset: usize, msg: String| {
+        ModelIoError::Corrupt(format!("{} at byte {offset}: {msg}", path.display()))
+    };
+    let bytes = fs::read(path).map_err(where_io)?;
+
+    /// Offset-tracking cursor so every parse error can name the exact byte.
+    struct Cursor<'a> {
+        bytes: &'a [u8],
+        offset: usize,
+        path: &'a Path,
+    }
+    impl<'a> Cursor<'a> {
+        fn corrupt(&self, offset: usize, msg: String) -> ModelIoError {
+            ModelIoError::Corrupt(format!("{} at byte {offset}: {msg}", self.path.display()))
+        }
+        fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ModelIoError> {
+            let end = self.offset.checked_add(n).filter(|&e| e <= self.bytes.len());
+            let Some(end) = end else {
+                return Err(self.corrupt(
+                    self.offset,
+                    format!(
+                        "file truncated inside {what} (wanted {n} more bytes, {} left)",
+                        self.bytes.len() - self.offset
+                    ),
+                ));
+            };
+            let s = &self.bytes[self.offset..end];
+            self.offset = end;
+            Ok(s)
+        }
+        fn u64(&mut self, what: &str) -> Result<u64, ModelIoError> {
+            Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        }
+    }
+    let mut r = Cursor { bytes: &bytes, offset: 0, path };
+
+    if r.take(8, "the magic header")? != MAGIC {
         return Err(ModelIoError::BadMagic);
     }
-    let mut geom = [0u8; 1];
-    r.read_exact(&mut geom)?;
-    let geometry = match geom[0] {
+    let geom_offset = r.offset;
+    let geometry = match r.take(1, "the geometry tag")?[0] {
         0 => Geometry::Hyperbolic,
         1 => Geometry::Euclidean,
-        g => return Err(ModelIoError::Corrupt(format!("unknown geometry tag {g}"))),
+        g => return Err(corrupt_at(geom_offset, format!("unknown geometry tag {g}"))),
     };
-    let mut read_u64 = || -> Result<u64, ModelIoError> {
-        let mut b = [0u8; 8];
-        r.read_exact(&mut b)?;
-        Ok(u64::from_le_bytes(b))
-    };
-    let dim = read_u64()? as usize;
-    let layers = read_u64()? as usize;
-    let n_tags = read_u64()? as usize;
-    let n_items = read_u64()? as usize;
-    let n_users = read_u64()? as usize;
-    let user_dim = read_u64()? as usize;
+    let dim = r.u64("the dim field")? as usize;
+    let layers = r.u64("the layers field")? as usize;
+    let n_tags = r.u64("the tag count")? as usize;
+    let n_items = r.u64("the item count")? as usize;
+    let n_users = r.u64("the user count")? as usize;
+    let user_dim = r.u64("the user width")? as usize;
+    let header_end = r.offset;
 
     let expected_user_dim = match geometry {
         Geometry::Hyperbolic => dim + 1,
         Geometry::Euclidean => dim,
     };
     if user_dim != expected_user_dim {
-        return Err(ModelIoError::Corrupt(format!(
-            "user width {user_dim} does not match geometry/dim {dim}"
-        )));
+        return Err(corrupt_at(
+            header_end,
+            format!("user width {user_dim} does not match geometry/dim {dim}"),
+        ));
     }
     if dim == 0 || n_tags == 0 || n_items == 0 || n_users == 0 {
-        return Err(ModelIoError::Corrupt("zero-sized table".into()));
+        return Err(corrupt_at(header_end, "zero-sized table in header".into()));
     }
 
     // The header fully determines the file size; reject truncation,
     // trailing garbage, and absurd header values before reading tables.
+    let overflow = || corrupt_at(header_end, "table shapes overflow".into());
     let table_elems = [(n_tags, dim), (n_items, dim), (n_users, user_dim)]
         .iter()
         .try_fold(0u64, |acc, &(rows, cols)| {
@@ -158,36 +195,45 @@ pub fn load_model(path: &Path, base_cfg: LogiRecConfig) -> Result<LogiRec, Model
                 .checked_mul(cols as u64)
                 .and_then(|n| acc.checked_add(n))
         })
-        .ok_or_else(|| ModelIoError::Corrupt("table shapes overflow".into()))?;
+        .ok_or_else(overflow)?;
     let expected_len = table_elems
         .checked_mul(8)
         .and_then(|n| n.checked_add(8 + 1 + 6 * 8))
-        .ok_or_else(|| ModelIoError::Corrupt("table shapes overflow".into()))?;
-    let actual_len = fs::metadata(path)?.len();
-    if actual_len != expected_len {
-        return Err(ModelIoError::Corrupt(format!(
-            "file is {actual_len} bytes but the header implies {expected_len} \
-             (truncated or trailing garbage)"
-        )));
+        .ok_or_else(overflow)?;
+    if bytes.len() as u64 != expected_len {
+        return Err(corrupt_at(
+            bytes.len().min(expected_len.min(usize::MAX as u64) as usize),
+            format!(
+                "file is {} bytes but the header implies {expected_len} \
+                 (truncated or trailing garbage)",
+                bytes.len()
+            ),
+        ));
     }
 
-    let mut read_table = |rows: usize, cols: usize| -> Result<Embedding, ModelIoError> {
+    let read_table = |r: &mut Cursor<'_>,
+                          name: &str,
+                          rows: usize,
+                          cols: usize|
+     -> Result<Embedding, ModelIoError> {
+        let table_start = r.offset;
         let mut m = Embedding::zeros(rows, cols);
-        let mut buf = [0u8; 8];
-        for x in m.as_mut_slice() {
-            r.read_exact(&mut buf).map_err(|_| {
-                ModelIoError::Corrupt("file truncated inside a parameter table".into())
-            })?;
-            *x = f64::from_le_bytes(buf);
-        }
-        if !m.all_finite() {
-            return Err(ModelIoError::Corrupt("non-finite parameter".into()));
+        for (i, x) in m.as_mut_slice().iter_mut().enumerate() {
+            let b = r.take(8, "a parameter table")?;
+            let v = f64::from_le_bytes(b.try_into().expect("8 bytes"));
+            if !v.is_finite() {
+                return Err(corrupt_at(
+                    table_start + i * 8,
+                    format!("non-finite parameter in the {name} table (entry {i}: {v})"),
+                ));
+            }
+            *x = v;
         }
         Ok(m)
     };
-    let tags = read_table(n_tags, dim)?;
-    let items = read_table(n_items, dim)?;
-    let users = read_table(n_users, user_dim)?;
+    let tags = read_table(&mut r, "tags", n_tags, dim)?;
+    let items = read_table(&mut r, "items", n_items, dim)?;
+    let users = read_table(&mut r, "users", n_users, user_dim)?;
 
     let cfg = LogiRecConfig { dim, layers, geometry, ..base_cfg };
     Ok(LogiRec::from_parts(cfg, tags, items, users))
@@ -277,6 +323,39 @@ mod tests {
             "{err}"
         );
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_errors_name_the_file_and_byte_offset() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(8);
+        let cfg = LogiRecConfig { epochs: 1, eval_every: 0, ..LogiRecConfig::test_config() };
+        let (model, _) = train(cfg.clone(), &ds);
+        let path = tmp("offsets");
+        save_model(&model, &path).expect("save");
+        let bytes = fs::read(&path).unwrap();
+        let path_str = path.display().to_string();
+
+        // Truncation inside the header names the header field and the file.
+        fs::write(&path, &bytes[..12]).unwrap();
+        let err = load_model(&path, cfg.clone()).unwrap_err().to_string();
+        assert!(err.contains(&path_str), "missing path: {err}");
+        assert!(err.contains("at byte"), "missing offset: {err}");
+
+        // A NaN parameter names the table, the entry, and its byte offset.
+        let header = 8 + 1 + 6 * 8;
+        let mut nan_bytes = bytes.clone();
+        let hit = header + 3 * 8; // entry 3 of the tags table
+        nan_bytes[hit..hit + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        fs::write(&path, &nan_bytes).unwrap();
+        let err = load_model(&path, cfg.clone()).unwrap_err().to_string();
+        assert!(err.contains(&format!("at byte {hit}")), "wrong offset: {err}");
+        assert!(err.contains("tags table"), "missing table name: {err}");
+        assert!(err.contains("entry 3"), "missing entry index: {err}");
+
+        // A missing file reports the path through the Io variant too.
+        let _ = fs::remove_file(&path);
+        let err = load_model(&path, cfg).unwrap_err().to_string();
+        assert!(err.contains(&path_str), "missing path in io error: {err}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod trainer;
 
 pub use ablation::Variant;
 pub use config::{Geometry, LogiRecConfig, Precision};
-pub use filter::{FilteredRanker, LogicFilter};
+pub use filter::{FilterError, FilteredRanker, LogicFilter, SeenFilter};
 pub use graph::PropGraph;
 pub use model::LogiRec;
 pub use shard::{merge_tree, shard_count, shard_ranges, Merge, SparseGrad};

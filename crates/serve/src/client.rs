@@ -1,0 +1,217 @@
+//! A small client for the serve protocol, plus the bounded-retry/backoff
+//! helper the load generator and smoke tests use.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use logirec_obs::json::{self, Json};
+
+use crate::protocol::{self, Request, Response};
+
+/// Errors a client call can surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, or write).
+    Io(io::Error),
+    /// The server closed the connection mid-exchange.
+    Closed,
+    /// The response line did not parse as protocol JSON.
+    Protocol(String),
+    /// The server replied with an `error` response (a client mistake —
+    /// not retried, the request would fail again).
+    Server(String),
+    /// All retry attempts failed; carries the last transport error.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error of the final attempt.
+        last: Box<ClientError>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server rejected the request: {m}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Bounded-retry policy with exponential backoff. Retries cover transport
+/// failures only (connect refused, dropped connections, timeouts); a
+/// server `error` reply is deterministic and surfaces immediately.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 0 behaves like 1.
+    pub attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: Duration,
+    /// Backoff multiplier per further attempt.
+    pub multiplier: u32,
+    /// Upper bound on a single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            multiplier: 2,
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept after failed attempt number `attempt` (1-based):
+    /// `base * multiplier^(attempt-1)`, capped at `max_backoff`.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let factor = self.multiplier.max(1).saturating_pow(attempt.saturating_sub(1));
+        self.base_backoff.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
+/// One connection to a serve instance. Requests are pipelined one at a
+/// time: write a line, read a line.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// Default client-side read timeout — generous so it only fires on a hung
+/// server, never on a deadline-exceeded request (the server answers those
+/// promptly with a fallback).
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { writer: stream, reader })
+    }
+
+    /// Sends one raw line and reads one raw line back (trailing newline
+    /// stripped).
+    pub fn roundtrip_line(&mut self, line: &str) -> Result<String, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(ClientError::Closed);
+        }
+        Ok(resp.trim_end().to_string())
+    }
+
+    /// Sends a recommendation request and parses the response.
+    pub fn recommend(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let line = self.roundtrip_line(&protocol::encode_request(req))?;
+        match protocol::parse_response(&line) {
+            Err(m) => Err(ClientError::Protocol(m)),
+            Ok(Err(server_msg)) => Err(ClientError::Server(server_msg)),
+            Ok(Ok(resp)) => Ok(resp),
+        }
+    }
+
+    /// Asks for the server counters (the raw stats object).
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let line = self.roundtrip_line("{\"stats\":true}")?;
+        json::parse(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Forces a reload check; returns the raw reload object
+    /// (`reload: swapped|rejected|unchanged`).
+    pub fn reload(&mut self) -> Result<Json, ClientError> {
+        let line = self.roundtrip_line("{\"reload\":true}")?;
+        json::parse(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Asks the server to stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let _ = self.roundtrip_line("{\"shutdown\":true}")?;
+        Ok(())
+    }
+}
+
+/// Connect-and-recommend with bounded retries and exponential backoff.
+/// Each attempt uses a fresh connection, so dropped connections and a
+/// briefly unavailable server are retried; server-side `error` replies are
+/// not. Returns the response and the number of attempts used.
+pub fn recommend_with_retry(
+    addr: SocketAddr,
+    req: &Request,
+    policy: &RetryPolicy,
+) -> Result<(Response, u32), ClientError> {
+    let attempts = policy.attempts.max(1);
+    let mut last: Option<ClientError> = None;
+    for attempt in 1..=attempts {
+        let result = Client::connect(addr)
+            .map_err(ClientError::from)
+            .and_then(|mut c| c.recommend(req));
+        match result {
+            Ok(resp) => return Ok((resp, attempt)),
+            Err(e @ ClientError::Server(_)) => return Err(e),
+            Err(e) => last = Some(e),
+        }
+        if attempt < attempts {
+            std::thread::sleep(policy.backoff_after(attempt));
+        }
+    }
+    Err(ClientError::RetriesExhausted {
+        attempts,
+        last: Box::new(last.expect("at least one attempt ran")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_geometrically_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_after(1), Duration::from_millis(5));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(10));
+        assert_eq!(p.backoff_after(3), Duration::from_millis(20));
+        assert_eq!(p.backoff_after(30), Duration::from_millis(200), "capped");
+    }
+
+    #[test]
+    fn retry_reports_exhaustion_against_a_dead_address() {
+        // Bind-then-drop gives a port nothing listens on.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let policy = RetryPolicy {
+            attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let req = Request { id: 1, user: 0, k: 5, deadline_ms: None };
+        match recommend_with_retry(addr, &req, &policy) {
+            Err(ClientError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+}

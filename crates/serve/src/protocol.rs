@@ -1,0 +1,309 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One JSON object per line in each direction, parsed with the in-tree
+//! `logirec_obs::json` parser (no external deps, offline-friendly).
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id":1,"user":3,"k":10,"deadline_ms":250}   top-K recommendation
+//! {"stats":true}                               server counters
+//! {"reload":true}                              force a reload check now
+//! {"shutdown":true}                            stop the server
+//! ```
+//!
+//! Recommendation responses carry `served_by` — the degradation matrix's
+//! outcome — plus the snapshot version that produced them:
+//!
+//! ```text
+//! {"id":1,"served_by":"exact","model_version":1,"items":[..],"scores":[..],"latency_us":184}
+//! {"id":1,"served_by":"fallback","reason":"deadline",...}
+//! {"id":1,"served_by":"shed","reason":"overload","items":[],"scores":[],...}
+//! {"id":1,"error":"user 99 out of range (64 users)"}
+//! ```
+//!
+//! Scores are encoded with Rust's shortest round-trip `f64` formatting and
+//! decoded with the standard correctly-rounded parser, so an exact-path
+//! response is bit-identical to offline scoring on both ends of the wire.
+
+use logirec_obs::json::{self, Json};
+
+/// Which path produced a recommendation response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Full model scoring with seen-item masking — identical to `evaluate`.
+    Exact,
+    /// The popularity-prior degraded response (deadline or soft overload).
+    Fallback,
+    /// Hard overload: the request was shed with an empty item list.
+    Shed,
+}
+
+impl ServedBy {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServedBy::Exact => "exact",
+            ServedBy::Fallback => "fallback",
+            ServedBy::Shed => "shed",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(ServedBy::Exact),
+            "fallback" => Some(ServedBy::Fallback),
+            "shed" => Some(ServedBy::Shed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServedBy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A top-K recommendation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back verbatim.
+    pub id: u64,
+    /// User to recommend for.
+    pub user: usize,
+    /// How many items to return.
+    pub k: usize,
+    /// Per-request deadline in milliseconds; `None` uses the server
+    /// default. A deadline of 0 deterministically degrades to fallback.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Everything a client can send on one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A recommendation request.
+    Recommend(Request),
+    /// Ask for the server's counters.
+    Stats,
+    /// Force a reload check of the watched model file.
+    Reload,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// One recommendation response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Which path produced the items.
+    pub served_by: ServedBy,
+    /// Why the response degraded (`"deadline"` / `"overload"`), when it did.
+    pub reason: Option<String>,
+    /// Version of the snapshot that was live when the request ran.
+    pub model_version: u64,
+    /// Recommended item ids, best first (empty for `shed`).
+    pub items: Vec<usize>,
+    /// Scores aligned with `items` (exact: model scores; fallback:
+    /// popularity counts).
+    pub scores: Vec<f64>,
+    /// Server-side latency of the request in microseconds.
+    pub latency_us: u64,
+}
+
+/// Parses one request line.
+pub fn parse_message(line: &str) -> Result<Message, String> {
+    let j = json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    if j.get("shutdown").and_then(Json::as_bool) == Some(true) {
+        return Ok(Message::Shutdown);
+    }
+    if j.get("reload").and_then(Json::as_bool) == Some(true) {
+        return Ok(Message::Reload);
+    }
+    if j.get("stats").and_then(Json::as_bool) == Some(true) {
+        return Ok(Message::Stats);
+    }
+    let user = j
+        .get("user")
+        .and_then(Json::as_u64)
+        .ok_or("request needs a non-negative integer \"user\"")? as usize;
+    Ok(Message::Recommend(Request {
+        id: j.get("id").and_then(Json::as_u64).unwrap_or(0),
+        user,
+        k: j.get("k").and_then(Json::as_u64).unwrap_or(10) as usize,
+        deadline_ms: j.get("deadline_ms").and_then(Json::as_u64),
+    }))
+}
+
+/// Encodes a recommendation request line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    let mut s = format!("{{\"id\":{},\"user\":{},\"k\":{}", req.id, req.user, req.k);
+    if let Some(d) = req.deadline_ms {
+        s.push_str(&format!(",\"deadline_ms\":{d}"));
+    }
+    s.push('}');
+    s
+}
+
+/// Encodes a recommendation response line (no trailing newline).
+pub fn encode_response(r: &Response) -> String {
+    let mut s = format!("{{\"id\":{},\"served_by\":\"{}\"", r.id, r.served_by.as_str());
+    if let Some(reason) = &r.reason {
+        s.push_str(",\"reason\":\"");
+        escape_into(reason, &mut s);
+        s.push('"');
+    }
+    s.push_str(&format!(",\"model_version\":{}", r.model_version));
+    s.push_str(",\"items\":[");
+    for (i, v) in r.items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push_str("],\"scores\":[");
+    for (i, x) in r.scores.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        // Shortest round-trip formatting: parses back to the same bits.
+        s.push_str(&format!("{x}"));
+    }
+    s.push_str(&format!("],\"latency_us\":{}}}", r.latency_us));
+    s
+}
+
+/// Encodes an error response line (a client error; the connection stays up).
+pub fn encode_error(id: u64, msg: &str) -> String {
+    let mut s = format!("{{\"id\":{id},\"error\":\"");
+    escape_into(msg, &mut s);
+    s.push_str("\"}");
+    s
+}
+
+/// Parses a response line. `Ok(Err(msg))` is a server-reported request
+/// error; `Err` is a malformed line.
+pub fn parse_response(line: &str) -> Result<Result<Response, String>, String> {
+    let j = json::parse(line).map_err(|e| format!("bad response JSON: {e}"))?;
+    let id = j.get("id").and_then(Json::as_u64).unwrap_or(0);
+    if let Some(err) = j.get("error").and_then(Json::as_str) {
+        return Ok(Err(err.to_string()));
+    }
+    let served_by = j
+        .get("served_by")
+        .and_then(Json::as_str)
+        .and_then(ServedBy::parse)
+        .ok_or("response lacks a valid \"served_by\"")?;
+    let items = match j.get("items") {
+        Some(Json::Arr(a)) => a
+            .iter()
+            .map(|v| v.as_u64().map(|n| n as usize).ok_or("non-integer item id"))
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("response lacks an \"items\" array".to_string()),
+    };
+    let scores = match j.get("scores") {
+        Some(Json::Arr(a)) => a
+            .iter()
+            .map(|v| v.as_f64().ok_or("non-numeric score"))
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("response lacks a \"scores\" array".to_string()),
+    };
+    Ok(Ok(Response {
+        id,
+        served_by,
+        reason: j.get("reason").and_then(Json::as_str).map(str::to_string),
+        model_version: j.get("model_version").and_then(Json::as_u64).unwrap_or(0),
+        items,
+        scores,
+        latency_us: j.get("latency_us").and_then(Json::as_u64).unwrap_or(0),
+    }))
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+pub(crate) fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request { id: 7, user: 3, k: 5, deadline_ms: Some(250) };
+        let line = encode_request(&req);
+        assert_eq!(parse_message(&line), Ok(Message::Recommend(req)));
+        // deadline_ms is optional on the wire.
+        let msg = parse_message("{\"user\":1}").expect("parses");
+        assert_eq!(
+            msg,
+            Message::Recommend(Request { id: 0, user: 1, k: 10, deadline_ms: None })
+        );
+    }
+
+    #[test]
+    fn admin_messages_parse() {
+        assert_eq!(parse_message("{\"shutdown\":true}"), Ok(Message::Shutdown));
+        assert_eq!(parse_message("{\"reload\":true}"), Ok(Message::Reload));
+        assert_eq!(parse_message("{\"stats\":true}"), Ok(Message::Stats));
+        assert!(parse_message("{\"k\":10}").is_err(), "no user and no admin key");
+        assert!(parse_message("not json").is_err());
+    }
+
+    #[test]
+    fn response_round_trips_scores_bit_exactly() {
+        let resp = Response {
+            id: 9,
+            served_by: ServedBy::Exact,
+            reason: None,
+            model_version: 3,
+            items: vec![4, 1, 0],
+            scores: vec![-1.0686951927368068, -2.5e-300, 0.1 + 0.2],
+            latency_us: 1234,
+        };
+        let parsed = parse_response(&encode_response(&resp))
+            .expect("parses")
+            .expect("not an error");
+        assert_eq!(parsed.items, resp.items);
+        for (a, b) in parsed.scores.iter().zip(&resp.scores) {
+            assert_eq!(a.to_bits(), b.to_bits(), "score {b} did not round-trip");
+        }
+        assert_eq!(parsed.served_by, ServedBy::Exact);
+        assert_eq!(parsed.model_version, 3);
+    }
+
+    #[test]
+    fn degraded_responses_carry_their_reason() {
+        let resp = Response {
+            id: 1,
+            served_by: ServedBy::Fallback,
+            reason: Some("deadline".to_string()),
+            model_version: 1,
+            items: vec![2],
+            scores: vec![17.0],
+            latency_us: 9,
+        };
+        let parsed = parse_response(&encode_response(&resp)).unwrap().unwrap();
+        assert_eq!(parsed.reason.as_deref(), Some("deadline"));
+        assert_eq!(parsed.served_by, ServedBy::Fallback);
+    }
+
+    #[test]
+    fn error_responses_surface_as_inner_err_with_escaping() {
+        let line = encode_error(5, "bad \"user\"\nvalue");
+        let err = parse_response(&line).expect("parses").unwrap_err();
+        assert_eq!(err, "bad \"user\"\nvalue");
+    }
+}

@@ -1,0 +1,596 @@
+//! The concurrent request loop: std TCP, thread per connection, a deadline
+//! on every request, and the degradation matrix that turns trouble into
+//! degraded responses instead of errors.
+//!
+//! | condition                                   | `served_by` | reason     |
+//! |---------------------------------------------|-------------|------------|
+//! | healthy, within deadline                    | `exact`     | —          |
+//! | deadline already exceeded, or exact result  | `fallback`  | `deadline` |
+//! | finished late                               |             |            |
+//! | inflight > `max_inflight` (soft overload)   | `fallback`  | `overload` |
+//! | inflight > `shed_limit` (hard overload)     | `shed`      | `overload` |
+//! | unknown user / malformed line               | error reply | —          |
+//!
+//! The server never turns load or latency into an empty error: the
+//! popularity prior always produces a valid response. Only client mistakes
+//! (bad JSON, out-of-range user) get an `error` reply — and even those
+//! leave the connection open.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use logirec_obs::{Counter, Histogram, Telemetry};
+
+use crate::protocol::{self, Message, Request, Response, ServedBy};
+use crate::reload::{ReloadOutcome, Reloader};
+use crate::snapshot::{ModelSnapshot, ServeContext, SnapshotStore};
+
+/// Watch a file for hot-swap reloads.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Model or checkpoint file to watch (need not exist yet).
+    pub path: std::path::PathBuf,
+    /// Poll interval for change detection.
+    pub poll: Duration,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back via
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Soft concurrency limit: requests beyond it degrade to fallback.
+    pub max_inflight: usize,
+    /// Hard concurrency limit: requests beyond it are shed outright.
+    pub shed_limit: usize,
+    /// Deadline applied when a request does not carry `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Upper bound on requested `k`.
+    pub max_k: usize,
+    /// Hot-swap reload watching (off by default).
+    pub watch: Option<WatchConfig>,
+    /// Telemetry sink for the serve span hierarchy, counters, and latency
+    /// histograms.
+    pub telemetry: Telemetry,
+    /// Deterministic serve-path faults (tests only).
+    #[cfg(feature = "fault-injection")]
+    pub faults: Option<crate::faults::ServeFaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 8,
+            shed_limit: 64,
+            default_deadline_ms: 250,
+            max_k: 100,
+            watch: None,
+            telemetry: Telemetry::disabled(),
+            #[cfg(feature = "fault-injection")]
+            faults: None,
+        }
+    }
+}
+
+/// Telemetry-independent request/reload counters, readable via the
+/// `{"stats":true}` admin request or [`Server::stats`] even when telemetry
+/// is disabled.
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    exact: AtomicU64,
+    fallback: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    reload_success: AtomicU64,
+    reload_rejected: AtomicU64,
+    conn_drops: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Recommendation requests received.
+    pub requests: u64,
+    /// Responses served by full model scoring.
+    pub exact: u64,
+    /// Responses degraded to the popularity prior.
+    pub fallback: u64,
+    /// Requests shed under hard overload.
+    pub shed: u64,
+    /// Error replies (bad JSON, unknown user).
+    pub errors: u64,
+    /// Reloads that swapped a validated snapshot in.
+    pub reload_success: u64,
+    /// Reload candidates rejected by validation (rollback to last-good).
+    pub reload_rejected: u64,
+    /// Connections dropped by fault injection.
+    pub conn_drops: u64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            exact: self.exact.load(Ordering::Relaxed),
+            fallback: self.fallback.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            reload_success: self.reload_success.load(Ordering::Relaxed),
+            reload_rejected: self.reload_rejected.load(Ordering::Relaxed),
+            conn_drops: self.conn_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cached telemetry handles so the request path never does a registry
+/// lookup.
+struct TelHandles {
+    c_requests: Counter,
+    c_exact: Counter,
+    c_fallback: Counter,
+    c_shed: Counter,
+    c_errors: Counter,
+    c_reload_success: Counter,
+    c_reload_rejected: Counter,
+    // Only incremented by the accept loop's fault hook.
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    c_conn_drops: Counter,
+    h_exact_us: Histogram,
+    h_fallback_us: Histogram,
+    h_shed_us: Histogram,
+}
+
+impl TelHandles {
+    fn new(tel: &Telemetry) -> Self {
+        Self {
+            c_requests: tel.counter("serve.requests"),
+            c_exact: tel.counter("serve.exact"),
+            c_fallback: tel.counter("serve.fallback"),
+            c_shed: tel.counter("serve.shed"),
+            c_errors: tel.counter("serve.errors"),
+            c_reload_success: tel.counter("serve.reload_success"),
+            c_reload_rejected: tel.counter("serve.reload_rejected"),
+            c_conn_drops: tel.counter("serve.conn_drops"),
+            h_exact_us: tel.histogram("serve.exact_us"),
+            h_fallback_us: tel.histogram("serve.fallback_us"),
+            h_shed_us: tel.histogram("serve.shed_us"),
+        }
+    }
+}
+
+struct ServerInner {
+    cfg: ServerConfig,
+    ctx: Arc<ServeContext>,
+    store: SnapshotStore,
+    stats: Stats,
+    tel: TelHandles,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    reloader: Option<Mutex<Reloader>>,
+}
+
+/// RAII inflight counter: `depth` includes this request.
+struct InflightGuard<'a> {
+    counter: &'a AtomicUsize,
+    depth: usize,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn enter(counter: &'a AtomicUsize) -> Self {
+        let depth = counter.fetch_add(1, Ordering::SeqCst) + 1;
+        Self { counter, depth }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// How often blocking reads and the watcher re-check the shutdown flag.
+const TICK: Duration = Duration::from_millis(25);
+
+/// A running serve instance. Dropping the handle does **not** stop the
+/// server; call [`Server::shutdown`] (or send `{"shutdown":true}` and then
+/// [`Server::wait`]).
+pub struct Server {
+    inner: Arc<ServerInner>,
+    accept: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop (and the reload watcher when
+    /// configured), and starts serving `initial` as snapshot version 1.
+    pub fn start(
+        cfg: ServerConfig,
+        ctx: Arc<ServeContext>,
+        initial: ModelSnapshot,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let reloader = cfg.watch.as_ref().map(|w| {
+            let mut r = Reloader::new(&w.path);
+            // When watching the very file the initial snapshot came from,
+            // only a subsequent write should trigger a reload.
+            if w.path.display().to_string() == initial.source() {
+                r.mark_current();
+            }
+            Mutex::new(r)
+        });
+        let tel = TelHandles::new(&cfg.telemetry);
+        let inner = Arc::new(ServerInner {
+            ctx,
+            store: SnapshotStore::new(initial),
+            stats: Stats::default(),
+            tel,
+            addr,
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            reloader,
+            cfg,
+        });
+
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&inner, &listener))?
+        };
+        let watcher = match &inner.cfg.watch {
+            None => None,
+            Some(w) => {
+                let inner = Arc::clone(&inner);
+                let poll = w.poll;
+                Some(
+                    std::thread::Builder::new()
+                        .name("serve-watch".to_string())
+                        .spawn(move || watch_loop(&inner, poll))?,
+                )
+            }
+        };
+        Ok(Server { inner, accept: Some(accept), watcher })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The dataset-derived serving context.
+    pub fn context(&self) -> &Arc<ServeContext> {
+        &self.inner.ctx
+    }
+
+    /// The snapshot store (tests inspect versions through this).
+    pub fn store(&self) -> &SnapshotStore {
+        &self.inner.store
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Forces a reload check now (same as the `{"reload":true}` admin
+    /// request). Returns `Rejected` when no watch path is configured.
+    pub fn reload_now(&self) -> ReloadOutcome {
+        try_reload(&self.inner, true)
+    }
+
+    /// Asks the server to stop accepting and lets connection handlers
+    /// drain. Idempotent; does not block.
+    pub fn request_shutdown(&self) {
+        request_shutdown(&self.inner);
+    }
+
+    /// Blocks until the accept loop and watcher exit (after a shutdown
+    /// request from any source), then emits the final `serve` span. The
+    /// caller owns flushing its `Telemetry` (e.g. `finish()`).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watcher.take() {
+            let _ = h.join();
+        }
+        // Give in-flight connection handlers one tick to finish writing.
+        while self.inner.inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(TICK);
+        }
+        let snap = self.inner.stats.snapshot();
+        let tel = &self.inner.cfg.telemetry;
+        let mut span = tel.span("serve");
+        span.field("requests", snap.requests);
+        span.field("exact", snap.exact);
+        span.field("fallback", snap.fallback);
+        span.field("shed", snap.shed);
+        span.close();
+    }
+
+    /// [`Server::request_shutdown`] + [`Server::wait`].
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.wait();
+    }
+}
+
+fn request_shutdown(inner: &ServerInner) {
+    inner.shutdown.store(true, Ordering::SeqCst);
+    // Poke the blocking accept loop awake so it observes the flag.
+    let _ = TcpStream::connect(inner.addr);
+}
+
+fn accept_loop(inner: &Arc<ServerInner>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = &inner.cfg.faults {
+            if f.take_connection_drop() {
+                inner.stats.conn_drops.fetch_add(1, Ordering::Relaxed);
+                inner.tel.c_conn_drops.incr();
+                drop(stream);
+                continue;
+            }
+        }
+        let inner = Arc::clone(inner);
+        // Connection handlers are detached: they exit within one TICK of a
+        // shutdown request via their read timeout.
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || handle_conn(&inner, stream));
+    }
+}
+
+fn watch_loop(inner: &Arc<ServerInner>, poll: Duration) {
+    let mut since_poll = Duration::ZERO;
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(TICK);
+        since_poll += TICK;
+        if since_poll >= poll {
+            since_poll = Duration::ZERO;
+            try_reload(inner, false);
+        }
+    }
+}
+
+/// One reload check, with the span/counter bookkeeping shared by the
+/// watcher, the admin request, and [`Server::reload_now`].
+fn try_reload(inner: &ServerInner, force: bool) -> ReloadOutcome {
+    let Some(reloader) = &inner.reloader else {
+        return ReloadOutcome::Rejected { reason: "no watch path configured".to_string() };
+    };
+    let outcome = reloader
+        .lock()
+        .expect("reloader poisoned")
+        .attempt(force, &inner.ctx, &inner.store);
+    let tel = &inner.cfg.telemetry;
+    match &outcome {
+        ReloadOutcome::Unchanged => {}
+        ReloadOutcome::Swapped { version } => {
+            inner.stats.reload_success.fetch_add(1, Ordering::Relaxed);
+            inner.tel.c_reload_success.incr();
+            let mut span = tel.span("reload");
+            span.field("outcome", "swapped");
+            span.field("version", *version);
+        }
+        ReloadOutcome::Rejected { reason } => {
+            inner.stats.reload_rejected.fetch_add(1, Ordering::Relaxed);
+            inner.tel.c_reload_rejected.incr();
+            let mut span = tel.span("reload");
+            span.field("outcome", "rejected");
+            tel.warn("serve.reload", format!("reload rejected, keeping last-good: {reason}"));
+        }
+    }
+    outcome
+}
+
+fn handle_conn(inner: &Arc<ServerInner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(TICK));
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut scratch: Vec<f64> = Vec::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let (resp, stop) = handle_line(inner, trimmed, &mut scratch);
+                    let write_failed = writer.write_all(resp.as_bytes()).is_err()
+                        || writer.write_all(b"\n").is_err();
+                    if stop {
+                        // Trigger the shutdown only after the reply is on
+                        // the wire, so the client always sees the ack
+                        // before the process races to exit.
+                        request_shutdown(inner);
+                    }
+                    if write_failed || stop {
+                        break;
+                    }
+                }
+                line.clear();
+            }
+            // Read timeout: partially read bytes stay in `line`; loop to
+            // keep reading unless the server is shutting down.
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one request line; returns the response line and whether this
+/// was a shutdown request — the caller writes the reply first, then
+/// triggers the shutdown and closes the connection.
+fn handle_line(inner: &ServerInner, line: &str, scratch: &mut Vec<f64>) -> (String, bool) {
+    match protocol::parse_message(line) {
+        Err(msg) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            inner.tel.c_errors.incr();
+            (protocol::encode_error(0, &msg), false)
+        }
+        Ok(Message::Shutdown) => ("{\"id\":0,\"shutdown\":true}".to_string(), true),
+        Ok(Message::Stats) => (stats_line(inner), false),
+        Ok(Message::Reload) => (reload_line(try_reload(inner, true)), false),
+        Ok(Message::Recommend(req)) => (handle_recommend(inner, &req, scratch), false),
+    }
+}
+
+fn stats_line(inner: &ServerInner) -> String {
+    let s = inner.stats.snapshot();
+    format!(
+        "{{\"id\":0,\"stats\":true,\"requests\":{},\"exact\":{},\"fallback\":{},\
+         \"shed\":{},\"errors\":{},\"reload_success\":{},\"reload_rejected\":{},\
+         \"conn_drops\":{},\"model_version\":{},\"inflight\":{}}}",
+        s.requests,
+        s.exact,
+        s.fallback,
+        s.shed,
+        s.errors,
+        s.reload_success,
+        s.reload_rejected,
+        s.conn_drops,
+        inner.store.get().version(),
+        inner.inflight.load(Ordering::SeqCst),
+    )
+}
+
+fn reload_line(outcome: ReloadOutcome) -> String {
+    match outcome {
+        ReloadOutcome::Swapped { version } => {
+            format!("{{\"id\":0,\"reload\":\"swapped\",\"model_version\":{version}}}")
+        }
+        ReloadOutcome::Unchanged => "{\"id\":0,\"reload\":\"unchanged\"}".to_string(),
+        ReloadOutcome::Rejected { reason } => {
+            let mut s = "{\"id\":0,\"reload\":\"rejected\",\"reason\":\"".to_string();
+            protocol::escape_into(&reason, &mut s);
+            s.push_str("\"}");
+            s
+        }
+    }
+}
+
+/// What the degradation matrix decided for one request.
+enum Decision {
+    Exact(Vec<usize>, Vec<f64>),
+    Fallback(&'static str),
+    Shed,
+}
+
+fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) -> String {
+    let t0 = Instant::now();
+    let tel = &inner.cfg.telemetry;
+    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+    inner.tel.c_requests.incr();
+    let mut span = tel.span("request");
+    span.field("user", req.user);
+    span.field("k", req.k);
+
+    // Validate the user before anything else: an unknown user is a client
+    // error on every path (exact, fallback, and shed alike).
+    if let Err(e) = inner.ctx.seen().seen_of(req.user) {
+        inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+        inner.tel.c_errors.incr();
+        span.field("served_by", "error");
+        return protocol::encode_error(req.id, &e.to_string());
+    }
+
+    let guard = InflightGuard::enter(&inner.inflight);
+    let deadline = Duration::from_millis(req.deadline_ms.unwrap_or(inner.cfg.default_deadline_ms));
+    let k = req.k.clamp(1, inner.cfg.max_k);
+    let snap = inner.store.get();
+
+    let decision = if guard.depth > inner.cfg.shed_limit {
+        Decision::Shed
+    } else if guard.depth > inner.cfg.max_inflight {
+        Decision::Fallback("overload")
+    } else if t0.elapsed() >= deadline {
+        Decision::Fallback("deadline")
+    } else {
+        let score_span = tel.span("score");
+        #[cfg(feature = "fault-injection")]
+        if let Some(f) = &inner.cfg.faults {
+            f.maybe_stall();
+        }
+        let result = snap.top_k(&inner.ctx, req.user, k, scratch);
+        score_span.close();
+        match result {
+            // User was validated above; remaining errors cannot occur, but
+            // degrade rather than crash if they ever do.
+            Err(_) => Decision::Fallback("overload"),
+            Ok((items, scores)) => {
+                if t0.elapsed() >= deadline {
+                    // The exact answer arrived too late to be useful; serve
+                    // the fallback the client can still act on in time.
+                    Decision::Fallback("deadline")
+                } else {
+                    Decision::Exact(items, scores)
+                }
+            }
+        }
+    };
+    drop(guard);
+
+    let (served_by, reason, items, scores) = match decision {
+        Decision::Exact(items, scores) => (ServedBy::Exact, None, items, scores),
+        Decision::Fallback(why) => {
+            let (items, scores) = inner
+                .ctx
+                .fallback_top_k(req.user, k)
+                .expect("user validated above");
+            (ServedBy::Fallback, Some(why.to_string()), items, scores)
+        }
+        Decision::Shed => (ServedBy::Shed, Some("overload".to_string()), Vec::new(), Vec::new()),
+    };
+
+    let latency_us = t0.elapsed().as_micros() as u64;
+    match served_by {
+        ServedBy::Exact => {
+            inner.stats.exact.fetch_add(1, Ordering::Relaxed);
+            inner.tel.c_exact.incr();
+            inner.tel.h_exact_us.record(latency_us);
+        }
+        ServedBy::Fallback => {
+            inner.stats.fallback.fetch_add(1, Ordering::Relaxed);
+            inner.tel.c_fallback.incr();
+            inner.tel.h_fallback_us.record(latency_us);
+        }
+        ServedBy::Shed => {
+            inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+            inner.tel.c_shed.incr();
+            inner.tel.h_shed_us.record(latency_us);
+        }
+    }
+    span.field("served_by", served_by.as_str());
+    if let Some(r) = &reason {
+        span.field("reason", r.clone());
+    }
+
+    protocol::encode_response(&Response {
+        id: req.id,
+        served_by,
+        reason,
+        model_version: snap.version(),
+        items,
+        scores,
+        latency_us,
+    })
+}

@@ -1,0 +1,346 @@
+//! Read-only serving state: the per-dataset [`ServeContext`] (seen-item
+//! filter, popularity prior, canary users) and the hot-swappable
+//! [`ModelSnapshot`] behind a [`SnapshotStore`].
+//!
+//! The exact path is byte-identical to the offline evaluator: the same
+//! [`Ranker::score_user`] scores, the same Train ∪ Validation mask
+//! ([`SeenFilter::eval_mask`]), and the same deterministic
+//! [`top_k_indices`] selection, so a response can be replayed against
+//! `evaluate` and compared bit for bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use logirec_core::{FilterError, LogiRec, LogiRecConfig, Precision, SeenFilter};
+use logirec_data::{Dataset, InteractionSet};
+use logirec_eval::ranking::top_k_indices;
+use logirec_eval::Ranker;
+
+/// Dataset-derived serving state shared by every snapshot: who has seen
+/// what, the popularity prior used for degraded responses, and the canary
+/// users every candidate snapshot must score sanely before going live.
+#[derive(Debug, Clone)]
+pub struct ServeContext {
+    train: InteractionSet,
+    seen: SeenFilter,
+    /// All item ids, most train-popular first (ties toward smaller id).
+    popularity: Vec<usize>,
+    /// Train interaction count per item id (the fallback "score").
+    item_degree: Vec<usize>,
+    canaries: Vec<usize>,
+}
+
+/// How many canary users a candidate snapshot is probed against.
+const N_CANARIES: usize = 8;
+
+impl ServeContext {
+    /// Builds the context from a dataset. The seen mask is Train ∪
+    /// Validation — the mask offline test-split evaluation applies — so the
+    /// exact path reproduces `evaluate` responses byte for byte.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        let n_items = ds.n_items();
+        let mut item_degree = vec![0usize; n_items];
+        for (v, d) in item_degree.iter_mut().enumerate() {
+            *d = ds.train.users_of(v).len();
+        }
+        let mut popularity: Vec<usize> = (0..n_items).collect();
+        popularity.sort_by(|&a, &b| item_degree[b].cmp(&item_degree[a]).then(a.cmp(&b)));
+        let n_users = ds.n_users();
+        let step = (n_users / N_CANARIES).max(1);
+        let canaries = (0..n_users).step_by(step).take(N_CANARIES).collect();
+        Self {
+            train: ds.train.clone(),
+            seen: SeenFilter::eval_mask(ds),
+            popularity,
+            item_degree,
+            canaries,
+        }
+    }
+
+    /// Users the context covers.
+    pub fn n_users(&self) -> usize {
+        self.seen.n_users()
+    }
+
+    /// Items the context covers.
+    pub fn n_items(&self) -> usize {
+        self.seen.n_items()
+    }
+
+    /// The training interactions snapshots propagate over.
+    pub fn train(&self) -> &InteractionSet {
+        &self.train
+    }
+
+    /// The Train ∪ Validation seen-item filter.
+    pub fn seen(&self) -> &SeenFilter {
+        &self.seen
+    }
+
+    /// The users every candidate snapshot is probed against.
+    pub fn canaries(&self) -> &[usize] {
+        &self.canaries
+    }
+
+    /// The degraded response: the `k` most train-popular items the user has
+    /// not already interacted with, scored by raw interaction count. Needs
+    /// no model at all, so it survives any snapshot problem.
+    pub fn fallback_top_k(&self, u: usize, k: usize) -> Result<(Vec<usize>, Vec<f64>), FilterError> {
+        let seen = self.seen.seen_of(u)?;
+        let mut items = Vec::with_capacity(k);
+        let mut scores = Vec::with_capacity(k);
+        for &v in &self.popularity {
+            if seen.binary_search(&v).is_ok() {
+                continue;
+            }
+            items.push(v);
+            scores.push(self.item_degree[v] as f64);
+            if items.len() == k {
+                break;
+            }
+        }
+        Ok((items, scores))
+    }
+}
+
+/// The model at either working precision. Scores surface as `f64` in both
+/// cases (the `Ranker` contract), so the protocol layer is precision-blind.
+#[derive(Debug, Clone)]
+enum ModelKind {
+    F64(LogiRec<f64>),
+    F32(LogiRec<f32>),
+}
+
+/// An immutable, fully validated, ready-to-score model snapshot. Built once
+/// (propagation + canary probe happen in [`ModelSnapshot::build`], off the
+/// request path), then shared read-only behind an `Arc` — requests never
+/// lock or mutate it.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    version: u64,
+    precision: Precision,
+    source: String,
+    model: ModelKind,
+}
+
+impl ModelSnapshot {
+    /// Validates `model` against `ctx` and prepares it for serving:
+    /// shape check, finiteness check, forward propagation over the training
+    /// graph, then a canary probe (every canary user must produce finite
+    /// scores for every item). Any failure returns the reason instead of a
+    /// snapshot — the caller keeps serving its last-good snapshot.
+    pub fn build(
+        model: LogiRec,
+        precision: Precision,
+        ctx: &ServeContext,
+        source: impl Into<String>,
+    ) -> Result<Self, String> {
+        if model.items.rows() != ctx.n_items() {
+            return Err(format!(
+                "model has {} items but the dataset has {}",
+                model.items.rows(),
+                ctx.n_items()
+            ));
+        }
+        if model.users.rows() != ctx.n_users() {
+            return Err(format!(
+                "model has {} users but the dataset has {}",
+                model.users.rows(),
+                ctx.n_users()
+            ));
+        }
+        if !model.all_finite() {
+            return Err("model has non-finite parameters".to_string());
+        }
+        let kind = match precision {
+            Precision::F64 => {
+                let mut m = model;
+                m.propagate(ctx.train());
+                ModelKind::F64(m)
+            }
+            Precision::F32 => {
+                let mut m = model.cast::<f32>();
+                m.propagate(ctx.train());
+                ModelKind::F32(m)
+            }
+        };
+        let snap = Self { version: 0, precision, source: source.into(), model: kind };
+        let mut scores = vec![0.0f64; ctx.n_items()];
+        for &u in ctx.canaries() {
+            snap.score_user(u, &mut scores);
+            if let Some(v) = scores.iter().position(|s| !s.is_finite()) {
+                return Err(format!("canary user {u} scores item {v} non-finite"));
+            }
+        }
+        Ok(snap)
+    }
+
+    /// The version the owning [`SnapshotStore`] assigned (0 before install).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Working precision of the scoring path.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Where the snapshot came from (file path, or a caller-chosen label).
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The model hyperparameters (used as the base config when reloading).
+    pub fn config(&self) -> &LogiRecConfig {
+        match &self.model {
+            ModelKind::F64(m) => &m.cfg,
+            ModelKind::F32(m) => &m.cfg,
+        }
+    }
+
+    /// Scores every item for `u` into `out` (higher is better), exactly as
+    /// the offline evaluator would.
+    pub fn score_user(&self, u: usize, out: &mut [f64]) {
+        match &self.model {
+            ModelKind::F64(m) => m.score_user(u, out),
+            ModelKind::F32(m) => m.score_user(u, out),
+        }
+    }
+
+    /// The exact top-K response for `u`: score all items into `scratch`,
+    /// mask Train ∪ Validation, select with the evaluator's deterministic
+    /// [`top_k_indices`]. Returns `(items, scores)` best-first.
+    pub fn top_k(
+        &self,
+        ctx: &ServeContext,
+        u: usize,
+        k: usize,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(Vec<usize>, Vec<f64>), FilterError> {
+        // Validate the user before touching the embedding tables — the
+        // model panics on out-of-range rows.
+        ctx.seen().seen_of(u)?;
+        scratch.clear();
+        scratch.resize(ctx.n_items(), 0.0);
+        self.score_user(u, scratch);
+        ctx.seen().mask_scores(u, scratch)?;
+        let items = top_k_indices(scratch, k);
+        let scores = items.iter().map(|&v| scratch[v]).collect();
+        Ok((items, scores))
+    }
+}
+
+/// The atomically hot-swappable current snapshot. Readers take a cheap
+/// `Arc` clone and keep scoring against it even while a newer snapshot is
+/// installed; versions are assigned monotonically at install time.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: Mutex<Arc<ModelSnapshot>>,
+    next_version: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// Installs `initial` as version 1.
+    pub fn new(mut initial: ModelSnapshot) -> Self {
+        initial.version = 1;
+        Self { current: Mutex::new(Arc::new(initial)), next_version: AtomicU64::new(2) }
+    }
+
+    /// The live snapshot (an `Arc` clone; never blocks on a swap for long).
+    pub fn get(&self) -> Arc<ModelSnapshot> {
+        Arc::clone(&self.current.lock().expect("snapshot store poisoned"))
+    }
+
+    /// Atomically replaces the live snapshot, assigning and returning the
+    /// next version. In-flight requests finish on the snapshot they
+    /// already hold.
+    pub fn swap(&self, mut snap: ModelSnapshot) -> u64 {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        snap.version = version;
+        *self.current.lock().expect("snapshot store poisoned") = Arc::new(snap);
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logirec_data::{DatasetSpec, Scale, Split};
+
+    fn fixture() -> (Dataset, ServeContext, ModelSnapshot) {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(11);
+        let ctx = ServeContext::from_dataset(&ds);
+        let model = LogiRec::new(LogiRecConfig::test_config(), &ds);
+        let snap = ModelSnapshot::build(model, Precision::F64, &ctx, "test").expect("valid");
+        (ds, ctx, snap)
+    }
+
+    #[test]
+    fn exact_top_k_matches_the_offline_evaluator_masking() {
+        let (ds, ctx, snap) = fixture();
+        let mut scratch = Vec::new();
+        let (items, scores) = snap.top_k(&ctx, 0, 10, &mut scratch).expect("in range");
+        // Replay the evaluator's inline masking by hand.
+        let mut expected = vec![0.0f64; ds.n_items()];
+        snap.score_user(0, &mut expected);
+        for &v in ds.train.items_of(0) {
+            expected[v] = f64::NEG_INFINITY;
+        }
+        for &v in ds.split(Split::Validation).items_of(0) {
+            expected[v] = f64::NEG_INFINITY;
+        }
+        assert_eq!(items, top_k_indices(&expected, 10));
+        for (&v, &s) in items.iter().zip(&scores) {
+            assert!(s.to_bits() == expected[v].to_bits(), "score for item {v} not bit-exact");
+        }
+    }
+
+    #[test]
+    fn fallback_is_popularity_ordered_and_never_recommends_seen_items() {
+        let (ds, ctx, _) = fixture();
+        let (items, scores) = ctx.fallback_top_k(0, 10).expect("in range");
+        assert!(!items.is_empty());
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1], "fallback scores must be non-increasing");
+        }
+        for &v in &items {
+            assert!(!ds.train.items_of(0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn build_rejects_non_finite_models() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(11);
+        let ctx = ServeContext::from_dataset(&ds);
+        let mut model = LogiRec::new(LogiRecConfig::test_config(), &ds);
+        model.items.row_mut(0)[0] = f64::NAN;
+        let err = ModelSnapshot::build(model, Precision::F64, &ctx, "bad").unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn store_assigns_monotonic_versions_and_swaps_atomically() {
+        let (_, ctx, snap) = fixture();
+        let store = SnapshotStore::new(snap);
+        assert_eq!(store.get().version(), 1);
+        let held = store.get();
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(11);
+        let model = LogiRec::new(LogiRecConfig::test_config(), &ds);
+        let next = ModelSnapshot::build(model, Precision::F32, &ctx, "next").expect("valid");
+        assert_eq!(store.swap(next), 2);
+        assert_eq!(store.get().version(), 2);
+        assert_eq!(store.get().precision(), Precision::F32);
+        // The reader that grabbed version 1 still holds a working snapshot.
+        assert_eq!(held.version(), 1);
+        let mut scratch = Vec::new();
+        held.top_k(&ctx, 0, 5, &mut scratch).expect("old snapshot still scores");
+    }
+
+    #[test]
+    fn out_of_range_user_is_a_typed_error_not_a_panic() {
+        let (_, ctx, snap) = fixture();
+        let mut scratch = Vec::new();
+        assert!(snap.top_k(&ctx, ctx.n_users() + 7, 5, &mut scratch).is_err());
+        assert!(ctx.fallback_top_k(ctx.n_users() + 7, 5).is_err());
+    }
+}

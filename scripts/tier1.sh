@@ -32,6 +32,42 @@ trap 'rm -rf "$smoke"' EXIT
 cmp "$smoke/m1.logirec" "$smoke/m2.logirec" \
   || { echo "tier1: train-threads determinism smoke FAILED (models differ)"; exit 1; }
 
+# Serving smoke: start `logirec serve` with a trace, issue one healthy
+# request (must be exact) and one deadline-starved request (must degrade to
+# the popularity fallback, never an error), shut the server down cleanly,
+# then validate the serve trace (serve/request/score spans present).
+# Bind port 0 and read the chosen address back from the banner — no fixed
+# port to collide with.
+./target/release/logirec serve --data "$smoke/data" --model "$smoke/m.logirec" \
+  --addr "127.0.0.1:0" --trace-json "$smoke/serve.jsonl" > "$smoke/serve.log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr=$(grep -o '127\.0\.0\.1:[0-9]*' "$smoke/serve.log" | head -n1 || true)
+  [ -n "$serve_addr" ] && break
+  sleep 0.1
+done
+[ -n "$serve_addr" ] \
+  || { echo "tier1: serve smoke FAILED (server never came up)"; exit 1; }
+exact_out=$(./target/release/logirec request --addr "$serve_addr" \
+  --user 1 --k 5 --retries 40)
+echo "$exact_out"
+case "$exact_out" in
+  *"served_by: exact"*) ;;
+  *) echo "tier1: serve smoke FAILED (healthy request not served exact)"; exit 1 ;;
+esac
+starved_out=$(./target/release/logirec request --addr "$serve_addr" \
+  --user 1 --k 5 --deadline-ms 0)
+echo "$starved_out"
+case "$starved_out" in
+  *"served_by: fallback (deadline)"*) ;;
+  *) echo "tier1: serve smoke FAILED (starved request did not degrade)"; exit 1 ;;
+esac
+./target/release/logirec request --addr "$serve_addr" --shutdown
+wait "$serve_pid" \
+  || { echo "tier1: serve smoke FAILED (server did not exit cleanly)"; exit 1; }
+./target/release/trace_check "$smoke/serve.jsonl" --require-kinds serve,request,score
+
 # Single-precision smoke: generate → train 1 epoch → evaluate, all with
 # --precision f32. Fails on divergence (trainer exit code) or any NaN
 # leaking into the reported metrics.

@@ -23,6 +23,10 @@ use logirec_suite::core::{train, LogiRecConfig, Precision};
 use logirec_suite::data::{load_dataset_traced, save_dataset_traced, Dataset, DatasetSpec, Scale, Split};
 use logirec_suite::eval::{evaluate_traced, Ranker};
 use logirec_suite::obs::Telemetry;
+use logirec_suite::serve::{
+    recommend_with_retry, Client, ModelSnapshot, Request, RetryPolicy, ServeContext, Server,
+    ServerConfig, WatchConfig,
+};
 use logirec_suite::taxonomy::ExclusionRule;
 
 fn main() -> ExitCode {
@@ -37,6 +41,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "recommend" => cmd_recommend(&flags),
+        "serve" => cmd_serve(&flags),
+        "request" => cmd_request(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -62,14 +68,24 @@ const USAGE: &str = "usage:
 precision: f64 (default) is the bit-reproducible double-precision path;
 f32 runs the same kernels in single precision (model files stay f64).
   logirec recommend --data DIR --model FILE --user N [--k N]
+  logirec serve     --data DIR --model FILE [--addr HOST:PORT] [--deadline-ms N]
+                    [--max-inflight N] [--shed-limit N] [--max-k N]
+                    [--watch FILE [--watch-poll-ms N]] [--precision f32|f64]
+  logirec request   --addr HOST:PORT (--user N [--k N] [--deadline-ms N]
+                    [--retries N] | --stats | --reload | --shutdown)
 
-telemetry (generate / train / evaluate):
+serve: fault-tolerant top-K serving over a line-JSON TCP protocol. Every
+request carries a deadline; deadline misses and overload degrade to the
+popularity fallback (served_by: exact|fallback|shed), and --watch hot-swaps
+validated new models (rolling back to last-good on any validation failure).
+
+telemetry (generate / train / evaluate / serve):
   --trace-json FILE     stream structured events (spans, metrics, recoveries,
                         health checks) as JSON lines into FILE
   --metrics-summary     print the span/counter/histogram summary table on exit";
 
 /// Boolean flags (no value argument follows them).
-const BOOL_FLAGS: &[&str] = &["no-mining", "metrics-summary"];
+const BOOL_FLAGS: &[&str] = &["no-mining", "metrics-summary", "stats", "reload", "shutdown"];
 
 /// Minimal flag parser: `--key value` pairs plus the boolean flags in
 /// [`BOOL_FLAGS`].
@@ -292,6 +308,91 @@ fn cmd_recommend(flags: &Flags) -> Result<(), String> {
     for (rank, &v) in top.iter().enumerate() {
         let tags: Vec<&str> = ds.item_tags[v].iter().map(|&t| ds.taxonomy.name(t)).collect();
         println!("  {:>2}. item {v} [{}]", rank + 1, tags.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let tel = flags.telemetry()?;
+    let ds = load(flags, &tel)?;
+    let model_path = PathBuf::from(flags.require("model")?);
+    let precision = parse_precision(flags)?;
+    let base_cfg = LogiRecConfig { telemetry: tel.clone(), ..LogiRecConfig::default() };
+    let model = load_model(&model_path, base_cfg).map_err(|e| e.to_string())?;
+    let ctx = std::sync::Arc::new(ServeContext::from_dataset(&ds));
+    let snapshot =
+        ModelSnapshot::build(model, precision, &ctx, model_path.display().to_string())
+            .map_err(|e| format!("model failed serving validation: {e}"))?;
+    // Struct update keeps this working when the fault-injection feature
+    // adds config fields (test builds of the workspace unify features).
+    let mut cfg = ServerConfig { telemetry: tel.clone(), ..ServerConfig::default() };
+    cfg.addr = flags.get("addr").unwrap_or("127.0.0.1:4860").to_string();
+    cfg.max_inflight = flags.parse_or("max-inflight", 8)?;
+    cfg.shed_limit = flags.parse_or("shed-limit", 64)?;
+    cfg.default_deadline_ms = flags.parse_or("deadline-ms", 250)?;
+    cfg.max_k = flags.parse_or("max-k", 100)?;
+    cfg.watch = match flags.get("watch") {
+        None => None,
+        Some(path) => Some(WatchConfig {
+            path: PathBuf::from(path),
+            poll: std::time::Duration::from_millis(flags.parse_or("watch-poll-ms", 200)?),
+        }),
+    };
+    let server = Server::start(cfg, ctx, snapshot).map_err(|e| e.to_string())?;
+    println!(
+        "serving {} users / {} items on {} ({precision}, deadline {}ms); \
+         send {{\"shutdown\":true}} to stop",
+        ds.n_users(),
+        ds.n_items(),
+        server.addr(),
+        flags.parse_or("deadline-ms", 250u64)?,
+    );
+    server.wait();
+    flags.finish_telemetry(&tel);
+    Ok(())
+}
+
+fn cmd_request(flags: &Flags) -> Result<(), String> {
+    let addr: std::net::SocketAddr = flags
+        .require("addr")?
+        .parse()
+        .map_err(|_| "bad --addr (expected HOST:PORT)".to_string())?;
+    if flags.has("stats") || flags.has("reload") || flags.has("shutdown") {
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        let line = if flags.has("stats") {
+            "{\"stats\":true}"
+        } else if flags.has("reload") {
+            "{\"reload\":true}"
+        } else {
+            "{\"shutdown\":true}"
+        };
+        let resp = client.roundtrip_line(line).map_err(|e| e.to_string())?;
+        println!("{resp}");
+        return Ok(());
+    }
+    let req = Request {
+        id: flags.parse_or("id", 1)?,
+        user: flags.require("user")?.parse().map_err(|_| "bad --user".to_string())?,
+        k: flags.parse_or("k", 10)?,
+        deadline_ms: match flags.get("deadline-ms") {
+            None => None,
+            Some(v) => {
+                Some(v.parse().map_err(|_| format!("bad value for --deadline-ms: {v:?}"))?)
+            }
+        },
+    };
+    let policy = RetryPolicy { attempts: flags.parse_or("retries", 4)?, ..RetryPolicy::default() };
+    let (resp, attempts) = recommend_with_retry(addr, &req, &policy).map_err(|e| e.to_string())?;
+    println!(
+        "served_by: {}{}  model_version: {}  latency_us: {}  attempts: {}",
+        resp.served_by,
+        resp.reason.as_deref().map_or(String::new(), |r| format!(" ({r})")),
+        resp.model_version,
+        resp.latency_us,
+        attempts,
+    );
+    for (rank, (v, s)) in resp.items.iter().zip(&resp.scores).enumerate() {
+        println!("  {:>2}. item {v}  score {s}", rank + 1);
     }
     Ok(())
 }

@@ -1,0 +1,199 @@
+//! `serve_bench` — load generator for the serving path.
+//!
+//! Spins up an in-process server on a synthetic dataset and drives it
+//! through three phases, reporting p50/p99 latency split by `served_by`
+//! and the shed rate under overload:
+//!
+//! 1. **nominal** — concurrency below `max_inflight`, generous deadlines:
+//!    the exact-path baseline;
+//! 2. **starved** — every request carries a 0 ms deadline: the degraded
+//!    fallback path (no request may error);
+//! 3. **overload** — a thundering herd far past `shed_limit`: measures how
+//!    the fallback/shed split behaves at saturation (on a single-core
+//!    container requests drain too fast for depth to build, so the split
+//!    is hardware-dependent);
+//! 4. **soft-saturated** — a server pinned to `max_inflight = 0`, so every
+//!    request deterministically degrades to fallback(`overload`);
+//! 5. **hard-saturated** — a server pinned to `shed_limit = 0`, so every
+//!    request is deterministically shed: the floor cost of saying no.
+//!
+//! ```text
+//! serve_bench [--scale tiny|small|paper] [--seed N] [--requests N]
+//!             [--dim N] [--overload-threads N]
+//! ```
+//!
+//! Output is the `results/serve_latency.txt` format: one block per phase.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use logirec_suite::core::{LogiRec, LogiRecConfig, Precision};
+use logirec_suite::data::{DatasetSpec, Scale};
+use logirec_suite::serve::{
+    Client, ModelSnapshot, Request, ServeContext, ServedBy, Server, ServerConfig,
+};
+
+fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale_raw = arg(&args, "--scale", "small".to_string());
+    let Some(scale) = Scale::parse(&scale_raw) else {
+        eprintln!("bad --scale {scale_raw:?}");
+        return ExitCode::FAILURE;
+    };
+    let seed: u64 = arg(&args, "--seed", 7);
+    let requests: usize = arg(&args, "--requests", 400);
+    let dim: usize = arg(&args, "--dim", 32);
+    let overload_threads: usize = arg(&args, "--overload-threads", 48);
+
+    let ds = DatasetSpec::ciao(scale).generate(seed);
+    let cfg = LogiRecConfig { dim, ..LogiRecConfig::test_config() };
+    let model = LogiRec::new(cfg, &ds);
+    let ctx = Arc::new(ServeContext::from_dataset(&ds));
+    let start = |label: &str, max_inflight: usize, shed_limit: usize| {
+        let snapshot = ModelSnapshot::build(model.clone(), Precision::F64, &ctx, label)
+            .unwrap_or_else(|e| {
+                eprintln!("snapshot build failed: {e}");
+                std::process::exit(1);
+            });
+        let server_cfg = ServerConfig {
+            max_inflight,
+            shed_limit,
+            default_deadline_ms: 1000,
+            ..ServerConfig::default()
+        };
+        Server::start(server_cfg, Arc::clone(&ctx), snapshot).unwrap_or_else(|e| {
+            eprintln!("server start failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    let server = start("serve_bench", 4, 16);
+    let addr = server.addr();
+    let n_users = ctx.n_users();
+
+    println!(
+        "serve_bench: ciao/{scale_raw} seed {seed}, {} users / {} items, d={dim}, \
+         max_inflight=4, shed_limit=16",
+        n_users,
+        ctx.n_items()
+    );
+    println!();
+
+    // Phase 1: nominal — 2 workers (< max_inflight), generous deadline.
+    let lat = run_phase(addr, requests, 2, n_users, Some(1000));
+    report("nominal (deadline 1000ms, concurrency 2)", &lat, requests);
+
+    // Phase 2: starved — deadline 0 degrades every request to fallback.
+    let lat = run_phase(addr, requests, 2, n_users, Some(0));
+    report("starved (deadline 0ms, concurrency 2)", &lat, requests);
+
+    // Phase 3: overload — a herd far past shed_limit.
+    let per_thread = (requests / overload_threads).max(4);
+    let total = per_thread * overload_threads;
+    let lat = run_phase(addr, total, overload_threads, n_users, Some(1000));
+    report(
+        &format!("overload (deadline 1000ms, concurrency {overload_threads})"),
+        &lat,
+        total,
+    );
+
+    server.shutdown();
+
+    // Phase 4: soft-saturated — max_inflight 0 pins every request to the
+    // fallback(overload) tier.
+    let soft = start("soft-saturated", 0, 16);
+    let lat = run_phase(soft.addr(), requests, 2, n_users, Some(1000));
+    report("soft-saturated (max_inflight 0, concurrency 2)", &lat, requests);
+    soft.shutdown();
+
+    // Phase 5: hard-saturated — shed_limit 0 sheds every request.
+    let hard = start("hard-saturated", 0, 0);
+    let lat = run_phase(hard.addr(), requests, 2, n_users, Some(1000));
+    report("hard-saturated (shed_limit 0, concurrency 2)", &lat, requests);
+    hard.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// Fires `total` requests from `threads` workers; returns latencies (µs)
+/// grouped by `served_by`. Panics if any request errors — the degradation
+/// matrix promises valid responses under every load level.
+fn run_phase(
+    addr: SocketAddr,
+    total: usize,
+    threads: usize,
+    n_users: usize,
+    deadline_ms: Option<u64>,
+) -> [Vec<u64>; 3] {
+    let per_thread = total / threads;
+    let mut groups: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut local: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+                    let mut client = Client::connect(addr).expect("connect");
+                    for i in 0..per_thread {
+                        let req = Request {
+                            id: (t * per_thread + i) as u64,
+                            user: (t * 7919 + i * 31) % n_users,
+                            k: 10,
+                            deadline_ms,
+                        };
+                        let resp = client.recommend(&req).expect("no request may error");
+                        let slot = match resp.served_by {
+                            ServedBy::Exact => 0,
+                            ServedBy::Fallback => 1,
+                            ServedBy::Shed => 2,
+                        };
+                        local[slot].push(resp.latency_us);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            let local = h.join().expect("worker");
+            for (g, l) in groups.iter_mut().zip(local) {
+                g.extend(l);
+            }
+        }
+    });
+    groups
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn report(label: &str, groups: &[Vec<u64>; 3], total: usize) {
+    println!("phase: {label}  ({total} requests)");
+    for (name, lat) in ["exact", "fallback", "shed"].iter().zip(groups) {
+        if lat.is_empty() {
+            continue;
+        }
+        let mut sorted = lat.clone();
+        sorted.sort_unstable();
+        println!(
+            "  {name:<8} n={:<6} p50={}us  p99={}us  max={}us",
+            sorted.len(),
+            quantile(&sorted, 0.5),
+            quantile(&sorted, 0.99),
+            sorted.last().copied().unwrap_or(0),
+        );
+    }
+    let shed_rate = groups[2].len() as f64 / total as f64;
+    println!("  shed rate: {:.1}%", 100.0 * shed_rate);
+    println!();
+}

@@ -13,4 +13,5 @@ pub use logirec_eval as eval;
 pub use logirec_hyperbolic as hyperbolic;
 pub use logirec_linalg as linalg;
 pub use logirec_obs as obs;
+pub use logirec_serve as serve;
 pub use logirec_taxonomy as taxonomy;
