@@ -13,13 +13,13 @@
 //!
 //! Run: `cargo run --release -p logirec-bench --bin fig3`
 
-use logirec_bench::harness::bin_telemetry;
+use logirec_bench::harness::RunArgs;
 use logirec_bench::table::{self, Row};
 use logirec_hyperbolic::poincare;
 use logirec_linalg::ops;
 
 fn main() {
-    let tel = bin_telemetry("fig3");
+    let (_args, tel) = RunArgs::init("fig3");
     // (1) Sibling separation: place B and C at hyperbolic distance `edge`
     // from A (origin) with a 90° angle between them.
     let mut rows = Vec::new();

@@ -14,12 +14,10 @@ use logirec_bench::table::{self, Row};
 use logirec_core::train;
 
 fn main() {
-    let mut args = RunArgs::from_env();
+    let (mut args, tel) = RunArgs::init("fig5");
     if args.datasets.len() == 4 {
         args.datasets = vec!["cd".into()];
     }
-    args.enable_bin_trace("fig5");
-    let tel = args.telemetry.clone();
     for spec in args.specs() {
         let ds = spec.generate_traced(100, &tel);
         let cfg = logirec_config(&args, spec.name, true, 1);

@@ -15,14 +15,12 @@ use logirec_core::train;
 const LAMBDAS: [f64; 5] = [0.0, 0.01, 0.1, 1.0, 1.5];
 
 fn main() {
-    let mut args = RunArgs::from_env();
+    let (mut args, tel) = RunArgs::init("fig6");
     if args.datasets.len() == 4 {
         // Default to the two datasets Table IV also studies; pass
         // --datasets explicitly for all four.
         args.datasets = vec!["cd".into(), "clothing".into()];
     }
-    args.enable_bin_trace("fig6");
-    let tel = args.telemetry.clone();
     for spec in args.specs() {
         tel.progress(format!("== dataset {} ==", spec.name));
         let ds = spec.generate_traced(100, &tel);

@@ -23,12 +23,10 @@ use logirec_hyperbolic::{maps, poincare};
 use logirec_linalg::{ops, SplitMix64};
 
 fn main() {
-    let mut args = RunArgs::from_env();
+    let (mut args, tel) = RunArgs::init("fig7_fig8");
     if args.datasets.len() == 4 {
         args.datasets = vec!["cd".into(), "book".into()];
     }
-    args.enable_bin_trace("fig7_fig8");
-    let tel = args.telemetry.clone();
     for spec in args.specs() {
         tel.progress(format!("== dataset {} ==", spec.name));
         let ds = spec.generate_traced(100, &tel);

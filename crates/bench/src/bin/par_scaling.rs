@@ -28,12 +28,10 @@ fn bit_identical(a: &LogiRec, b: &LogiRec) -> bool {
 }
 
 fn main() {
-    let mut args = RunArgs::from_env();
+    let (mut args, tel) = RunArgs::init("par_scaling");
     if args.datasets.len() == 4 {
         args.datasets = vec!["ciao".into()];
     }
-    args.enable_bin_trace("par_scaling");
-    let tel = args.telemetry.clone();
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     for spec in args.specs() {

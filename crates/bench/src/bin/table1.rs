@@ -19,9 +19,7 @@ const PAPER: [(&str, [f64; 8]); 4] = [
 ];
 
 fn main() {
-    let mut args = RunArgs::from_env();
-    args.enable_bin_trace("table1");
-    let tel = args.telemetry.clone();
+    let (args, tel) = RunArgs::init("table1");
     let headers =
         ["#User", "#Item", "#Inter", "Density%", "#Tag", "#Member", "#Hier", "#Excl"];
     let mut rows = Vec::new();

@@ -19,9 +19,7 @@ use logirec_core::train;
 use logirec_eval::{mean_std, wilcoxon_signed_rank, MeanStd};
 
 fn main() {
-    let mut args = RunArgs::from_env();
-    args.enable_bin_trace("table2");
-    let tel = args.telemetry.clone();
+    let (args, tel) = RunArgs::init("table2");
     let headers = ["Recall@10", "Recall@20", "NDCG@10", "NDCG@20"];
 
     for spec in args.specs() {

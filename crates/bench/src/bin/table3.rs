@@ -16,9 +16,7 @@ use logirec_core::{train, Variant};
 use logirec_eval::{mean_std, MeanStd};
 
 fn main() {
-    let mut args = RunArgs::from_env();
-    args.enable_bin_trace("table3");
-    let tel = args.telemetry.clone();
+    let (args, tel) = RunArgs::init("table3");
     let headers = ["Recall@10", "Recall@20", "NDCG@10", "NDCG@20"];
 
     for spec in args.specs() {

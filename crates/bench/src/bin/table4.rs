@@ -17,14 +17,12 @@ use logirec_core::train;
 use logirec_eval::{mean_std, MeanStd};
 
 fn main() {
-    let mut args = RunArgs::from_env();
+    let (mut args, tel) = RunArgs::init("table4");
     // Table IV only covers CD and Clothing in the paper; honor an explicit
     // --datasets override but default to those two.
     if args.datasets.len() == 4 {
         args.datasets = vec!["cd".into(), "clothing".into()];
     }
-    args.enable_bin_trace("table4");
-    let tel = args.telemetry.clone();
     let headers = ["Recall@10", "NDCG@10"];
 
     for spec in args.specs() {

@@ -18,12 +18,10 @@ use logirec_data::Split;
 use logirec_eval::{evaluate, Ranker};
 
 fn main() {
-    let mut args = RunArgs::from_env();
+    let (mut args, tel) = RunArgs::init("table5");
     if args.datasets.len() == 4 {
         args.datasets = vec!["cd".into(), "book".into()];
     }
-    args.enable_bin_trace("table5");
-    let tel = args.telemetry.clone();
     let mut out = String::new();
     for spec in args.specs() {
         tel.progress(format!("== dataset {} ==", spec.name));

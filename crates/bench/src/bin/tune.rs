@@ -24,9 +24,7 @@ fn grid() -> Vec<Point> {
 }
 
 fn main() {
-    let mut args = RunArgs::from_env();
-    args.enable_bin_trace("tune");
-    let tel = args.telemetry.clone();
+    let (args, tel) = RunArgs::init("tune");
     for spec in args.specs() {
         let ds = spec.generate_traced(100, &tel);
         tel.info(format!("== {} ==", spec.name));

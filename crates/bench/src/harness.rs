@@ -69,6 +69,17 @@ impl RunArgs {
         Self::parse(std::env::args().skip(1))
     }
 
+    /// The standard experiment-binary prologue: parse `std::env::args`,
+    /// attach the per-binary JSONL sink at `results/<name>.trace.jsonl`
+    /// (unless `--no-trace`), and hand back a clone of the telemetry
+    /// handle — one call instead of the three lines every bin repeated.
+    pub fn init(name: &str) -> (Self, Telemetry) {
+        let mut args = Self::from_env();
+        args.enable_bin_trace(name);
+        let tel = args.telemetry.clone();
+        (args, tel)
+    }
+
     /// Parses an explicit argument iterator (used by tests).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = Self::default();

@@ -1,0 +1,283 @@
+//! The perf-regression gate: a pinned suite of micro/macro measurements
+//! serialized as `BENCH_<n>.json`, compared against the last committed
+//! baseline with per-metric noise tolerances.
+//!
+//! The `perfgate` binary runs the suite, writes the structured result, and
+//! exits non-zero when any gated metric exceeds its tolerance over the
+//! baseline — `scripts/tier1.sh` wires this in as an advisory gate (the
+//! suite's self-test, which must flag a synthetic 2× slowdown, is a hard
+//! gate). Metrics with `gate: false` (e.g. peak RSS) are informational:
+//! reported, never failing.
+
+use std::path::{Path, PathBuf};
+
+use logirec_obs::json::{self, Json};
+
+/// One measured quantity of the suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfMetric {
+    /// Stable identifier (`kernel.dist_f64_ns`, `serve.p95_us`, …).
+    pub name: String,
+    /// Measured value; lower is better for every metric in the suite.
+    pub value: f64,
+    /// Unit, for display only (`ns`, `us`, `ms`, `bytes`).
+    pub unit: String,
+    /// Allowed ratio `current / baseline` before the gate trips. Pinned in
+    /// the suite code (not the baseline file), so tightening it takes
+    /// effect immediately.
+    pub tolerance: f64,
+    /// Whether a regression on this metric fails the gate.
+    pub gate: bool,
+}
+
+/// A full suite run: the PR number it belongs to plus its metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PerfSuite {
+    /// The PR sequence number (the `<n>` of `BENCH_<n>.json`).
+    pub pr: u64,
+    /// The measured metrics, in suite order.
+    pub metrics: Vec<PerfMetric>,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl PerfSuite {
+    /// The metric with the given name.
+    pub fn get(&self, name: &str) -> Option<&PerfMetric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes to the committed `BENCH_<n>.json` format (one metric per
+    /// line, stable ordering — diff-friendly).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\n  \"pr\": {},\n  \"metrics\": [\n", self.pr);
+        for (i, m) in self.metrics.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\":\"{}\",\"value\":{},\"unit\":\"{}\",\"tolerance\":{},\"gate\":{}}}{}\n",
+                escape(&m.name),
+                m.value,
+                escape(&m.unit),
+                m.tolerance,
+                m.gate,
+                if i + 1 < self.metrics.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a `BENCH_<n>.json` document.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let j = json::parse(src).map_err(|e| format!("bad suite JSON: {e}"))?;
+        let pr = j.get("pr").and_then(Json::as_u64).ok_or("suite lacks integer \"pr\"")?;
+        let Some(Json::Arr(items)) = j.get("metrics") else {
+            return Err("suite lacks a \"metrics\" array".to_string());
+        };
+        let mut metrics = Vec::with_capacity(items.len());
+        for (i, m) in items.iter().enumerate() {
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("metric {i} lacks \"name\""))?
+                .to_string();
+            let value = m
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metric {name:?} lacks numeric \"value\""))?;
+            metrics.push(PerfMetric {
+                value,
+                unit: m.get("unit").and_then(Json::as_str).unwrap_or("").to_string(),
+                tolerance: m.get("tolerance").and_then(Json::as_f64).unwrap_or(1.5),
+                gate: m.get("gate").and_then(Json::as_bool).unwrap_or(true),
+                name,
+            });
+        }
+        Ok(Self { pr, metrics })
+    }
+
+    /// Reads and parses a suite file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&src)
+    }
+}
+
+/// One metric's baseline-vs-current verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value (`None` for metrics new in this run).
+    pub base: Option<f64>,
+    /// Current value.
+    pub current: f64,
+    /// `current / base` (1.0 when the baseline is missing or zero).
+    pub ratio: f64,
+    /// The tolerance applied (from the current suite).
+    pub tolerance: f64,
+    /// Whether this metric can fail the gate.
+    pub gate: bool,
+    /// Gated AND over tolerance: the regression verdict.
+    pub regressed: bool,
+}
+
+/// Compares a current run against a baseline. Tolerances and gate flags
+/// come from the *current* suite (they are pinned in code); metrics absent
+/// from the baseline are reported but can never regress.
+pub fn compare(base: &PerfSuite, current: &PerfSuite) -> Vec<Comparison> {
+    current
+        .metrics
+        .iter()
+        .map(|m| {
+            let base_value = base.get(&m.name).map(|b| b.value);
+            let ratio = match base_value {
+                Some(b) if b > 0.0 => m.value / b,
+                _ => 1.0,
+            };
+            Comparison {
+                name: m.name.clone(),
+                base: base_value,
+                current: m.value,
+                ratio,
+                tolerance: m.tolerance,
+                gate: m.gate,
+                regressed: m.gate && base_value.is_some() && ratio > m.tolerance,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison table; regressed rows are marked `REGRESSED`,
+/// ungated rows `info`.
+pub fn render_comparisons(rows: &[Comparison]) -> String {
+    let mut out = format!(
+        "{:<24} {:>12} {:>12} {:>7} {:>6}  verdict\n",
+        "metric", "baseline", "current", "ratio", "tol"
+    );
+    for c in rows {
+        let verdict = if c.regressed {
+            "REGRESSED"
+        } else if !c.gate {
+            "info"
+        } else if c.base.is_none() {
+            "new"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12.1} {:>7.2} {:>6.2}  {verdict}\n",
+            c.name,
+            c.base.map_or_else(|| "-".to_string(), |b| format!("{b:.1}")),
+            c.current,
+            c.ratio,
+            c.tolerance,
+        ));
+    }
+    out
+}
+
+/// Finds the highest-numbered `BENCH_<n>.json` in `dir` — the last
+/// committed baseline. Returns its PR number and path.
+pub fn find_latest_baseline(dir: &Path) -> Option<(u64, PathBuf)> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(num) = name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(n) = num.parse::<u64>() else { continue };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, entry.path()));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite(values: &[(&str, f64)]) -> PerfSuite {
+        PerfSuite {
+            pr: 8,
+            metrics: values
+                .iter()
+                .map(|(n, v)| PerfMetric {
+                    name: n.to_string(),
+                    value: *v,
+                    unit: "us".to_string(),
+                    tolerance: 1.5,
+                    gate: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut s = suite(&[("kernel.dist_f64_ns", 123.5), ("serve.p95_us", 4096.0)]);
+        s.metrics[1].gate = false;
+        s.metrics[1].unit = "bytes".to_string();
+        let parsed = PerfSuite::parse(&s.to_json()).expect("round trip");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_suites() {
+        assert!(PerfSuite::parse("{}").is_err());
+        assert!(PerfSuite::parse("{\"pr\":8}").is_err());
+        assert!(PerfSuite::parse("{\"pr\":8,\"metrics\":[{\"value\":1}]}").is_err());
+    }
+
+    #[test]
+    fn two_x_slowdown_is_flagged() {
+        let base = suite(&[("a", 100.0), ("b", 100.0)]);
+        let mut cur = suite(&[("a", 200.0), ("b", 120.0)]);
+        let rows = compare(&base, &cur);
+        assert!(rows[0].regressed, "2× over a 1.5 tolerance must regress");
+        assert!(!rows[1].regressed, "1.2× within a 1.5 tolerance passes");
+        assert!((rows[0].ratio - 2.0).abs() < 1e-12);
+        // The same slowdown on an ungated metric is informational only.
+        cur.metrics[0].gate = false;
+        assert!(!compare(&base, &cur)[0].regressed);
+    }
+
+    #[test]
+    fn new_and_missing_baseline_metrics_never_regress() {
+        let base = suite(&[("a", 100.0)]);
+        let cur = suite(&[("a", 100.0), ("fresh", 9e9)]);
+        let rows = compare(&base, &cur);
+        assert_eq!(rows.len(), 2);
+        assert!(!rows[1].regressed);
+        assert_eq!(rows[1].base, None);
+        let table = render_comparisons(&rows);
+        assert!(table.contains("new"), "{table}");
+        assert!(table.contains("ok"), "{table}");
+    }
+
+    #[test]
+    fn render_marks_regressions() {
+        let rows = compare(&suite(&[("a", 10.0)]), &suite(&[("a", 100.0)]));
+        assert!(render_comparisons(&rows).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn latest_baseline_wins_by_number() {
+        let dir = std::env::temp_dir().join(format!("perfgate_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [2, 10, 7] {
+            std::fs::write(dir.join(format!("BENCH_{n}.json")), suite(&[]).to_json()).unwrap();
+        }
+        std::fs::write(dir.join("BENCH_x.json"), "junk").unwrap();
+        let (n, path) = find_latest_baseline(&dir).expect("found");
+        assert_eq!(n, 10);
+        assert!(path.ends_with("BENCH_10.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

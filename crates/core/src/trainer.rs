@@ -506,6 +506,7 @@ pub fn train_typed<S: Scalar>(
                 ck_span.field("op", "epoch");
                 ck_span.field("epoch", state.epoch as u64);
                 let ck = make_checkpoint(&cfg, &state, &model, &recoveries);
+                logirec_obs::rss::set_peak_rss_gauge(&tel);
                 match checkpoint::save(&ck, path) {
                     Ok(bytes) => ck_span.field("bytes", bytes),
                     Err(e) => {
@@ -521,6 +522,9 @@ pub fn train_typed<S: Scalar>(
                 }
             }
         }
+        // Epoch boundaries are the natural RSS sampling points: peak
+        // memory grows with the propagation buffers allocated per epoch.
+        logirec_obs::rss::set_peak_rss_gauge(&tel);
         ep_span.close();
     }
 

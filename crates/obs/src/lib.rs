@@ -37,8 +37,11 @@
 //! and `name`.
 
 pub mod events;
+pub mod expo;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod rss;
 pub mod summary;
 pub mod trace;
 
@@ -51,7 +54,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 pub use events::{Event, Value};
+pub use expo::Exposition;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use profile::{profile_span_aggs, profile_trace, Profile, ProfileRow};
 pub use summary::SpanAgg;
 pub use trace::{validate_trace, TraceStats};
 
@@ -59,10 +64,13 @@ use events::EventRing;
 use metrics::Registry;
 
 thread_local! {
-    /// Per-thread open-span stack: (telemetry instance tag, span id).
-    /// Tagging by instance keeps two live handles on one thread from
-    /// adopting each other's spans as parents.
-    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread open-span stack: (telemetry instance tag, span id,
+    /// accumulated direct-child time in µs). Tagging by instance keeps two
+    /// live handles on one thread from adopting each other's spans as
+    /// parents; the child accumulator lets a closing span compute its
+    /// self-time (duration minus time spent in child spans) without a
+    /// post-hoc trace pass.
+    static SPAN_STACK: RefCell<Vec<(usize, u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 struct Inner {
@@ -174,6 +182,12 @@ impl Telemetry {
         self.inner.is_some()
     }
 
+    /// Microseconds since this handle was created (0 when disabled) — the
+    /// wall-clock denominator for live profiling coverage.
+    pub fn elapsed_us(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.now_us())
+    }
+
     /// Opens a span of the given kind. The span closes (and emits its
     /// event) when dropped; nesting follows lexical scope per thread.
     #[inline]
@@ -186,8 +200,8 @@ impl Telemetry {
                 let parent = SPAN_STACK.with(|s| {
                     let mut v = s.borrow_mut();
                     let parent =
-                        v.iter().rev().find(|&&(t, _)| t == tag).map(|&(_, id)| id);
-                    v.push((tag, id));
+                        v.iter().rev().find(|&&(t, _, _)| t == tag).map(|&(_, id, _)| id);
+                    v.push((tag, id, 0));
                     parent
                 });
                 Span(Some(ActiveSpan {
@@ -283,6 +297,7 @@ impl Telemetry {
                     ("sum", Value::U64(h.sum)),
                     ("max", Value::U64(h.max)),
                     ("p50", Value::U64(h.quantile(0.5))),
+                    ("p95", Value::U64(h.quantile(0.95))),
                     ("p99", Value::U64(h.quantile(0.99))),
                 ],
             );
@@ -379,12 +394,21 @@ impl Drop for Span {
         let dur_us = end_us - start_us;
 
         let tag = a.inner.tag();
-        SPAN_STACK.with(|s| {
+        let child_us = SPAN_STACK.with(|s| {
             let mut v = s.borrow_mut();
-            if let Some(pos) = v.iter().rposition(|&(t, id)| t == tag && id == a.id) {
-                v.remove(pos);
+            let child_us = match v.iter().rposition(|&(t, id, _)| t == tag && id == a.id) {
+                Some(pos) => v.remove(pos).2,
+                None => 0,
+            };
+            // Credit this span's whole duration to the nearest still-open
+            // enclosing span of the same instance, so that span's eventual
+            // self-time excludes the time spent here.
+            if let Some(entry) = v.iter_mut().rev().find(|(t, _, _)| *t == tag) {
+                entry.2 += dur_us;
             }
+            child_us
         });
+        let self_us = dur_us.saturating_sub(child_us);
 
         {
             let mut aggs = a.inner.span_aggs.lock().expect("span aggs poisoned");
@@ -397,6 +421,7 @@ impl Drop for Span {
             };
             agg.count += 1;
             agg.total_us += dur_us;
+            agg.self_us += self_us;
             agg.max_us = agg.max_us.max(dur_us);
         }
 

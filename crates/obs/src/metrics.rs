@@ -101,6 +101,13 @@ pub fn bucket_lower(i: usize) -> u64 {
 pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
 
 impl Histogram {
+    /// An always-recording histogram that belongs to no registry. The
+    /// serving layer uses these for latency percentiles that must be
+    /// available even when telemetry is disabled.
+    pub fn standalone() -> Self {
+        Histogram(Some(Arc::new(HistogramCore::new())))
+    }
+
     /// Records one sample.
     #[inline]
     pub fn record(&self, v: u64) {
@@ -116,6 +123,13 @@ impl Histogram {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// Approximate quantile of the current contents (see
+    /// [`HistogramSnapshot::quantile`]). Convenience over `snapshot()`
+    /// for single-quantile reads; take one snapshot when reading several.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
     }
 
     /// A point-in-time snapshot of the histogram.
@@ -180,6 +194,11 @@ impl HistogramSnapshot {
             }
         }
         self.max
+    }
+
+    /// The standard latency-SLO triple (p50, p95, p99) in one call.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.5), self.quantile(0.95), self.quantile(0.99))
     }
 }
 

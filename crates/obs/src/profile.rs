@@ -1,0 +1,281 @@
+//! Span profiling: attribute wall time to span names.
+//!
+//! Two sources feed the same report:
+//!
+//! * [`profile_trace`] aggregates a JSONL trace file offline (the
+//!   `trace_profile` binary) — per-span self-time is each span's duration
+//!   minus the summed durations of its direct children, so nested spans
+//!   never double-count.
+//! * [`profile_span_aggs`] converts the live [`SpanAgg`] table of a
+//!   running [`crate::Telemetry`] (which tracks self-time incrementally
+//!   on the span stack) — what `--profile` prints without a trace file.
+//!
+//! Coverage is attributed self-time over the trace's wall clock: a healthy
+//! instrumented run attributes ≥ 90% of its wall time to named spans, and
+//! the remainder is un-instrumented code worth a new span.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Json};
+use crate::summary::{fmt_us, SpanAgg};
+
+/// Aggregate for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span name (`epoch`, `batch`, …).
+    pub name: String,
+    /// Closed spans of this name.
+    pub count: u64,
+    /// Summed durations, µs (nested spans overlap their parents here).
+    pub total_us: u64,
+    /// Summed self-times, µs (duration minus direct children) — disjoint
+    /// across names, so these sum to the attributed wall time.
+    pub self_us: u64,
+    /// Longest single span, µs.
+    pub max_us: u64,
+}
+
+/// A span-profile report: per-name rows sorted by self-time, plus the
+/// wall-clock denominator.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Per-name aggregates, hottest (largest self-time) first.
+    pub rows: Vec<ProfileRow>,
+    /// Wall clock of the profiled run in µs (largest event timestamp for
+    /// traces; telemetry handle age for live profiles).
+    pub wall_us: u64,
+    /// Total spans profiled.
+    pub spans: u64,
+}
+
+impl Profile {
+    /// Total self-time across all rows: the wall time attributable to
+    /// named spans.
+    pub fn attributed_us(&self) -> u64 {
+        self.rows.iter().map(|r| r.self_us).sum()
+    }
+
+    /// Attributed fraction of wall time. Can exceed 1.0 when spans ran
+    /// concurrently on worker threads (each thread's time counts).
+    pub fn coverage(&self) -> f64 {
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            self.attributed_us() as f64 / self.wall_us as f64
+        }
+    }
+
+    /// Renders the hot-path table: the top `top` rows by self-time (0 =
+    /// all), then the coverage line.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== span profile: {} spans over {} wall ==\n",
+            self.spans,
+            fmt_us(self.wall_us)
+        ));
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>10} {:>10} {:>7} {:>10}\n",
+            "span", "count", "total", "self", "self%", "max"
+        ));
+        let shown = if top == 0 { self.rows.len() } else { top.min(self.rows.len()) };
+        for row in &self.rows[..shown] {
+            let pct = if self.wall_us == 0 {
+                0.0
+            } else {
+                100.0 * row.self_us as f64 / self.wall_us as f64
+            };
+            out.push_str(&format!(
+                "  {:<22} {:>8} {:>10} {:>10} {:>6.1}% {:>10}\n",
+                row.name,
+                row.count,
+                fmt_us(row.total_us),
+                fmt_us(row.self_us),
+                pct,
+                fmt_us(row.max_us)
+            ));
+        }
+        if shown < self.rows.len() {
+            out.push_str(&format!("  … {} more span kinds\n", self.rows.len() - shown));
+        }
+        out.push_str(&format!(
+            "attributed {} of {} wall ({:.1}% coverage)\n",
+            fmt_us(self.attributed_us()),
+            fmt_us(self.wall_us),
+            100.0 * self.coverage()
+        ));
+        out
+    }
+}
+
+fn sort_rows(mut rows: Vec<ProfileRow>) -> Vec<ProfileRow> {
+    rows.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+    rows
+}
+
+/// Profiles a JSONL trace (the `--trace-json` format). Malformed lines are
+/// errors — run `trace_check` first for detailed diagnostics.
+pub fn profile_trace(content: &str) -> Result<Profile, String> {
+    struct Rec {
+        name_idx: usize,
+        dur_us: u64,
+    }
+    let mut names: Vec<String> = Vec::new();
+    let mut spans: BTreeMap<u64, Rec> = BTreeMap::new();
+    let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut wall_us = 0u64;
+
+    for (ln, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = json::parse(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        if let Some(t) = ev.get("t_us").and_then(Json::as_u64) {
+            wall_us = wall_us.max(t);
+        }
+        if ev.get("kind").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: span without \"name\"", ln + 1))?;
+        let id = ev
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: span without \"id\"", ln + 1))?;
+        let dur_us = ev
+            .get("dur_us")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: span without \"dur_us\"", ln + 1))?;
+        if let Some(p) = ev.get("parent").and_then(Json::as_u64) {
+            *child_us.entry(p).or_insert(0) += dur_us;
+        }
+        let name_idx = match names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                names.push(name.to_string());
+                names.len() - 1
+            }
+        };
+        spans.insert(id, Rec { name_idx, dur_us });
+    }
+
+    let mut rows: Vec<ProfileRow> = names
+        .iter()
+        .map(|n| ProfileRow { name: n.clone(), count: 0, total_us: 0, self_us: 0, max_us: 0 })
+        .collect();
+    let mut total_spans = 0u64;
+    for (id, rec) in &spans {
+        let row = &mut rows[rec.name_idx];
+        let self_us = rec.dur_us.saturating_sub(child_us.get(id).copied().unwrap_or(0));
+        row.count += 1;
+        row.total_us += rec.dur_us;
+        row.self_us += self_us;
+        row.max_us = row.max_us.max(rec.dur_us);
+        total_spans += 1;
+    }
+    Ok(Profile { rows: sort_rows(rows), wall_us, spans: total_spans })
+}
+
+/// Converts a live [`SpanAgg`] table (which already tracks incremental
+/// self-time) into a profile with an explicit wall-clock denominator —
+/// typically [`crate::Telemetry::elapsed_us`].
+pub fn profile_span_aggs(aggs: &[(&'static str, SpanAgg)], wall_us: u64) -> Profile {
+    let rows: Vec<ProfileRow> = aggs
+        .iter()
+        .map(|(name, a)| ProfileRow {
+            name: (*name).to_string(),
+            count: a.count,
+            total_us: a.total_us,
+            self_us: a.self_us,
+            max_us: a.max_us,
+        })
+        .collect();
+    let spans = rows.iter().map(|r| r.count).sum();
+    Profile { rows: sort_rows(rows), wall_us, spans }
+}
+
+/// Profiles a JSONL trace file on disk.
+pub fn profile_trace_file(path: &std::path::Path) -> Result<Profile, String> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    profile_trace(&content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// epoch(1) [0,100] contains batch(2) [10,40] and batch(3) [50,90];
+    /// an unrelated counter event stretches the wall to 120.
+    const TRACE: &str = "\
+{\"t_us\":40,\"kind\":\"span\",\"name\":\"batch\",\"id\":2,\"parent\":1,\"start_us\":10,\"dur_us\":30}
+{\"t_us\":90,\"kind\":\"span\",\"name\":\"batch\",\"id\":3,\"parent\":1,\"start_us\":50,\"dur_us\":40}
+{\"t_us\":100,\"kind\":\"span\",\"name\":\"epoch\",\"id\":1,\"start_us\":0,\"dur_us\":100}
+{\"t_us\":120,\"kind\":\"counter\",\"name\":\"steps\",\"value\":7}
+";
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let p = profile_trace(TRACE).expect("valid");
+        assert_eq!(p.spans, 3);
+        assert_eq!(p.wall_us, 120);
+        let batch = p.rows.iter().find(|r| r.name == "batch").unwrap();
+        assert_eq!(batch.count, 2);
+        assert_eq!(batch.total_us, 70);
+        assert_eq!(batch.self_us, 70, "leaves keep their full duration");
+        assert_eq!(batch.max_us, 40);
+        let epoch = p.rows.iter().find(|r| r.name == "epoch").unwrap();
+        assert_eq!(epoch.total_us, 100);
+        assert_eq!(epoch.self_us, 30, "100 minus the two 30+40 children");
+        // Attributed = 70 + 30 = the root's full duration.
+        assert_eq!(p.attributed_us(), 100);
+        assert!((p.coverage() - 100.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_sort_hottest_first_and_render() {
+        let p = profile_trace(TRACE).expect("valid");
+        assert_eq!(p.rows[0].name, "batch");
+        let r = p.render(1);
+        assert!(r.contains("batch"), "{r}");
+        assert!(r.contains("… 1 more span kinds"), "{r}");
+        assert!(r.contains("coverage"), "{r}");
+        let full = p.render(0);
+        assert!(full.contains("epoch"), "{full}");
+    }
+
+    #[test]
+    fn empty_trace_profiles_to_zero_coverage() {
+        let p = profile_trace("").expect("empty ok");
+        assert_eq!(p.spans, 0);
+        assert_eq!(p.coverage(), 0.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = profile_trace("{\"kind\":\"span\",\"name\":\"x\",\"dur_us\":1}\n")
+            .expect_err("no id");
+        assert!(err.contains("line 1"), "{err}");
+        assert!(profile_trace("nope\n").is_err());
+    }
+
+    #[test]
+    fn live_span_aggs_round_trip() {
+        let tel = crate::Telemetry::enabled();
+        {
+            let _outer = tel.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = tel.span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let p = profile_span_aggs(&tel.span_aggs(), tel.elapsed_us());
+        assert_eq!(p.spans, 2);
+        let outer = p.rows.iter().find(|r| r.name == "outer").unwrap();
+        let inner = p.rows.iter().find(|r| r.name == "inner").unwrap();
+        assert!(outer.self_us < outer.total_us, "inner time subtracted");
+        assert!(inner.self_us == inner.total_us, "leaf keeps its duration");
+        assert!(p.coverage() > 0.5, "most of the run is inside spans");
+    }
+}

@@ -10,6 +10,9 @@ pub struct SpanAgg {
     pub count: u64,
     /// Total time across all spans, µs.
     pub total_us: u64,
+    /// Total time minus time spent in same-thread child spans, µs — the
+    /// wall time attributable to this span kind itself.
+    pub self_us: u64,
     /// Longest single span, µs.
     pub max_us: u64,
 }
@@ -34,16 +37,17 @@ pub fn render(spans: &[(&'static str, SpanAgg)], metrics: &MetricsSnapshot) -> S
 
     if !spans.is_empty() {
         out.push_str(&format!(
-            "{:<24} {:>8} {:>10} {:>10} {:>10}\n",
-            "span", "count", "total", "mean", "max"
+            "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "span", "count", "total", "self", "mean", "max"
         ));
         for (kind, agg) in spans {
             let mean = agg.total_us.checked_div(agg.count).unwrap_or(0);
             out.push_str(&format!(
-                "  {:<22} {:>8} {:>10} {:>10} {:>10}\n",
+                "  {:<22} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
                 kind,
                 agg.count,
                 fmt_us(agg.total_us),
+                fmt_us(agg.self_us),
                 fmt_us(mean),
                 fmt_us(agg.max_us)
             ));
@@ -64,17 +68,19 @@ pub fn render(spans: &[(&'static str, SpanAgg)], metrics: &MetricsSnapshot) -> S
     }
     if !metrics.histograms.is_empty() {
         out.push_str(&format!(
-            "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
-            "histogram", "count", "mean", "p50", "p99", "max"
+            "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "histogram", "count", "mean", "p50", "p95", "p99", "max"
         ));
         for (name, h) in &metrics.histograms {
+            let (p50, p95, p99) = h.percentiles();
             out.push_str(&format!(
-                "  {:<22} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "  {:<22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
                 name,
                 h.count,
                 fmt_us(h.mean() as u64),
-                fmt_us(h.quantile(0.5)),
-                fmt_us(h.quantile(0.99)),
+                fmt_us(p50),
+                fmt_us(p95),
+                fmt_us(p99),
                 fmt_us(h.max)
             ));
         }
@@ -96,7 +102,8 @@ mod tests {
 
     #[test]
     fn render_includes_all_sections() {
-        let spans = vec![("epoch", SpanAgg { count: 3, total_us: 3_000, max_us: 1_500 })];
+        let spans =
+            vec![("epoch", SpanAgg { count: 3, total_us: 3_000, self_us: 2_000, max_us: 1_500 })];
         let metrics = MetricsSnapshot {
             counters: vec![("trainer.steps", 42)],
             gauges: vec![("trainer.lr_scale", 0.5)],

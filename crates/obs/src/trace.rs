@@ -33,6 +33,21 @@ struct SpanRec {
     start_us: u64,
     end_us: u64,
     parent: Option<u64>,
+    /// 1-based line the span event came from (for diagnostics).
+    line: usize,
+    name: String,
+}
+
+/// Nesting depth of a span (roots are depth 0), walking the parent chain
+/// through the completed map. Cycles cannot occur (parent < child ids are
+/// enforced at parse time), so the walk terminates.
+fn depth_of(spans: &BTreeMap<u64, SpanRec>, mut id: u64) -> usize {
+    let mut depth = 0;
+    while let Some(p) = spans.get(&id).and_then(|r| r.parent) {
+        depth += 1;
+        id = p;
+    }
+    depth
 }
 
 /// Validates a whole trace (one JSON object per line). Returns statistics
@@ -84,21 +99,34 @@ pub fn validate_trace(content: &str) -> Result<TraceStats, String> {
             };
             if start + dur > t_us + 1 {
                 return Err(format!(
-                    "line {}: span {id} closes at {t_us}µs before start {start}µs + dur {dur}µs",
+                    "line {}: span {id} ({name:?}) closes at {t_us}µs before start \
+                     {start}µs + dur {dur}µs",
                     ln + 1
                 ));
             }
             if let Some(p) = parent {
                 if p >= id {
                     return Err(format!(
-                        "line {}: span {id} has parent {p} opened after it (ids are \
-                         allocated at open, so parent < child must hold)",
+                        "line {}: span {id} ({name:?}) has parent {p} opened after it (ids \
+                         are allocated at open, so parent < child must hold)",
                         ln + 1
                     ));
                 }
             }
-            if spans.insert(id, SpanRec { start_us: start, end_us: t_us, parent }).is_some() {
-                return Err(format!("line {}: duplicate span id {id}", ln + 1));
+            let rec = SpanRec {
+                start_us: start,
+                end_us: t_us,
+                parent,
+                line: ln + 1,
+                name: name.clone(),
+            };
+            if let Some(prev) = spans.insert(id, rec) {
+                return Err(format!(
+                    "line {}: duplicate span id {id} ({name:?}; first used by {:?} on line {})",
+                    ln + 1,
+                    prev.name,
+                    prev.line
+                ));
             }
             stats.spans += 1;
             *stats.span_kinds.entry(name).or_insert(0) += 1;
@@ -109,13 +137,26 @@ pub fn validate_trace(content: &str) -> Result<TraceStats, String> {
     // the completed map and the child interval must sit inside it.
     for (&id, rec) in &spans {
         if let Some(p) = rec.parent {
-            let parent = spans
-                .get(&p)
-                .ok_or_else(|| format!("span {id} references missing parent {p}"))?;
+            let parent = spans.get(&p).ok_or_else(|| {
+                format!(
+                    "line {}: span {id} ({:?}) references missing parent {p} \
+                     (parent never closed, or the trace was truncated)",
+                    rec.line, rec.name
+                )
+            })?;
             if rec.start_us < parent.start_us || rec.end_us > parent.end_us {
                 return Err(format!(
-                    "span {id} [{}, {}]µs escapes parent {p} [{}, {}]µs",
-                    rec.start_us, rec.end_us, parent.start_us, parent.end_us
+                    "line {}: span {id} ({:?}, depth {}) [{}, {}]µs escapes parent \
+                     {p} ({:?}, line {}) [{}, {}]µs",
+                    rec.line,
+                    rec.name,
+                    depth_of(&spans, id),
+                    rec.start_us,
+                    rec.end_us,
+                    parent.name,
+                    parent.line,
+                    parent.start_us,
+                    parent.end_us
                 ));
             }
         }
@@ -158,6 +199,41 @@ mod tests {
         assert!(validate_trace("{\"kind\":\"span\",\"name\":\"x\"}\n").is_err());
         let no_id = "{\"t_us\":1,\"kind\":\"span\",\"name\":\"x\",\"start_us\":0,\"dur_us\":1}\n";
         assert!(validate_trace(no_id).unwrap_err().contains("id"));
+    }
+
+    #[test]
+    fn violation_messages_carry_line_name_and_depth() {
+        // grandchild(3) under child(2) under root(1); the grandchild
+        // escapes its parent's interval.
+        let trace = "\
+{\"t_us\":9,\"kind\":\"span\",\"name\":\"loss\",\"id\":3,\"parent\":2,\"start_us\":3,\"dur_us\":6}
+{\"t_us\":8,\"kind\":\"span\",\"name\":\"batch\",\"id\":2,\"parent\":1,\"start_us\":2,\"dur_us\":6}
+{\"t_us\":10,\"kind\":\"span\",\"name\":\"epoch\",\"id\":1,\"start_us\":1,\"dur_us\":9}
+";
+        let err = validate_trace(trace).expect_err("must reject");
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("\"loss\""), "{err}");
+        assert!(err.contains("depth 2"), "{err}");
+        assert!(err.contains("\"batch\""), "offending parent named: {err}");
+    }
+
+    #[test]
+    fn missing_parent_message_names_the_orphan_line() {
+        let orphan =
+            "{\"t_us\":5,\"kind\":\"span\",\"name\":\"b\",\"id\":2,\"parent\":1,\"start_us\":2,\"dur_us\":3}\n";
+        let err = validate_trace(orphan).unwrap_err();
+        assert!(err.contains("line 1") && err.contains("\"b\""), "{err}");
+    }
+
+    #[test]
+    fn duplicate_id_message_points_at_both_lines() {
+        let dup = "\
+{\"t_us\":5,\"kind\":\"span\",\"name\":\"first\",\"id\":1,\"start_us\":2,\"dur_us\":3}
+{\"t_us\":6,\"kind\":\"span\",\"name\":\"second\",\"id\":1,\"start_us\":2,\"dur_us\":3}
+";
+        let err = validate_trace(dup).unwrap_err();
+        assert!(err.contains("line 2") && err.contains("line 1"), "{err}");
+        assert!(err.contains("\"first\"") && err.contains("\"second\""), "{err}");
     }
 
     #[test]

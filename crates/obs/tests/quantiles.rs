@@ -1,0 +1,116 @@
+//! Property and edge-case coverage for histogram quantile estimation: the
+//! numbers surfaced in the summary table, `{"stats":true}`, and the metrics
+//! exposition must be trustworthy at the boundaries (empty, all-zero,
+//! saturating) and ordered (p50 ≤ p95 ≤ p99) for arbitrary fills.
+
+use logirec_obs::metrics::{bucket_index, bucket_lower, N_BUCKETS};
+use logirec_obs::Histogram;
+use proptest::prelude::*;
+
+fn filled(values: &[u64]) -> logirec_obs::HistogramSnapshot {
+    let h = Histogram::standalone();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let s = Histogram::standalone().snapshot();
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(s.quantile(q), 0, "q={q}");
+    }
+    let (p50, p95, p99) = s.percentiles();
+    assert_eq!((p50, p95, p99), (0, 0, 0));
+}
+
+#[test]
+fn zero_bucket_samples_report_zero() {
+    // All samples land in bucket 0 (the exact-zero bucket): every quantile
+    // is exactly 0, not a midpoint estimate.
+    let s = filled(&[0, 0, 0, 0]);
+    assert_eq!(s.count, 4);
+    assert_eq!(s.percentiles(), (0, 0, 0));
+    assert_eq!(s.max, 0);
+}
+
+#[test]
+fn single_bucket_fill_stays_inside_the_bucket() {
+    // 100 samples of the same value: every quantile must be the bucket's
+    // midpoint capped at the observed max — and inside [2^(i-1), 2^i).
+    let v = 700u64; // bucket [512, 1024)
+    let s = filled(&vec![v; 100]);
+    let i = bucket_index(v);
+    let lo = bucket_lower(i);
+    let hi = lo << 1;
+    for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+        let est = s.quantile(q);
+        assert!(est >= lo && est < hi, "q={q} est={est} outside [{lo},{hi})");
+        assert!(est <= s.max);
+    }
+}
+
+#[test]
+fn saturating_u64_samples_stay_finite_and_capped() {
+    // u64::MAX lands in the last bucket; the midpoint computation must not
+    // overflow and the estimate must cap at the observed max.
+    let s = filled(&[u64::MAX, u64::MAX, 1]);
+    assert_eq!(s.buckets.len(), N_BUCKETS);
+    assert_eq!(s.buckets[N_BUCKETS - 1], 2);
+    let p99 = s.quantile(0.99);
+    let top_lo = bucket_lower(N_BUCKETS - 1);
+    assert!(p99 >= top_lo, "no overflow wrap: {p99}");
+    assert_eq!(s.max, u64::MAX);
+    // Sum wrapped (2·MAX + 1 overflows) — quantiles must not depend on it.
+    assert!(s.quantile(0.5) >= 1);
+}
+
+#[test]
+fn quantile_is_monotone_in_q() {
+    let s = filled(&[0, 1, 3, 9, 100, 5_000, 70_000, u64::MAX]);
+    let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+    for w in qs.windows(2) {
+        assert!(
+            s.quantile(w[0]) <= s.quantile(w[1]),
+            "quantile not monotone between {} and {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn percentiles_are_ordered_under_random_fills(
+        values in prop::collection::vec(0u64..2_000_000, 1..200)
+    ) {
+        let s = filled(&values);
+        let (p50, p95, p99) = s.percentiles();
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        prop_assert!(p99 <= s.max, "p99 {p99} above max {}", s.max);
+        prop_assert!(s.quantile(1.0) <= s.max);
+    }
+
+    #[test]
+    fn estimate_is_within_2x_of_a_true_quantile(
+        values in prop::collection::vec(1u64..1_000_000, 1..100)
+    ) {
+        // The log₂-bucket estimate is exact about which bucket holds the
+        // q-th sample: the estimate and the true order statistic share a
+        // bucket, so they differ by at most 2× (modulo the max cap).
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let s = filled(&values);
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = sorted[rank];
+            let est = s.quantile(q).max(1);
+            prop_assert!(
+                est >= truth / 2 && est <= truth.saturating_mul(2),
+                "q={q} est={est} truth={truth}"
+            );
+        }
+    }
+}

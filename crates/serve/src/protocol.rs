@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! {"id":1,"user":3,"k":10,"deadline_ms":250}   top-K recommendation
-//! {"stats":true}                               server counters
+//! {"stats":true}                               server counters + latency percentiles
+//! {"metrics":true}                             Prometheus-style text exposition
 //! {"reload":true}                              force a reload check now
 //! {"shutdown":true}                            stop the server
 //! ```
@@ -87,6 +88,8 @@ pub enum Message {
     Recommend(Request),
     /// Ask for the server's counters.
     Stats,
+    /// Ask for the Prometheus-style metrics exposition document.
+    Metrics,
     /// Force a reload check of the watched model file.
     Reload,
     /// Stop the server.
@@ -124,6 +127,9 @@ pub fn parse_message(line: &str) -> Result<Message, String> {
     }
     if j.get("stats").and_then(Json::as_bool) == Some(true) {
         return Ok(Message::Stats);
+    }
+    if j.get("metrics").and_then(Json::as_bool) == Some(true) {
+        return Ok(Message::Metrics);
     }
     let user = j
         .get("user")
@@ -258,6 +264,7 @@ mod tests {
         assert_eq!(parse_message("{\"shutdown\":true}"), Ok(Message::Shutdown));
         assert_eq!(parse_message("{\"reload\":true}"), Ok(Message::Reload));
         assert_eq!(parse_message("{\"stats\":true}"), Ok(Message::Stats));
+        assert_eq!(parse_message("{\"metrics\":true}"), Ok(Message::Metrics));
         assert!(parse_message("{\"k\":10}").is_err(), "no user and no admin key");
         assert!(parse_message("not json").is_err());
     }

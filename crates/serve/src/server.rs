@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use logirec_obs::{Counter, Histogram, Telemetry};
+use logirec_obs::{rss, Counter, Exposition, Histogram, HistogramSnapshot, Telemetry};
 
 use crate::protocol::{self, Message, Request, Response, ServedBy};
 use crate::reload::{ReloadOutcome, Reloader};
@@ -81,7 +81,7 @@ impl Default for ServerConfig {
 /// Telemetry-independent request/reload counters, readable via the
 /// `{"stats":true}` admin request or [`Server::stats`] even when telemetry
 /// is disabled.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Stats {
     requests: AtomicU64,
     exact: AtomicU64,
@@ -91,6 +91,29 @@ struct Stats {
     reload_success: AtomicU64,
     reload_rejected: AtomicU64,
     conn_drops: AtomicU64,
+    // Standalone (registry-free) latency histograms per served_by path, so
+    // `{"stats":true}` percentiles work even with telemetry disabled.
+    lat_exact: Histogram,
+    lat_fallback: Histogram,
+    lat_shed: Histogram,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            exact: AtomicU64::new(0),
+            fallback: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            reload_success: AtomicU64::new(0),
+            reload_rejected: AtomicU64::new(0),
+            conn_drops: AtomicU64::new(0),
+            lat_exact: Histogram::standalone(),
+            lat_fallback: Histogram::standalone(),
+            lat_shed: Histogram::standalone(),
+        }
+    }
 }
 
 /// A point-in-time copy of the server counters.
@@ -281,6 +304,23 @@ impl Server {
         self.inner.stats.snapshot()
     }
 
+    /// Point-in-time latency histograms per path: `[exact, fallback,
+    /// shed]`. These are the authoritative distributions behind the
+    /// percentiles in `{"stats":true}` and the metrics exposition.
+    pub fn latency_snapshot(&self) -> [HistogramSnapshot; 3] {
+        [
+            self.inner.stats.lat_exact.snapshot(),
+            self.inner.stats.lat_fallback.snapshot(),
+            self.inner.stats.lat_shed.snapshot(),
+        ]
+    }
+
+    /// The Prometheus-style exposition document — the same text the
+    /// `{"metrics":true}` admin request returns in its `body`.
+    pub fn exposition(&self) -> String {
+        render_exposition(&self.inner)
+    }
+
     /// Forces a reload check now (same as the `{"reload":true}` admin
     /// request). Returns `Rejected` when no watch path is configured.
     pub fn reload_now(&self) -> ReloadOutcome {
@@ -449,6 +489,7 @@ fn handle_line(inner: &ServerInner, line: &str, scratch: &mut Vec<f64>) -> (Stri
         }
         Ok(Message::Shutdown) => ("{\"id\":0,\"shutdown\":true}".to_string(), true),
         Ok(Message::Stats) => (stats_line(inner), false),
+        Ok(Message::Metrics) => (metrics_line(inner), false),
         Ok(Message::Reload) => (reload_line(try_reload(inner, true)), false),
         Ok(Message::Recommend(req)) => (handle_recommend(inner, &req, scratch), false),
     }
@@ -456,10 +497,10 @@ fn handle_line(inner: &ServerInner, line: &str, scratch: &mut Vec<f64>) -> (Stri
 
 fn stats_line(inner: &ServerInner) -> String {
     let s = inner.stats.snapshot();
-    format!(
+    let mut line = format!(
         "{{\"id\":0,\"stats\":true,\"requests\":{},\"exact\":{},\"fallback\":{},\
          \"shed\":{},\"errors\":{},\"reload_success\":{},\"reload_rejected\":{},\
-         \"conn_drops\":{},\"model_version\":{},\"inflight\":{}}}",
+         \"conn_drops\":{},\"model_version\":{},\"inflight\":{}",
         s.requests,
         s.exact,
         s.fallback,
@@ -470,7 +511,52 @@ fn stats_line(inner: &ServerInner) -> String {
         s.conn_drops,
         inner.store.get().version(),
         inner.inflight.load(Ordering::SeqCst),
-    )
+    );
+    for (path, h) in [
+        ("exact", &inner.stats.lat_exact),
+        ("fallback", &inner.stats.lat_fallback),
+        ("shed", &inner.stats.lat_shed),
+    ] {
+        let (p50, p95, p99) = h.snapshot().percentiles();
+        line.push_str(&format!(
+            ",\"{path}_p50_us\":{p50},\"{path}_p95_us\":{p95},\"{path}_p99_us\":{p99}"
+        ));
+    }
+    line.push('}');
+    line
+}
+
+/// Renders the full exposition: authoritative `Stats` counters and latency
+/// summaries first, then the telemetry registry (whose `serve.*` mirrors
+/// are deduplicated away by first-writer-wins).
+fn render_exposition(inner: &ServerInner) -> String {
+    let s = inner.stats.snapshot();
+    let mut e = Exposition::new();
+    e.counter("logirec_serve_requests", s.requests);
+    e.counter("logirec_serve_exact", s.exact);
+    e.counter("logirec_serve_fallback", s.fallback);
+    e.counter("logirec_serve_shed", s.shed);
+    e.counter("logirec_serve_errors", s.errors);
+    e.counter("logirec_serve_reload_success", s.reload_success);
+    e.counter("logirec_serve_reload_rejected", s.reload_rejected);
+    e.counter("logirec_serve_conn_drops", s.conn_drops);
+    e.gauge("logirec_serve_model_version", inner.store.get().version() as f64);
+    e.gauge("logirec_serve_inflight", inner.inflight.load(Ordering::SeqCst) as f64);
+    if let Some(peak) = rss::sample_peak_rss_bytes() {
+        e.gauge("logirec_process_peak_rss_bytes", peak as f64);
+    }
+    e.summary("logirec_serve_exact_latency_us", &inner.stats.lat_exact.snapshot());
+    e.summary("logirec_serve_fallback_latency_us", &inner.stats.lat_fallback.snapshot());
+    e.summary("logirec_serve_shed_latency_us", &inner.stats.lat_shed.snapshot());
+    e.snapshot("logirec_", &inner.cfg.telemetry.metrics_snapshot());
+    e.render()
+}
+
+fn metrics_line(inner: &ServerInner) -> String {
+    let mut line = "{\"id\":0,\"metrics\":true,\"body\":\"".to_string();
+    protocol::escape_into(&render_exposition(inner), &mut line);
+    line.push_str("\"}");
+    line
 }
 
 fn reload_line(outcome: ReloadOutcome) -> String {
@@ -565,16 +651,19 @@ fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) 
     match served_by {
         ServedBy::Exact => {
             inner.stats.exact.fetch_add(1, Ordering::Relaxed);
+            inner.stats.lat_exact.record(latency_us);
             inner.tel.c_exact.incr();
             inner.tel.h_exact_us.record(latency_us);
         }
         ServedBy::Fallback => {
             inner.stats.fallback.fetch_add(1, Ordering::Relaxed);
+            inner.stats.lat_fallback.record(latency_us);
             inner.tel.c_fallback.incr();
             inner.tel.h_fallback_us.record(latency_us);
         }
         ServedBy::Shed => {
             inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+            inner.stats.lat_shed.record(latency_us);
             inner.tel.c_shed.incr();
             inner.tel.h_shed_us.record(latency_us);
         }

@@ -22,6 +22,11 @@ trap 'rm -rf "$smoke"' EXIT
 ./target/release/trace_check "$smoke/train.jsonl" \
   --require-kinds train,epoch,batch,loss,mining,checkpoint,eval --min-spans 10
 
+# Span-profiling smoke: the offline profiler must attribute at least 90% of
+# the training run's wall time to named spans — un-instrumented hot-path
+# time fails the gate.
+./target/release/trace_profile "$smoke/train.jsonl" --min-coverage 0.9
+
 # Parallel-training determinism smoke: the sharded gradient path promises
 # bit-identical models for every --train-threads value. Train twice and
 # byte-compare the serialized models.
@@ -63,6 +68,20 @@ case "$starved_out" in
   *"served_by: fallback (deadline)"*) ;;
   *) echo "tier1: serve smoke FAILED (starved request did not degrade)"; exit 1 ;;
 esac
+# Metrics scrape smoke: the exposition must carry the request counters and
+# the exact-path latency summary the two requests above produced.
+metrics_out=$(./target/release/logirec metrics --addr "$serve_addr")
+for series in \
+  "# TYPE logirec_serve_requests_total counter" \
+  "logirec_serve_requests_total 2" \
+  "logirec_serve_exact_total 1" \
+  "logirec_serve_fallback_total 1" \
+  'logirec_serve_exact_latency_us{quantile="0.95"}'; do
+  case "$metrics_out" in
+    *"$series"*) ;;
+    *) echo "tier1: metrics scrape FAILED (missing: $series)"; echo "$metrics_out"; exit 1 ;;
+  esac
+done
 ./target/release/logirec request --addr "$serve_addr" --shutdown
 wait "$serve_pid" \
   || { echo "tier1: serve smoke FAILED (server did not exit cleanly)"; exit 1; }
@@ -79,4 +98,15 @@ echo "$f32_out"
 case "$f32_out" in
   *NaN*|*nan*) echo "tier1: f32 smoke FAILED (NaN in metrics)"; exit 1 ;;
 esac
+
+# Perf-regression gate. The self-test (gate logic must flag a synthetic 2×
+# slowdown) is a hard gate; the live measurement against the committed
+# BENCH_<n>.json baseline is advisory here — shared CI machines are too
+# noisy to block merges on wall time, so a regression prints loudly instead.
+# --out points into the smoke dir so the committed baseline stays clean;
+# perfgate runs from the repo root, so `auto` still finds that baseline.
+./target/release/perfgate --self-test \
+  || { echo "tier1: perfgate self-test FAILED"; exit 1; }
+./target/release/perfgate --out "$smoke/bench.json" \
+  || echo "tier1: perfgate ADVISORY — perf regressed vs committed baseline (not blocking)"
 echo "tier1: all green"

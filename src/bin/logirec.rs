@@ -22,7 +22,8 @@ use logirec_suite::core::io::{load_model, save_model};
 use logirec_suite::core::{train, LogiRecConfig, Precision};
 use logirec_suite::data::{load_dataset_traced, save_dataset_traced, Dataset, DatasetSpec, Scale, Split};
 use logirec_suite::eval::{evaluate_traced, Ranker};
-use logirec_suite::obs::Telemetry;
+use logirec_suite::obs::json::{self, Json};
+use logirec_suite::obs::{profile_span_aggs, Telemetry};
 use logirec_suite::serve::{
     recommend_with_retry, Client, ModelSnapshot, Request, RetryPolicy, ServeContext, Server,
     ServerConfig, WatchConfig,
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         "recommend" => cmd_recommend(&flags),
         "serve" => cmd_serve(&flags),
         "request" => cmd_request(&flags),
+        "metrics" => cmd_metrics(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -72,7 +74,8 @@ f32 runs the same kernels in single precision (model files stay f64).
                     [--max-inflight N] [--shed-limit N] [--max-k N]
                     [--watch FILE [--watch-poll-ms N]] [--precision f32|f64]
   logirec request   --addr HOST:PORT (--user N [--k N] [--deadline-ms N]
-                    [--retries N] | --stats | --reload | --shutdown)
+                    [--retries N] | --stats | --metrics | --reload | --shutdown)
+  logirec metrics   --addr HOST:PORT
 
 serve: fault-tolerant top-K serving over a line-JSON TCP protocol. Every
 request carries a deadline; deadline misses and overload degrade to the
@@ -82,10 +85,17 @@ validated new models (rolling back to last-good on any validation failure).
 telemetry (generate / train / evaluate / serve):
   --trace-json FILE     stream structured events (spans, metrics, recoveries,
                         health checks) as JSON lines into FILE
-  --metrics-summary     print the span/counter/histogram summary table on exit";
+  --metrics-summary     print the span/counter/histogram summary table on exit
+  --profile             print the span hot-path profile (self-time per span
+                        kind, coverage of wall time) on exit
+
+metrics: scrape a running server's Prometheus-style text exposition
+(counters, gauges, and latency summaries with p50/p95/p99 quantiles) and
+print it decoded to stdout.";
 
 /// Boolean flags (no value argument follows them).
-const BOOL_FLAGS: &[&str] = &["no-mining", "metrics-summary", "stats", "reload", "shutdown"];
+const BOOL_FLAGS: &[&str] =
+    &["no-mining", "metrics-summary", "profile", "stats", "metrics", "reload", "shutdown"];
 
 /// Minimal flag parser: `--key value` pairs plus the boolean flags in
 /// [`BOOL_FLAGS`].
@@ -120,10 +130,10 @@ impl Flags {
     }
 
     /// Builds the telemetry handle requested by `--trace-json` /
-    /// `--metrics-summary` (disabled when neither flag is present).
+    /// `--metrics-summary` / `--profile` (disabled when none is present).
     fn telemetry(&self) -> Result<Telemetry, String> {
         let trace_json = self.get("trace-json");
-        if trace_json.is_none() && !self.has("metrics-summary") {
+        if trace_json.is_none() && !self.has("metrics-summary") && !self.has("profile") {
             return Ok(Telemetry::disabled());
         }
         let mut builder = Telemetry::builder();
@@ -133,11 +143,14 @@ impl Flags {
         builder.build().map_err(|e| format!("cannot open trace file: {e}"))
     }
 
-    /// Flushes `tel` and prints the summary table when requested.
+    /// Flushes `tel` and prints the summary table / profile when requested.
     fn finish_telemetry(&self, tel: &Telemetry) {
         tel.finish();
         if self.has("metrics-summary") {
             print!("{}", tel.summary());
+        }
+        if self.has("profile") {
+            print!("{}", profile_span_aggs(&tel.span_aggs(), tel.elapsed_us()).render(12));
         }
         if let Some(path) = self.get("trace-json") {
             println!("trace written to {path}");
@@ -357,10 +370,13 @@ fn cmd_request(flags: &Flags) -> Result<(), String> {
         .require("addr")?
         .parse()
         .map_err(|_| "bad --addr (expected HOST:PORT)".to_string())?;
-    if flags.has("stats") || flags.has("reload") || flags.has("shutdown") {
+    if flags.has("stats") || flags.has("metrics") || flags.has("reload") || flags.has("shutdown")
+    {
         let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
         let line = if flags.has("stats") {
             "{\"stats\":true}"
+        } else if flags.has("metrics") {
+            "{\"metrics\":true}"
         } else if flags.has("reload") {
             "{\"reload\":true}"
         } else {
@@ -394,6 +410,24 @@ fn cmd_request(flags: &Flags) -> Result<(), String> {
     for (rank, (v, s)) in resp.items.iter().zip(&resp.scores).enumerate() {
         println!("  {:>2}. item {v}  score {s}", rank + 1);
     }
+    Ok(())
+}
+
+/// Scrapes a running server's metrics exposition and prints the decoded
+/// text document (the `body` of the `{"metrics":true}` response).
+fn cmd_metrics(flags: &Flags) -> Result<(), String> {
+    let addr: std::net::SocketAddr = flags
+        .require("addr")?
+        .parse()
+        .map_err(|_| "bad --addr (expected HOST:PORT)".to_string())?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client.roundtrip_line("{\"metrics\":true}").map_err(|e| e.to_string())?;
+    let j = json::parse(&resp).map_err(|e| format!("bad metrics response: {e}"))?;
+    let body = j
+        .get("body")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("metrics response lacks a \"body\": {resp}"))?;
+    print!("{body}");
     Ok(())
 }
 

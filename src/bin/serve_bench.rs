@@ -19,10 +19,12 @@
 //!
 //! ```text
 //! serve_bench [--scale tiny|small|paper] [--seed N] [--requests N]
-//!             [--dim N] [--overload-threads N]
+//!             [--dim N] [--overload-threads N] [--profile]
 //! ```
 //!
 //! Output is the `results/serve_latency.txt` format: one block per phase.
+//! `--profile` additionally runs the servers with telemetry enabled and
+//! prints the span hot-path profile (self-time per span kind) at the end.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -30,6 +32,7 @@ use std::sync::Arc;
 
 use logirec_suite::core::{LogiRec, LogiRecConfig, Precision};
 use logirec_suite::data::{DatasetSpec, Scale};
+use logirec_suite::obs::{profile_span_aggs, rss, Telemetry};
 use logirec_suite::serve::{
     Client, ModelSnapshot, Request, ServeContext, ServedBy, Server, ServerConfig,
 };
@@ -53,6 +56,8 @@ fn main() -> ExitCode {
     let requests: usize = arg(&args, "--requests", 400);
     let dim: usize = arg(&args, "--dim", 32);
     let overload_threads: usize = arg(&args, "--overload-threads", 48);
+    let profile = args.iter().any(|a| a == "--profile");
+    let tel = if profile { Telemetry::enabled() } else { Telemetry::disabled() };
 
     let ds = DatasetSpec::ciao(scale).generate(seed);
     let cfg = LogiRecConfig { dim, ..LogiRecConfig::test_config() };
@@ -68,6 +73,7 @@ fn main() -> ExitCode {
             max_inflight,
             shed_limit,
             default_deadline_ms: 1000,
+            telemetry: tel.clone(),
             ..ServerConfig::default()
         };
         Server::start(server_cfg, Arc::clone(&ctx), snapshot).unwrap_or_else(|e| {
@@ -119,6 +125,13 @@ fn main() -> ExitCode {
     let lat = run_phase(hard.addr(), requests, 2, n_users, Some(1000));
     report("hard-saturated (shed_limit 0, concurrency 2)", &lat, requests);
     hard.shutdown();
+
+    if profile {
+        if let Some(peak) = rss::set_peak_rss_gauge(&tel) {
+            println!("peak RSS: {:.1} MiB", peak as f64 / (1024.0 * 1024.0));
+        }
+        print!("{}", profile_span_aggs(&tel.span_aggs(), tel.elapsed_us()).render(10));
+    }
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,74 @@
+//! `trace_profile` — aggregates a JSONL telemetry trace into a per-span
+//! hot-path report: call counts, total time, self time (duration minus
+//! direct children, so nesting never double-counts), and the fraction of
+//! the run's wall clock attributed to named spans.
+//!
+//! ```text
+//! trace_profile out.jsonl
+//! trace_profile out.jsonl --top 5
+//! trace_profile out.jsonl --min-coverage 0.9
+//! ```
+//!
+//! `--min-coverage F` turns the report into a gate: exits non-zero when
+//! the attributed fraction falls below `F` — a healthy instrumented run
+//! attributes ≥ 90% of its wall time to spans, and a drop means new
+//! un-instrumented code on the hot path.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use logirec_suite::obs::profile::profile_trace_file;
+
+const USAGE: &str = "usage: trace_profile FILE [--top N] [--min-coverage F]";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_profile: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut file = None;
+    let mut top = 10usize;
+    let mut min_coverage: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                top = it.next().and_then(|v| v.parse().ok()).ok_or("--top needs an integer")?;
+            }
+            "--min-coverage" => {
+                min_coverage = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--min-coverage needs a fraction in [0, 1]")?,
+                );
+            }
+            "--help" | "-h" => return Ok(format!("{USAGE}\n")),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    let file = file.ok_or_else(|| format!("missing trace file\n{USAGE}"))?;
+
+    let profile = profile_trace_file(Path::new(&file))?;
+    let report = profile.render(top);
+    if let Some(floor) = min_coverage {
+        if profile.coverage() < floor {
+            return Err(format!(
+                "{report}coverage {:.1}% below the required {:.1}% — un-instrumented \
+                 time on the hot path",
+                100.0 * profile.coverage(),
+                100.0 * floor
+            ));
+        }
+    }
+    Ok(report)
+}
