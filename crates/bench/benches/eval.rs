@@ -15,6 +15,14 @@ fn bench_eval(c: &mut Criterion) {
         b.iter(|| top_k_indices(black_box(&scores), 20))
     });
 
+    // Catalog-scale selection: 200k scores is the ≥10× synthetic catalog
+    // the retrieval-index experiments use, so the exact tier's selection
+    // cost at that size stays on the record.
+    let big: Vec<f64> = (0..200_000).map(|_| rng.normal()).collect();
+    c.bench_function("top_k_10_of_200000", |b| {
+        b.iter(|| top_k_indices(black_box(&big), 10))
+    });
+
     let scorer = |u: usize, out: &mut [f64]| {
         for (v, o) in out.iter_mut().enumerate() {
             *o = ((u * 31 + v * 17) % 97) as f64;

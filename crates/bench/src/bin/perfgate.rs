@@ -32,10 +32,12 @@ use logirec_data::{DatasetSpec, Scale};
 use logirec_hyperbolic::lorentz;
 use logirec_linalg::{Embedding, Scalar, SplitMix64};
 use logirec_obs::rss;
-use logirec_serve::{Client, ModelSnapshot, Request, ServeContext, Server, ServerConfig};
+use logirec_serve::{
+    Client, ClusterIndex, IndexConfig, ModelSnapshot, Request, ServeContext, Server, ServerConfig,
+};
 
 /// The PR this suite file belongs to (the `<n>` of `BENCH_<n>.json`).
-const PR: u64 = 8;
+const PR: u64 = 9;
 
 const USAGE: &str =
     "usage: perfgate [--out FILE] [--baseline auto|none|FILE] [--tolerance F] [--self-test]";
@@ -222,9 +224,39 @@ fn measure_suite() -> PerfSuite {
     // latency histogram (the same numbers `{"stats":true}` reports).
     metrics.push(PerfMetric {
         name: "serve.p95_us".to_string(),
-        value: serve_p95_us(&ds),
+        value: serve_p95_us(&ds, false),
         unit: "us".to_string(),
         tolerance: 2.5,
+        gate: true,
+    });
+
+    // Approx-tier p95 on the same load, served through the clustered index
+    // (force_approx routes every request there).
+    metrics.push(PerfMetric {
+        name: "serve.approx_p95_us".to_string(),
+        value: serve_p95_us(&ds, true),
+        unit: "us".to_string(),
+        tolerance: 2.5,
+        gate: true,
+    });
+
+    // Retrieval-index build time at a ~10k-item catalog (the off-request-
+    // path cost every snapshot swap pays when an index is configured).
+    let mut rng = SplitMix64::new(5);
+    let catalog: Embedding = Embedding::normal(10_000, 17, 0.3, &mut rng);
+    metrics.push(PerfMetric {
+        name: "index.build_ms".to_string(),
+        value: best_of(3, || {
+            let t0 = Instant::now();
+            std::hint::black_box(ClusterIndex::build(
+                &catalog,
+                logirec_core::Geometry::Hyperbolic,
+                &IndexConfig::default(),
+            ));
+            t0.elapsed().as_secs_f64() * 1e3
+        }),
+        unit: "ms".to_string(),
+        tolerance: 2.0,
         gate: true,
     });
 
@@ -266,16 +298,23 @@ fn best_of(reps: u64, mut f: impl FnMut() -> f64) -> f64 {
 }
 
 /// Starts an in-process server, drives ~200 nominal requests at low
-/// concurrency, and reads the exact-path p95 from the server's latency
-/// histogram (fallback-path p95 if nothing was served exactly).
-fn serve_p95_us(ds: &logirec_data::Dataset) -> f64 {
+/// concurrency, and reads the measured tier's p95 from the server's
+/// latency histogram (fallback-path p95 if nothing was served on it).
+/// With `approx` the snapshot carries a default clustered index and every
+/// request is forced through it.
+fn serve_p95_us(ds: &logirec_data::Dataset, approx: bool) -> f64 {
     let cfg = LogiRecConfig { dim: 16, ..LogiRecConfig::test_config() };
     let model = LogiRec::new(cfg, ds);
     let ctx = Arc::new(ServeContext::from_dataset(ds));
-    let snapshot = ModelSnapshot::build(model, Precision::F64, &ctx, "perfgate")
+    let index_cfg = approx.then(IndexConfig::default);
+    let snapshot = ModelSnapshot::build_with_index(model, Precision::F64, &ctx, "perfgate", index_cfg)
         .expect("snapshot build");
-    let server_cfg =
-        ServerConfig { max_inflight: 8, default_deadline_ms: 1000, ..ServerConfig::default() };
+    let server_cfg = ServerConfig {
+        max_inflight: 8,
+        default_deadline_ms: 1000,
+        force_approx: approx,
+        ..ServerConfig::default()
+    };
     let server = Server::start(server_cfg, Arc::clone(&ctx), snapshot).expect("server start");
     let addr = server.addr();
     let n_users = ctx.n_users();
@@ -289,8 +328,14 @@ fn serve_p95_us(ds: &logirec_data::Dataset) -> f64 {
         };
         let _ = client.recommend(&req).expect("nominal request");
     }
-    let [exact, fallback, _] = server.latency_snapshot();
+    let [exact, approx_lat, fallback, _] = server.latency_snapshot();
     server.shutdown();
-    let h = if exact.count > 0 { exact } else { fallback };
+    let h = if approx {
+        if approx_lat.count > 0 { approx_lat } else { fallback }
+    } else if exact.count > 0 {
+        exact
+    } else {
+        fallback
+    };
     h.quantile(0.95) as f64
 }

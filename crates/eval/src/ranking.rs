@@ -202,13 +202,12 @@ pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
             continue;
         }
         if best.len() < k || s > best[best.len() - 1].0 {
-            let pos = best
+            let mut pos = best
                 .binary_search_by(|probe| {
                     probe.0.partial_cmp(&s).expect("no NaN scores").reverse()
                 })
                 .unwrap_or_else(|e| e);
             // On equal score, keep earlier index first: advance past equals.
-            let mut pos = pos;
             while pos < best.len() && best[pos].0 == s && best[pos].1 < i {
                 pos += 1;
             }
@@ -219,6 +218,47 @@ pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
         }
     }
     best.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Top-K selection over an explicit candidate shortlist, in **any** arrival
+/// order: keeps the `k` best `(item, score)` pairs under the exact ordering
+/// [`top_k_indices`] uses — score descending, ties toward the smaller item
+/// index — and skips `NEG_INFINITY` (masked) entries. Feeding every index
+/// of a score slice through this function reproduces
+/// `top_k_indices(scores, k)` bit for bit, which is what lets an
+/// approximate retrieval tier re-rank a shortlist and stay byte-compatible
+/// with the exact full-scan path whenever the shortlist covers the catalog.
+///
+/// Scores must not be NaN (same contract as [`top_k_indices`]).
+pub fn top_k_scored(
+    candidates: impl IntoIterator<Item = (usize, f64)>,
+    k: usize,
+) -> Vec<(usize, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Sorted insertion buffer ordered by (score desc, index asc); unlike
+    // `top_k_indices` the acceptance test must compare the index too, since
+    // an equal-score candidate with a smaller index arriving late still has
+    // to displace the current worst.
+    let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+    for (i, s) in candidates {
+        if s == f64::NEG_INFINITY {
+            continue;
+        }
+        if best.len() == k {
+            let (ws, wi) = best[k - 1];
+            if s < ws || (s == ws && i > wi) {
+                continue;
+            }
+        }
+        let pos = best.partition_point(|&(bs, bi)| bs > s || (bs == s && bi < i));
+        best.insert(pos, (s, i));
+        if best.len() > k {
+            best.pop();
+        }
+    }
+    best.into_iter().map(|(s, i)| (i, s)).collect()
 }
 
 #[cfg(test)]
@@ -244,6 +284,24 @@ mod tests {
     fn top_k_breaks_ties_by_index() {
         let scores = [1.0, 2.0, 2.0, 2.0];
         assert_eq!(top_k_indices(&scores, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn top_k_scored_matches_top_k_indices_over_the_full_range() {
+        let scores = [0.1, 5.0, 3.0, 5.0, f64::NEG_INFINITY, 3.0, -1.0];
+        for k in 0..=scores.len() + 1 {
+            let full = top_k_scored(scores.iter().copied().enumerate(), k);
+            let items: Vec<usize> = full.iter().map(|&(i, _)| i).collect();
+            assert_eq!(items, top_k_indices(&scores, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_scored_late_equal_score_with_smaller_index_displaces_the_worst() {
+        // Candidate (item 2, score 2.0) arrives after the buffer is full of
+        // equal scores with larger indices: it must still win the seat.
+        let got = top_k_scored([(9, 2.0), (7, 2.0), (2, 2.0), (1, 5.0)], 2);
+        assert_eq!(got, vec![(1, 5.0), (2, 2.0)]);
     }
 
     /// An oracle that scores a user's test items highest must achieve

@@ -1,6 +1,6 @@
 //! Property-based tests of metrics, top-K selection, and statistics.
 
-use logirec_eval::ranking::top_k_indices;
+use logirec_eval::ranking::{top_k_indices, top_k_scored};
 use logirec_eval::{mean_std, ndcg_at_k, recall_at_k, wilcoxon_signed_rank};
 use proptest::prelude::*;
 
@@ -15,6 +15,27 @@ proptest! {
         });
         idx.truncate(k.min(scores.len()));
         prop_assert_eq!(top, idx);
+    }
+
+    #[test]
+    fn top_k_scored_is_arrival_order_independent(
+        scores in prop::collection::vec(-10.0f64..10.0, 1..150),
+        k in 1usize..25,
+        perm_seed in 0u64..1_000,
+    ) {
+        // Quantize so equal scores actually occur and exercise the
+        // (score, index) tie-break under permuted arrival.
+        let scores: Vec<f64> = scores.iter().map(|s| (s * 4.0).round() / 4.0).collect();
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        let mut rng = logirec_linalg::SplitMix64::new(perm_seed);
+        rng.shuffle(&mut order);
+        let shuffled = top_k_scored(order.iter().map(|&i| (i, scores[i])), k);
+        let reference = top_k_indices(&scores, k);
+        let items: Vec<usize> = shuffled.iter().map(|&(i, _)| i).collect();
+        prop_assert_eq!(&items, &reference, "selection must not depend on arrival order");
+        for &(i, s) in &shuffled {
+            prop_assert_eq!(s.to_bits(), scores[i].to_bits());
+        }
     }
 
     #[test]

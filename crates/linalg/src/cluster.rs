@@ -1,0 +1,263 @@
+//! Deterministic k-means building blocks for coarse quantizers.
+//!
+//! The serving layer's approximate-retrieval index (see
+//! `crates/serve/src/index.rs`) partitions the item-embedding table with
+//! plain Euclidean Lloyd iterations. Everything here is written for
+//! **bit-reproducibility**, not peak throughput: initialization is
+//! [`SplitMix64`]-seeded, every pass visits points and clusters in a fixed
+//! ascending order, all ties break toward the smaller index, and centroid
+//! accumulation is strictly sequential. Two builds from the same table and
+//! seed produce byte-identical centroids and assignments on any machine.
+//!
+//! Kernels are generic over [`Scalar`]; the per-point distance work goes
+//! through [`Scalar::dist_sq`], so the `f32` instantiation inherits the
+//! chunked (SIMD-friendly) reduction from `scalar.rs`.
+
+use crate::matrix::Embedding;
+use crate::rng::SplitMix64;
+use crate::scalar::Scalar;
+
+/// The output of [`kmeans`]: `k × dim` centroids plus the cluster id of
+/// every input row.
+#[derive(Debug, Clone)]
+pub struct KMeans<S: Scalar = f64> {
+    /// Cluster centers, one row per cluster.
+    pub centroids: Embedding<S>,
+    /// `assignment[i]` is the cluster of input row `i`.
+    pub assignment: Vec<u32>,
+    /// Lloyd iterations actually run (stops early on a fixed point).
+    pub iterations: usize,
+}
+
+/// Index (and squared distance) of the centroid nearest to `x`.
+///
+/// Clusters are scanned in ascending index order and ties keep the earlier
+/// index, so the result is deterministic for any input.
+pub fn nearest_centroid<S: Scalar>(x: &[S], centroids: &Embedding<S>) -> (usize, S) {
+    debug_assert!(centroids.rows() > 0, "need at least one centroid");
+    let mut best = 0usize;
+    let mut best_d = S::dist_sq(x, centroids.row(0));
+    for c in 1..centroids.rows() {
+        let d = S::dist_sq(x, centroids.row(c));
+        if d < best_d {
+            best = c;
+            best_d = d;
+        }
+    }
+    (best, best_d)
+}
+
+/// One assignment pass: writes the nearest-centroid id of every point into
+/// `assignment` (fixed ascending point order) and returns how many points
+/// changed cluster.
+pub fn assign_clusters<S: Scalar>(
+    points: &Embedding<S>,
+    centroids: &Embedding<S>,
+    assignment: &mut [u32],
+) -> usize {
+    debug_assert_eq!(points.rows(), assignment.len());
+    let mut changed = 0;
+    for (i, slot) in assignment.iter_mut().enumerate() {
+        let (c, _) = nearest_centroid(points.row(i), centroids);
+        if *slot != c as u32 {
+            *slot = c as u32;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// One update pass: recomputes each centroid as the mean of its members,
+/// accumulating strictly in ascending point order (the order is part of the
+/// bit-reproducibility contract). A cluster with no members keeps its old
+/// centroid; the members of each empty cluster are the caller's problem
+/// (see the reseeding step in [`kmeans`]). Returns per-cluster member
+/// counts.
+pub fn update_centroids<S: Scalar>(
+    points: &Embedding<S>,
+    assignment: &[u32],
+    centroids: &mut Embedding<S>,
+) -> Vec<usize> {
+    let k = centroids.rows();
+    let dim = centroids.dim();
+    let mut counts = vec![0usize; k];
+    let mut sums = vec![S::ZERO; k * dim];
+    for (i, &c) in assignment.iter().enumerate() {
+        let c = c as usize;
+        counts[c] += 1;
+        let row = points.row(i);
+        let acc = &mut sums[c * dim..(c + 1) * dim];
+        for (a, &x) in acc.iter_mut().zip(row) {
+            *a += x;
+        }
+    }
+    for c in 0..k {
+        if counts[c] == 0 {
+            continue;
+        }
+        let inv = S::ONE / S::from_f64(counts[c] as f64);
+        let out = centroids.row_mut(c);
+        for (o, &s) in out.iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+            *o = s * inv;
+        }
+    }
+    counts
+}
+
+/// Deterministic Lloyd k-means over the rows of `points`.
+///
+/// * **Init** — `k` distinct rows sampled with a [`SplitMix64`] seeded by
+///   `seed` (resampling on collision, in a fixed procedure).
+/// * **Iterate** — at most `max_iters` assignment/update rounds, stopping
+///   early when no point changes cluster.
+/// * **Empty clusters** — reseeded to the point farthest from its current
+///   centroid (ties toward the smaller point index), which both fills the
+///   cluster and splits the worst-fit region.
+///
+/// `k` is clamped to the number of rows; `points` must be non-empty.
+pub fn kmeans<S: Scalar>(
+    points: &Embedding<S>,
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> KMeans<S> {
+    let n = points.rows();
+    assert!(n > 0, "kmeans needs at least one point");
+    let k = k.clamp(1, n);
+    let dim = points.dim();
+
+    let mut rng = SplitMix64::new(seed);
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    while chosen.len() < k {
+        let i = rng.index(n);
+        if !chosen.contains(&i) {
+            chosen.push(i);
+        }
+    }
+    let mut centroids = Embedding::<S>::zeros(k, dim);
+    for (c, &i) in chosen.iter().enumerate() {
+        centroids.row_mut(c).copy_from_slice(points.row(i));
+    }
+
+    let mut assignment = vec![u32::MAX; n];
+    let mut iterations = 0;
+    for _ in 0..max_iters.max(1) {
+        iterations += 1;
+        let changed = assign_clusters(points, &centroids, &mut assignment);
+        let counts = update_centroids(points, &assignment, &mut centroids);
+        // Reseed empty clusters from the farthest-from-home point so every
+        // cluster ends non-empty (deterministic: clusters ascending, the
+        // farthest point with ties toward the smaller index).
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                continue;
+            }
+            let mut far = 0usize;
+            let mut far_d = S::from_f64(-1.0);
+            for (i, &home) in assignment.iter().enumerate() {
+                let d = S::dist_sq(points.row(i), centroids.row(home as usize));
+                if d > far_d {
+                    far = i;
+                    far_d = d;
+                }
+            }
+            centroids.row_mut(c).copy_from_slice(points.row(far));
+            assignment[far] = c as u32;
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+    // Final pass so the returned assignment matches the returned centroids.
+    assign_clusters(points, &centroids, &mut assignment);
+    KMeans { centroids, assignment, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_points() -> Embedding<f64> {
+        // Three well-separated blobs of four points each on a line.
+        let mut e = Embedding::zeros(12, 2);
+        for i in 0..12 {
+            let blob = (i / 4) as f64 * 10.0;
+            e.row_mut(i)[0] = blob + (i % 4) as f64 * 0.1;
+            e.row_mut(i)[1] = -blob;
+        }
+        e
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_blobs() {
+        let pts = toy_points();
+        let km = kmeans(&pts, 3, 20, 42);
+        // Every blob must land in a single cluster.
+        for blob in 0..3 {
+            let c = km.assignment[blob * 4];
+            for j in 0..4 {
+                assert_eq!(km.assignment[blob * 4 + j], c, "blob {blob} split");
+            }
+        }
+        // And the three blobs in three distinct clusters.
+        let mut ids: Vec<u32> = (0..3).map(|b| km.assignment[b * 4]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn kmeans_is_bit_reproducible() {
+        let mut rng = SplitMix64::new(9);
+        let pts = Embedding::<f64>::normal(200, 7, 1.0, &mut rng);
+        let a = kmeans(&pts, 16, 10, 1234);
+        let b = kmeans(&pts, 16, 10, 1234);
+        assert_eq!(a.assignment, b.assignment);
+        for (x, y) in a.centroids.as_slice().iter().zip(b.centroids.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // A different seed is allowed to (and here does) pick different
+        // initial centers.
+        let c = kmeans(&pts, 16, 10, 4321);
+        assert!(
+            a.assignment != c.assignment
+                || a.centroids.as_slice() != c.centroids.as_slice(),
+            "distinct seeds collapsed to identical runs"
+        );
+    }
+
+    #[test]
+    fn k_clamps_to_point_count_and_no_cluster_ends_empty() {
+        let mut rng = SplitMix64::new(3);
+        let pts = Embedding::<f64>::normal(5, 3, 1.0, &mut rng);
+        let km = kmeans(&pts, 64, 10, 7);
+        assert_eq!(km.centroids.rows(), 5);
+        let mut counts = vec![0usize; 5];
+        for &c in &km.assignment {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "empty cluster survived: {counts:?}");
+    }
+
+    #[test]
+    fn assignment_ties_break_toward_the_smaller_cluster() {
+        // Two identical centroids: every point must pick cluster 0.
+        let mut cents = Embedding::<f64>::zeros(2, 2);
+        cents.row_mut(0).copy_from_slice(&[1.0, 1.0]);
+        cents.row_mut(1).copy_from_slice(&[1.0, 1.0]);
+        let mut pts = Embedding::<f64>::zeros(3, 2);
+        pts.row_mut(1).copy_from_slice(&[5.0, -2.0]);
+        let mut assignment = vec![u32::MAX; 3];
+        assign_clusters(&pts, &cents, &mut assignment);
+        assert_eq!(assignment, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn f32_kmeans_runs_the_chunked_kernels() {
+        let mut rng = SplitMix64::new(5);
+        let pts = Embedding::<f32>::normal(100, 16, 1.0, &mut rng);
+        let km = kmeans(&pts, 8, 10, 99);
+        assert_eq!(km.assignment.len(), 100);
+        assert!(km.centroids.all_finite());
+    }
+}

@@ -16,11 +16,13 @@
 //! autovectorizer keeps in SIMD registers (see DESIGN.md, "Precision &
 //! kernels").
 
+pub mod cluster;
 pub mod matrix;
 pub mod ops;
 pub mod rng;
 pub mod scalar;
 
+pub use cluster::{assign_clusters, kmeans, nearest_centroid, update_centroids, KMeans};
 pub use matrix::Embedding;
 pub use rng::SplitMix64;
 pub use scalar::Scalar;

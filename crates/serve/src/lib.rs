@@ -12,6 +12,10 @@
 //! * [`snapshot`] — the read-only [`ServeContext`] / [`ModelSnapshot`] pair
 //!   and the hot-swappable [`SnapshotStore`]. The exact path reproduces the
 //!   offline evaluator byte for byte.
+//! * [`index`] — the deterministic clustered top-K index behind the
+//!   `approx` tier: k-means coarse quantization over the monotone
+//!   inner-product form of Lorentz distance, radius pruning, exact
+//!   re-rank; exhaustive probe is bit-identical to the exact scan.
 //! * [`protocol`] — the line-delimited JSON wire format (std TCP, parsed
 //!   with the in-tree `logirec_obs::json`; offline-friendly).
 //! * [`server`] — the concurrent request loop and degradation matrix.
@@ -23,13 +27,15 @@
 pub mod client;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
+pub mod index;
 pub mod protocol;
 pub mod reload;
 pub mod server;
 pub mod snapshot;
 
 pub use client::{recommend_with_retry, Client, ClientError, RetryPolicy};
-pub use protocol::{Request, Response, ServedBy};
+pub use index::{ClusterIndex, IndexConfig, ProbeReport};
+pub use protocol::{ApproxInfo, Request, Response, ServedBy};
 pub use reload::{load_serving_model, ReloadOutcome, Reloader};
 pub use server::{Server, ServerConfig, StatsSnapshot, WatchConfig};
 pub use snapshot::{ModelSnapshot, ServeContext, SnapshotStore};

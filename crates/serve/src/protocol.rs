@@ -18,6 +18,7 @@
 //!
 //! ```text
 //! {"id":1,"served_by":"exact","model_version":1,"items":[..],"scores":[..],"latency_us":184}
+//! {"id":1,"served_by":"approx","reason":"deadline",...,"approx":{"clusters":94,"nprobe":12,"scored":1408}}
 //! {"id":1,"served_by":"fallback","reason":"deadline",...}
 //! {"id":1,"served_by":"shed","reason":"overload","items":[],"scores":[],...}
 //! {"id":1,"error":"user 99 out of range (64 users)"}
@@ -34,6 +35,9 @@ use logirec_obs::json::{self, Json};
 pub enum ServedBy {
     /// Full model scoring with seen-item masking — identical to `evaluate`.
     Exact,
+    /// Clustered-index retrieval with exact re-rank of the shortlist
+    /// (tight deadline, soft overload, or explicitly requested).
+    Approx,
     /// The popularity-prior degraded response (deadline or soft overload).
     Fallback,
     /// Hard overload: the request was shed with an empty item list.
@@ -45,6 +49,7 @@ impl ServedBy {
     pub fn as_str(self) -> &'static str {
         match self {
             ServedBy::Exact => "exact",
+            ServedBy::Approx => "approx",
             ServedBy::Fallback => "fallback",
             ServedBy::Shed => "shed",
         }
@@ -54,6 +59,7 @@ impl ServedBy {
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "exact" => Some(ServedBy::Exact),
+            "approx" => Some(ServedBy::Approx),
             "fallback" => Some(ServedBy::Fallback),
             "shed" => Some(ServedBy::Shed),
             _ => None,
@@ -96,6 +102,18 @@ pub enum Message {
     Shutdown,
 }
 
+/// The measured retrieval configuration an `approx` response was produced
+/// under, so clients (and load tests) can attribute recall to knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxInfo {
+    /// Clusters in the serving index.
+    pub clusters: usize,
+    /// Clusters probed for this request (the configured `nprobe`).
+    pub nprobe: usize,
+    /// Items exactly re-ranked for this request.
+    pub scored: usize,
+}
+
 /// One recommendation response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -114,6 +132,8 @@ pub struct Response {
     pub scores: Vec<f64>,
     /// Server-side latency of the request in microseconds.
     pub latency_us: u64,
+    /// Retrieval configuration, present on `approx` responses only.
+    pub approx: Option<ApproxInfo>,
 }
 
 /// Parses one request line.
@@ -177,7 +197,14 @@ pub fn encode_response(r: &Response) -> String {
         // Shortest round-trip formatting: parses back to the same bits.
         s.push_str(&format!("{x}"));
     }
-    s.push_str(&format!("],\"latency_us\":{}}}", r.latency_us));
+    s.push_str(&format!("],\"latency_us\":{}", r.latency_us));
+    if let Some(a) = &r.approx {
+        s.push_str(&format!(
+            ",\"approx\":{{\"clusters\":{},\"nprobe\":{},\"scored\":{}}}",
+            a.clusters, a.nprobe, a.scored
+        ));
+    }
+    s.push('}');
     s
 }
 
@@ -216,6 +243,11 @@ pub fn parse_response(line: &str) -> Result<Result<Response, String>, String> {
             .collect::<Result<Vec<_>, _>>()?,
         _ => return Err("response lacks a \"scores\" array".to_string()),
     };
+    let approx = j.get("approx").map(|a| ApproxInfo {
+        clusters: a.get("clusters").and_then(Json::as_u64).unwrap_or(0) as usize,
+        nprobe: a.get("nprobe").and_then(Json::as_u64).unwrap_or(0) as usize,
+        scored: a.get("scored").and_then(Json::as_u64).unwrap_or(0) as usize,
+    });
     Ok(Ok(Response {
         id,
         served_by,
@@ -224,6 +256,7 @@ pub fn parse_response(line: &str) -> Result<Result<Response, String>, String> {
         items,
         scores,
         latency_us: j.get("latency_us").and_then(Json::as_u64).unwrap_or(0),
+        approx,
     }))
 }
 
@@ -270,6 +303,9 @@ mod tests {
     }
 
     #[test]
+    // The awkward 17-digit literal is the point: shortest round-trip
+    // formatting must reproduce exactly these bits.
+    #[allow(clippy::excessive_precision)]
     fn response_round_trips_scores_bit_exactly() {
         let resp = Response {
             id: 9,
@@ -279,6 +315,7 @@ mod tests {
             items: vec![4, 1, 0],
             scores: vec![-1.0686951927368068, -2.5e-300, 0.1 + 0.2],
             latency_us: 1234,
+            approx: None,
         };
         let parsed = parse_response(&encode_response(&resp))
             .expect("parses")
@@ -301,10 +338,32 @@ mod tests {
             items: vec![2],
             scores: vec![17.0],
             latency_us: 9,
+            approx: None,
         };
         let parsed = parse_response(&encode_response(&resp)).unwrap().unwrap();
         assert_eq!(parsed.reason.as_deref(), Some("deadline"));
         assert_eq!(parsed.served_by, ServedBy::Fallback);
+    }
+
+    #[test]
+    fn approx_responses_round_trip_their_probe_config() {
+        let resp = Response {
+            id: 3,
+            served_by: ServedBy::Approx,
+            reason: Some("deadline".to_string()),
+            model_version: 2,
+            items: vec![5, 9],
+            scores: vec![-0.25, -0.75],
+            latency_us: 41,
+            approx: Some(ApproxInfo { clusters: 94, nprobe: 12, scored: 1408 }),
+        };
+        let parsed = parse_response(&encode_response(&resp)).unwrap().unwrap();
+        assert_eq!(parsed.served_by, ServedBy::Approx);
+        assert_eq!(parsed.approx, resp.approx);
+        // Non-approx responses omit the key entirely.
+        let exact = Response { served_by: ServedBy::Exact, reason: None, approx: None, ..resp };
+        let line = encode_response(&exact);
+        assert!(!line.contains("approx"), "{line}");
     }
 
     #[test]

@@ -132,11 +132,22 @@ impl Reloader {
         let current = store.get();
         let base_cfg = current.config().clone();
         let precision = current.precision();
+        // Rebuild the retrieval index (when serving one) with the same
+        // knobs as the live snapshot, inside the candidate's validation:
+        // model and index swap as one unit, and an index canary failure
+        // rolls back exactly like a model validation failure.
+        let index_cfg = current.index_config();
         let model = match load_serving_model(&self.path, base_cfg) {
             Ok(m) => m,
             Err(reason) => return ReloadOutcome::Rejected { reason },
         };
-        match ModelSnapshot::build(model, precision, ctx, self.path.display().to_string()) {
+        match ModelSnapshot::build_with_index(
+            model,
+            precision,
+            ctx,
+            self.path.display().to_string(),
+            index_cfg,
+        ) {
             Err(reason) => ReloadOutcome::Rejected { reason },
             Ok(snap) => ReloadOutcome::Swapped { version: store.swap(snap) },
         }

@@ -2,14 +2,20 @@
 //! on every request, and the degradation matrix that turns trouble into
 //! degraded responses instead of errors.
 //!
-//! | condition                                   | `served_by` | reason     |
-//! |---------------------------------------------|-------------|------------|
-//! | healthy, within deadline                    | `exact`     | —          |
-//! | deadline already exceeded, or exact result  | `fallback`  | `deadline` |
-//! | finished late                               |             |            |
-//! | inflight > `max_inflight` (soft overload)   | `fallback`  | `overload` |
-//! | inflight > `shed_limit` (hard overload)     | `shed`      | `overload` |
-//! | unknown user / malformed line               | error reply | —          |
+//! | condition                                   | `served_by` | reason      |
+//! |---------------------------------------------|-------------|-------------|
+//! | healthy, within deadline                    | `exact`     | —           |
+//! | tight deadline (≤ `approx_deadline_ms`)¹    | `approx`    | `deadline`  |
+//! | `force_approx` configured¹                  | `approx`    | `requested` |
+//! | inflight > `max_inflight` (soft overload)¹  | `approx`    | `overload`  |
+//! | deadline already exceeded, or any scored    | `fallback`  | `deadline`  |
+//! | result finished late                        |             |             |
+//! | inflight > `max_inflight`, no index         | `fallback`  | `overload`  |
+//! | inflight > `shed_limit` (hard overload)     | `shed`      | `overload`  |
+//! | unknown user / malformed line               | error reply | —           |
+//!
+//! ¹ when the live snapshot carries a retrieval index; without one these
+//! rows keep the pre-index behavior (exact / fallback).
 //!
 //! The server never turns load or latency into an empty error: the
 //! popularity prior always produces a valid response. Only client mistakes
@@ -52,6 +58,14 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// Upper bound on requested `k`.
     pub max_k: usize,
+    /// Requests whose effective deadline is at or below this route to the
+    /// `approx` tier (when the snapshot has an index) instead of gambling
+    /// on a full scan they would likely miss.
+    pub approx_deadline_ms: u64,
+    /// Route every otherwise-exact request to the `approx` tier (when the
+    /// snapshot has an index). Bench/CLI knob (`--approx`) for exercising
+    /// and gating the tier deterministically.
+    pub force_approx: bool,
     /// Hot-swap reload watching (off by default).
     pub watch: Option<WatchConfig>,
     /// Telemetry sink for the serve span hierarchy, counters, and latency
@@ -70,6 +84,8 @@ impl Default for ServerConfig {
             shed_limit: 64,
             default_deadline_ms: 250,
             max_k: 100,
+            approx_deadline_ms: 25,
+            force_approx: false,
             watch: None,
             telemetry: Telemetry::disabled(),
             #[cfg(feature = "fault-injection")]
@@ -85,6 +101,7 @@ impl Default for ServerConfig {
 struct Stats {
     requests: AtomicU64,
     exact: AtomicU64,
+    approx: AtomicU64,
     fallback: AtomicU64,
     shed: AtomicU64,
     errors: AtomicU64,
@@ -94,6 +111,7 @@ struct Stats {
     // Standalone (registry-free) latency histograms per served_by path, so
     // `{"stats":true}` percentiles work even with telemetry disabled.
     lat_exact: Histogram,
+    lat_approx: Histogram,
     lat_fallback: Histogram,
     lat_shed: Histogram,
 }
@@ -103,6 +121,7 @@ impl Default for Stats {
         Self {
             requests: AtomicU64::new(0),
             exact: AtomicU64::new(0),
+            approx: AtomicU64::new(0),
             fallback: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -110,6 +129,7 @@ impl Default for Stats {
             reload_rejected: AtomicU64::new(0),
             conn_drops: AtomicU64::new(0),
             lat_exact: Histogram::standalone(),
+            lat_approx: Histogram::standalone(),
             lat_fallback: Histogram::standalone(),
             lat_shed: Histogram::standalone(),
         }
@@ -123,6 +143,8 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Responses served by full model scoring.
     pub exact: u64,
+    /// Responses served by the clustered index + exact re-rank.
+    pub approx: u64,
     /// Responses degraded to the popularity prior.
     pub fallback: u64,
     /// Requests shed under hard overload.
@@ -142,6 +164,7 @@ impl Stats {
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             exact: self.exact.load(Ordering::Relaxed),
+            approx: self.approx.load(Ordering::Relaxed),
             fallback: self.fallback.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -157,6 +180,7 @@ impl Stats {
 struct TelHandles {
     c_requests: Counter,
     c_exact: Counter,
+    c_approx: Counter,
     c_fallback: Counter,
     c_shed: Counter,
     c_errors: Counter,
@@ -166,6 +190,7 @@ struct TelHandles {
     #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
     c_conn_drops: Counter,
     h_exact_us: Histogram,
+    h_approx_us: Histogram,
     h_fallback_us: Histogram,
     h_shed_us: Histogram,
 }
@@ -175,6 +200,7 @@ impl TelHandles {
         Self {
             c_requests: tel.counter("serve.requests"),
             c_exact: tel.counter("serve.exact"),
+            c_approx: tel.counter("serve.approx"),
             c_fallback: tel.counter("serve.fallback"),
             c_shed: tel.counter("serve.shed"),
             c_errors: tel.counter("serve.errors"),
@@ -182,6 +208,7 @@ impl TelHandles {
             c_reload_rejected: tel.counter("serve.reload_rejected"),
             c_conn_drops: tel.counter("serve.conn_drops"),
             h_exact_us: tel.histogram("serve.exact_us"),
+            h_approx_us: tel.histogram("serve.approx_us"),
             h_fallback_us: tel.histogram("serve.fallback_us"),
             h_shed_us: tel.histogram("serve.shed_us"),
         }
@@ -304,12 +331,13 @@ impl Server {
         self.inner.stats.snapshot()
     }
 
-    /// Point-in-time latency histograms per path: `[exact, fallback,
-    /// shed]`. These are the authoritative distributions behind the
-    /// percentiles in `{"stats":true}` and the metrics exposition.
-    pub fn latency_snapshot(&self) -> [HistogramSnapshot; 3] {
+    /// Point-in-time latency histograms per path: `[exact, approx,
+    /// fallback, shed]`. These are the authoritative distributions behind
+    /// the percentiles in `{"stats":true}` and the metrics exposition.
+    pub fn latency_snapshot(&self) -> [HistogramSnapshot; 4] {
         [
             self.inner.stats.lat_exact.snapshot(),
+            self.inner.stats.lat_approx.snapshot(),
             self.inner.stats.lat_fallback.snapshot(),
             self.inner.stats.lat_shed.snapshot(),
         ]
@@ -352,6 +380,7 @@ impl Server {
         let mut span = tel.span("serve");
         span.field("requests", snap.requests);
         span.field("exact", snap.exact);
+        span.field("approx", snap.approx);
         span.field("fallback", snap.fallback);
         span.field("shed", snap.shed);
         span.close();
@@ -498,11 +527,12 @@ fn handle_line(inner: &ServerInner, line: &str, scratch: &mut Vec<f64>) -> (Stri
 fn stats_line(inner: &ServerInner) -> String {
     let s = inner.stats.snapshot();
     let mut line = format!(
-        "{{\"id\":0,\"stats\":true,\"requests\":{},\"exact\":{},\"fallback\":{},\
-         \"shed\":{},\"errors\":{},\"reload_success\":{},\"reload_rejected\":{},\
-         \"conn_drops\":{},\"model_version\":{},\"inflight\":{}",
+        "{{\"id\":0,\"stats\":true,\"requests\":{},\"exact\":{},\"approx\":{},\
+         \"fallback\":{},\"shed\":{},\"errors\":{},\"reload_success\":{},\
+         \"reload_rejected\":{},\"conn_drops\":{},\"model_version\":{},\"inflight\":{}",
         s.requests,
         s.exact,
+        s.approx,
         s.fallback,
         s.shed,
         s.errors,
@@ -514,6 +544,7 @@ fn stats_line(inner: &ServerInner) -> String {
     );
     for (path, h) in [
         ("exact", &inner.stats.lat_exact),
+        ("approx", &inner.stats.lat_approx),
         ("fallback", &inner.stats.lat_fallback),
         ("shed", &inner.stats.lat_shed),
     ] {
@@ -534,6 +565,7 @@ fn render_exposition(inner: &ServerInner) -> String {
     let mut e = Exposition::new();
     e.counter("logirec_serve_requests", s.requests);
     e.counter("logirec_serve_exact", s.exact);
+    e.counter("logirec_serve_approx", s.approx);
     e.counter("logirec_serve_fallback", s.fallback);
     e.counter("logirec_serve_shed", s.shed);
     e.counter("logirec_serve_errors", s.errors);
@@ -546,6 +578,7 @@ fn render_exposition(inner: &ServerInner) -> String {
         e.gauge("logirec_process_peak_rss_bytes", peak as f64);
     }
     e.summary("logirec_serve_exact_latency_us", &inner.stats.lat_exact.snapshot());
+    e.summary("logirec_serve_approx_latency_us", &inner.stats.lat_approx.snapshot());
     e.summary("logirec_serve_fallback_latency_us", &inner.stats.lat_fallback.snapshot());
     e.summary("logirec_serve_shed_latency_us", &inner.stats.lat_shed.snapshot());
     e.snapshot("logirec_", &inner.cfg.telemetry.metrics_snapshot());
@@ -577,8 +610,26 @@ fn reload_line(outcome: ReloadOutcome) -> String {
 /// What the degradation matrix decided for one request.
 enum Decision {
     Exact(Vec<usize>, Vec<f64>),
+    Approx(Vec<usize>, Vec<f64>, &'static str, crate::index::ProbeReport),
     Fallback(&'static str),
     Shed,
+}
+
+/// Runs the approx tier for one request; degrades to fallback (same
+/// reason) on the cannot-happen error paths rather than crashing.
+fn approx_decision(
+    inner: &ServerInner,
+    snap: &ModelSnapshot,
+    user: usize,
+    k: usize,
+    why: &'static str,
+) -> Decision {
+    match snap.approx_top_k(&inner.ctx, user, k, None) {
+        Ok(Some((items, scores, report))) => Decision::Approx(items, scores, why, report),
+        // No index (raced a swap to an unindexed snapshot) or a filter
+        // error: the popularity prior still answers.
+        Ok(None) | Err(_) => Decision::Fallback(why),
+    }
 }
 
 fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) -> String {
@@ -604,12 +655,27 @@ fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) 
     let k = req.k.clamp(1, inner.cfg.max_k);
     let snap = inner.store.get();
 
+    // The degradation matrix (see the module doc table). The approx tier
+    // only enters when the live snapshot actually carries an index, so an
+    // index-less deployment behaves exactly as before.
+    let has_index = snap.index().is_some();
     let decision = if guard.depth > inner.cfg.shed_limit {
         Decision::Shed
     } else if guard.depth > inner.cfg.max_inflight {
-        Decision::Fallback("overload")
+        if has_index {
+            // Soft overload with an index: a bounded partial probe is far
+            // cheaper than the full scan and far better than popularity.
+            approx_decision(inner, &snap, req.user, k, "overload")
+        } else {
+            Decision::Fallback("overload")
+        }
     } else if t0.elapsed() >= deadline {
         Decision::Fallback("deadline")
+    } else if has_index && inner.cfg.force_approx {
+        approx_decision(inner, &snap, req.user, k, "requested")
+    } else if has_index && deadline <= Duration::from_millis(inner.cfg.approx_deadline_ms) {
+        // The deadline is too tight to gamble on a full scan.
+        approx_decision(inner, &snap, req.user, k, "deadline")
     } else {
         let score_span = tel.span("score");
         #[cfg(feature = "fault-injection")]
@@ -633,10 +699,25 @@ fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) 
             }
         }
     };
+    // Any scored result that finished after its deadline demotes, approx
+    // included: the fallback is what the client can still act on in time.
+    let decision = match decision {
+        Decision::Approx(..) if t0.elapsed() >= deadline => Decision::Fallback("deadline"),
+        d => d,
+    };
     drop(guard);
 
+    let mut approx_info = None;
     let (served_by, reason, items, scores) = match decision {
         Decision::Exact(items, scores) => (ServedBy::Exact, None, items, scores),
+        Decision::Approx(items, scores, why, report) => {
+            approx_info = Some(protocol::ApproxInfo {
+                clusters: report.clusters,
+                nprobe: report.clusters_probed + report.clusters_pruned,
+                scored: report.items_scored,
+            });
+            (ServedBy::Approx, Some(why.to_string()), items, scores)
+        }
         Decision::Fallback(why) => {
             let (items, scores) = inner
                 .ctx
@@ -654,6 +735,12 @@ fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) 
             inner.stats.lat_exact.record(latency_us);
             inner.tel.c_exact.incr();
             inner.tel.h_exact_us.record(latency_us);
+        }
+        ServedBy::Approx => {
+            inner.stats.approx.fetch_add(1, Ordering::Relaxed);
+            inner.stats.lat_approx.record(latency_us);
+            inner.tel.c_approx.incr();
+            inner.tel.h_approx_us.record(latency_us);
         }
         ServedBy::Fallback => {
             inner.stats.fallback.fetch_add(1, Ordering::Relaxed);
@@ -681,5 +768,6 @@ fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) 
         items,
         scores,
         latency_us,
+        approx: approx_info,
     })
 }

@@ -16,6 +16,12 @@ use logirec_data::{Dataset, InteractionSet};
 use logirec_eval::ranking::top_k_indices;
 use logirec_eval::Ranker;
 
+use crate::index::{ClusterIndex, IndexConfig, ProbeReport};
+
+/// One approx-tier answer: ranked item ids, their exact scores, and the
+/// probe accounting for that search.
+pub type ApproxAnswer = (Vec<usize>, Vec<f64>, ProbeReport);
+
 /// Dataset-derived serving state shared by every snapshot: who has seen
 /// what, the popularity prior used for degraded responses, and the canary
 /// users every candidate snapshot must score sanely before going live.
@@ -25,8 +31,10 @@ pub struct ServeContext {
     seen: SeenFilter,
     /// All item ids, most train-popular first (ties toward smaller id).
     popularity: Vec<usize>,
-    /// Train interaction count per item id (the fallback "score").
-    item_degree: Vec<usize>,
+    /// Fallback scores aligned with `popularity` (the item's train
+    /// interaction count as `f64`), precomputed once at context build so
+    /// the degraded path is a straight scan with no per-item gather.
+    pop_scores: Vec<f64>,
     canaries: Vec<usize>,
 }
 
@@ -45,6 +53,7 @@ impl ServeContext {
         }
         let mut popularity: Vec<usize> = (0..n_items).collect();
         popularity.sort_by(|&a, &b| item_degree[b].cmp(&item_degree[a]).then(a.cmp(&b)));
+        let pop_scores = popularity.iter().map(|&v| item_degree[v] as f64).collect();
         let n_users = ds.n_users();
         let step = (n_users / N_CANARIES).max(1);
         let canaries = (0..n_users).step_by(step).take(N_CANARIES).collect();
@@ -52,7 +61,7 @@ impl ServeContext {
             train: ds.train.clone(),
             seen: SeenFilter::eval_mask(ds),
             popularity,
-            item_degree,
+            pop_scores,
             canaries,
         }
     }
@@ -84,17 +93,20 @@ impl ServeContext {
 
     /// The degraded response: the `k` most train-popular items the user has
     /// not already interacted with, scored by raw interaction count. Needs
-    /// no model at all, so it survives any snapshot problem.
+    /// no model at all, so it survives any snapshot problem. Both the
+    /// popularity ranking and its score column are precomputed at context
+    /// build, so this is a bounded scan over two parallel arrays — no
+    /// sorting or per-item degree gather on the degraded path.
     pub fn fallback_top_k(&self, u: usize, k: usize) -> Result<(Vec<usize>, Vec<f64>), FilterError> {
         let seen = self.seen.seen_of(u)?;
         let mut items = Vec::with_capacity(k);
         let mut scores = Vec::with_capacity(k);
-        for &v in &self.popularity {
+        for (&v, &s) in self.popularity.iter().zip(&self.pop_scores) {
             if seen.binary_search(&v).is_ok() {
                 continue;
             }
             items.push(v);
-            scores.push(self.item_degree[v] as f64);
+            scores.push(s);
             if items.len() == k {
                 break;
             }
@@ -121,7 +133,18 @@ pub struct ModelSnapshot {
     precision: Precision,
     source: String,
     model: ModelKind,
+    /// The approximate-retrieval index over this snapshot's item table,
+    /// when the server was configured with one. Owned by the snapshot so a
+    /// hot swap replaces model and index atomically — they can never skew.
+    index: Option<ClusterIndex>,
+    /// The config the index was built with, carried so a reload rebuilds
+    /// the candidate's index with identical knobs.
+    index_cfg: Option<IndexConfig>,
 }
+
+/// How many top items the build-time index canary compares bit-for-bit
+/// against the exact scan.
+const INDEX_CANARY_K: usize = 10;
 
 impl ModelSnapshot {
     /// Validates `model` against `ctx` and prepares it for serving:
@@ -134,6 +157,24 @@ impl ModelSnapshot {
         precision: Precision,
         ctx: &ServeContext,
         source: impl Into<String>,
+    ) -> Result<Self, String> {
+        Self::build_with_index(model, precision, ctx, source, None)
+    }
+
+    /// [`ModelSnapshot::build`] plus an approximate-retrieval index.
+    ///
+    /// The index is built off the request path, right here during snapshot
+    /// validation, and validated with its own canary: for every canary
+    /// user, an exhaustive probe (`nprobe = n_clusters`) must reproduce the
+    /// exact tier's top-K **bit for bit**. A failure rejects the whole
+    /// candidate — under the `Reloader` that means rollback, so a bad index
+    /// can never go live, exactly like a bad model.
+    pub fn build_with_index(
+        model: LogiRec,
+        precision: Precision,
+        ctx: &ServeContext,
+        source: impl Into<String>,
+        index_cfg: Option<IndexConfig>,
     ) -> Result<Self, String> {
         if model.items.rows() != ctx.n_items() {
             return Err(format!(
@@ -164,12 +205,40 @@ impl ModelSnapshot {
                 ModelKind::F32(m)
             }
         };
-        let snap = Self { version: 0, precision, source: source.into(), model: kind };
+        let index = match (&kind, &index_cfg) {
+            (_, None) => None,
+            (ModelKind::F64(m), Some(cfg)) => {
+                Some(ClusterIndex::build(&m.state().item_final, m.cfg.geometry, cfg))
+            }
+            (ModelKind::F32(m), Some(cfg)) => {
+                Some(ClusterIndex::build(&m.state().item_final, m.cfg.geometry, cfg))
+            }
+        };
+        let snap = Self { version: 0, precision, source: source.into(), model: kind, index, index_cfg };
         let mut scores = vec![0.0f64; ctx.n_items()];
         for &u in ctx.canaries() {
             snap.score_user(u, &mut scores);
             if let Some(v) = scores.iter().position(|s| !s.is_finite()) {
                 return Err(format!("canary user {u} scores item {v} non-finite"));
+            }
+        }
+        if let Some(index) = &snap.index {
+            let mut scratch = Vec::new();
+            for &u in ctx.canaries() {
+                let (exact_items, exact_scores) = snap
+                    .top_k(ctx, u, INDEX_CANARY_K, &mut scratch)
+                    .map_err(|e| format!("index canary user {u}: {e}"))?;
+                let (items, scores, _) = snap
+                    .approx_top_k(ctx, u, INDEX_CANARY_K, Some(index.clusters()))
+                    .map_err(|e| format!("index canary user {u}: {e}"))?
+                    .expect("index present");
+                if items != exact_items
+                    || scores.iter().zip(&exact_scores).any(|(a, b)| a.to_bits() != b.to_bits())
+                {
+                    return Err(format!(
+                        "index canary user {u}: exhaustive probe diverged from the exact scan"
+                    ));
+                }
             }
         }
         Ok(snap)
@@ -196,6 +265,46 @@ impl ModelSnapshot {
             ModelKind::F64(m) => &m.cfg,
             ModelKind::F32(m) => &m.cfg,
         }
+    }
+
+    /// The approximate-retrieval index, when one was built.
+    pub fn index(&self) -> Option<&ClusterIndex> {
+        self.index.as_ref()
+    }
+
+    /// The index configuration this snapshot was built with (a reload
+    /// rebuilds the candidate's index with the same knobs).
+    pub fn index_config(&self) -> Option<IndexConfig> {
+        self.index_cfg
+    }
+
+    /// The approximate top-K response for `u`: rank clusters, scan the
+    /// `nprobe` nearest (default: the index's configured probe count),
+    /// exactly re-rank every unseen member through the same Train ∪
+    /// Validation mask as the exact tier. Returns `Ok(None)` when the
+    /// snapshot has no index. With `nprobe ≥ n_clusters` the result is
+    /// bit-identical to [`ModelSnapshot::top_k`].
+    pub fn approx_top_k(
+        &self,
+        ctx: &ServeContext,
+        u: usize,
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Result<Option<ApproxAnswer>, FilterError> {
+        let Some(index) = &self.index else { return Ok(None) };
+        let seen = ctx.seen().seen_of(u)?;
+        let nprobe = nprobe.unwrap_or_else(|| index.nprobe());
+        let out = match &self.model {
+            ModelKind::F64(m) => {
+                let st = m.state();
+                index.search(st.user_final.row(u), &st.item_final, seen, k, nprobe)
+            }
+            ModelKind::F32(m) => {
+                let st = m.state();
+                index.search(st.user_final.row(u), &st.item_final, seen, k, nprobe)
+            }
+        };
+        Ok(Some(out))
     }
 
     /// Scores every item for `u` into `out` (higher is better), exactly as
@@ -243,6 +352,9 @@ impl SnapshotStore {
     /// Installs `initial` as version 1.
     pub fn new(mut initial: ModelSnapshot) -> Self {
         initial.version = 1;
+        if let Some(index) = &mut initial.index {
+            index.set_model_version(1);
+        }
         Self { current: Mutex::new(Arc::new(initial)), next_version: AtomicU64::new(2) }
     }
 
@@ -257,6 +369,11 @@ impl SnapshotStore {
     pub fn swap(&self, mut snap: ModelSnapshot) -> u64 {
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         snap.version = version;
+        // The index (when present) is stamped in lockstep: one version
+        // covers the model/index pair, because they swap as one unit.
+        if let Some(index) = &mut snap.index {
+            index.set_model_version(version);
+        }
         *self.current.lock().expect("snapshot store poisoned") = Arc::new(snap);
         version
     }

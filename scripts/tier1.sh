@@ -87,6 +87,44 @@ wait "$serve_pid" \
   || { echo "tier1: serve smoke FAILED (server did not exit cleanly)"; exit 1; }
 ./target/release/trace_check "$smoke/serve.jsonl" --require-kinds serve,request,score
 
+# Approx-serving smoke: a live server carrying the clustered retrieval
+# index with --approx must tag every healthy request served_by: approx.
+./target/release/logirec serve --data "$smoke/data" --model "$smoke/m.logirec" \
+  --addr "127.0.0.1:0" --approx > "$smoke/approx.log" 2>&1 &
+approx_pid=$!
+approx_addr=""
+for _ in $(seq 1 100); do
+  approx_addr=$(grep -o '127\.0\.0\.1:[0-9]*' "$smoke/approx.log" | head -n1 || true)
+  [ -n "$approx_addr" ] && break
+  sleep 0.1
+done
+[ -n "$approx_addr" ] \
+  || { echo "tier1: approx smoke FAILED (indexed server never came up)"; exit 1; }
+approx_out=$(./target/release/logirec request --addr "$approx_addr" \
+  --user 1 --k 5 --retries 40)
+echo "$approx_out"
+case "$approx_out" in
+  *"served_by: approx (requested)"*) ;;
+  *) echo "tier1: approx smoke FAILED (request not served by the index)"; exit 1 ;;
+esac
+./target/release/logirec request --addr "$approx_addr" --shutdown
+wait "$approx_pid" \
+  || { echo "tier1: approx smoke FAILED (indexed server did not exit cleanly)"; exit 1; }
+
+# Approx recall gate, at paper scale: serve_bench measures recall@10 of the
+# approx tier against the exact scan on the served snapshot (deterministic:
+# fixed dataset, model, and index seeds) and prints the gated line.
+recall_out=$(./target/release/serve_bench --scale paper --requests 100 --nprobe 16)
+echo "$recall_out" | grep "approx recall@10"
+echo "$recall_out" | awk '
+  /approx recall@10 vs exact:/ {
+    recall = $5 + 0; scanned = $7 + 0; found = 1
+    if (recall < 0.95) { print "tier1: approx recall@10 " recall " < 0.95"; exit 1 }
+    if (scanned >= 30) { print "tier1: approx scan " scanned "% >= 30%"; exit 1 }
+  }
+  END { if (!found) { print "tier1: recall line missing from serve_bench"; exit 1 } }
+' || { echo "tier1: approx recall gate FAILED"; exit 1; }
+
 # Single-precision smoke: generate → train 1 epoch → evaluate, all with
 # --precision f32. Fails on divergence (trainer exit code) or any NaN
 # leaking into the reported metrics.

@@ -25,8 +25,8 @@ use logirec_suite::eval::{evaluate_traced, Ranker};
 use logirec_suite::obs::json::{self, Json};
 use logirec_suite::obs::{profile_span_aggs, Telemetry};
 use logirec_suite::serve::{
-    recommend_with_retry, Client, ModelSnapshot, Request, RetryPolicy, ServeContext, Server,
-    ServerConfig, WatchConfig,
+    recommend_with_retry, Client, IndexConfig, ModelSnapshot, Request, RetryPolicy, ServeContext,
+    Server, ServerConfig, WatchConfig,
 };
 use logirec_suite::taxonomy::ExclusionRule;
 
@@ -73,14 +73,20 @@ f32 runs the same kernels in single precision (model files stay f64).
   logirec serve     --data DIR --model FILE [--addr HOST:PORT] [--deadline-ms N]
                     [--max-inflight N] [--shed-limit N] [--max-k N]
                     [--watch FILE [--watch-poll-ms N]] [--precision f32|f64]
+                    [--index-clusters N] [--nprobe N] [--approx]
+                    [--approx-deadline-ms N]
   logirec request   --addr HOST:PORT (--user N [--k N] [--deadline-ms N]
                     [--retries N] | --stats | --metrics | --reload | --shutdown)
   logirec metrics   --addr HOST:PORT
 
 serve: fault-tolerant top-K serving over a line-JSON TCP protocol. Every
-request carries a deadline; deadline misses and overload degrade to the
-popularity fallback (served_by: exact|fallback|shed), and --watch hot-swaps
+request carries a deadline; deadline misses and overload degrade through
+the tiers (served_by: exact|approx|fallback|shed), and --watch hot-swaps
 validated new models (rolling back to last-good on any validation failure).
+--index-clusters builds the clustered retrieval index (0 = auto sqrt(n));
+tight-deadline and overloaded requests then serve from it (approx) before
+the popularity fallback. --nprobe sets the clusters probed per query
+(0 = auto clusters/8), --approx forces every request through the index.
 
 telemetry (generate / train / evaluate / serve):
   --trace-json FILE     stream structured events (spans, metrics, recoveries,
@@ -94,8 +100,9 @@ metrics: scrape a running server's Prometheus-style text exposition
 print it decoded to stdout.";
 
 /// Boolean flags (no value argument follows them).
-const BOOL_FLAGS: &[&str] =
-    &["no-mining", "metrics-summary", "profile", "stats", "metrics", "reload", "shutdown"];
+const BOOL_FLAGS: &[&str] = &[
+    "no-mining", "metrics-summary", "profile", "stats", "metrics", "reload", "shutdown", "approx",
+];
 
 /// Minimal flag parser: `--key value` pairs plus the boolean flags in
 /// [`BOOL_FLAGS`].
@@ -333,9 +340,24 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let base_cfg = LogiRecConfig { telemetry: tel.clone(), ..LogiRecConfig::default() };
     let model = load_model(&model_path, base_cfg).map_err(|e| e.to_string())?;
     let ctx = std::sync::Arc::new(ServeContext::from_dataset(&ds));
-    let snapshot =
-        ModelSnapshot::build(model, precision, &ctx, model_path.display().to_string())
-            .map_err(|e| format!("model failed serving validation: {e}"))?;
+    // Any index flag turns the clustered retrieval index (and with it the
+    // approx tier) on; 0 keeps the auto knobs.
+    let index_cfg = (flags.get("index-clusters").is_some()
+        || flags.get("nprobe").is_some()
+        || flags.has("approx"))
+    .then_some(IndexConfig {
+        clusters: flags.parse_or("index-clusters", 0)?,
+        nprobe: flags.parse_or("nprobe", 0)?,
+        ..IndexConfig::default()
+    });
+    let snapshot = ModelSnapshot::build_with_index(
+        model,
+        precision,
+        &ctx,
+        model_path.display().to_string(),
+        index_cfg,
+    )
+    .map_err(|e| format!("model failed serving validation: {e}"))?;
     // Struct update keeps this working when the fault-injection feature
     // adds config fields (test builds of the workspace unify features).
     let mut cfg = ServerConfig { telemetry: tel.clone(), ..ServerConfig::default() };
@@ -344,6 +366,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     cfg.shed_limit = flags.parse_or("shed-limit", 64)?;
     cfg.default_deadline_ms = flags.parse_or("deadline-ms", 250)?;
     cfg.max_k = flags.parse_or("max-k", 100)?;
+    cfg.approx_deadline_ms = flags.parse_or("approx-deadline-ms", 25)?;
+    cfg.force_approx = flags.has("approx");
     cfg.watch = match flags.get("watch") {
         None => None,
         Some(path) => Some(WatchConfig {
@@ -351,14 +375,18 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             poll: std::time::Duration::from_millis(flags.parse_or("watch-poll-ms", 200)?),
         }),
     };
+    let index_banner = snapshot.index().map(|idx| {
+        format!(", index {} clusters / nprobe {}", idx.clusters(), idx.nprobe())
+    });
     let server = Server::start(cfg, ctx, snapshot).map_err(|e| e.to_string())?;
     println!(
-        "serving {} users / {} items on {} ({precision}, deadline {}ms); \
+        "serving {} users / {} items on {} ({precision}, deadline {}ms{}); \
          send {{\"shutdown\":true}} to stop",
         ds.n_users(),
         ds.n_items(),
         server.addr(),
         flags.parse_or("deadline-ms", 250u64)?,
+        index_banner.unwrap_or_default(),
     );
     server.wait();
     flags.finish_telemetry(&tel);

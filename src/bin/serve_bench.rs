@@ -13,13 +13,20 @@
 //!    container requests drain too fast for depth to build, so the split
 //!    is hardware-dependent);
 //! 4. **soft-saturated** — a server pinned to `max_inflight = 0`, so every
-//!    request deterministically degrades to fallback(`overload`);
+//!    request deterministically degrades (to the approx tier when an index
+//!    is serving, to fallback otherwise);
 //! 5. **hard-saturated** — a server pinned to `shed_limit = 0`, so every
-//!    request is deterministically shed: the floor cost of saying no.
+//!    request is deterministically shed: the floor cost of saying no;
+//! 6. **approx** — a server carrying the clustered retrieval index with
+//!    `force_approx`, so every request exercises the approx tier; also
+//!    measures recall@10 of the approx tier against the exact scan on the
+//!    served snapshot (deterministic: fixed dataset, model, and index
+//!    seeds), printing the line the tier-1 smoke gates on.
 //!
 //! ```text
 //! serve_bench [--scale tiny|small|paper] [--seed N] [--requests N]
 //!             [--dim N] [--overload-threads N] [--profile]
+//!             [--index-clusters N] [--nprobe N]
 //! ```
 //!
 //! Output is the `results/serve_latency.txt` format: one block per phase.
@@ -34,7 +41,7 @@ use logirec_suite::core::{LogiRec, LogiRecConfig, Precision};
 use logirec_suite::data::{DatasetSpec, Scale};
 use logirec_suite::obs::{profile_span_aggs, rss, Telemetry};
 use logirec_suite::serve::{
-    Client, ModelSnapshot, Request, ServeContext, ServedBy, Server, ServerConfig,
+    Client, IndexConfig, ModelSnapshot, Request, ServeContext, ServedBy, Server, ServerConfig,
 };
 
 fn arg<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
@@ -56,6 +63,8 @@ fn main() -> ExitCode {
     let requests: usize = arg(&args, "--requests", 400);
     let dim: usize = arg(&args, "--dim", 32);
     let overload_threads: usize = arg(&args, "--overload-threads", 48);
+    let index_clusters: usize = arg(&args, "--index-clusters", 0);
+    let nprobe: usize = arg(&args, "--nprobe", 0);
     let profile = args.iter().any(|a| a == "--profile");
     let tel = if profile { Telemetry::enabled() } else { Telemetry::disabled() };
 
@@ -63,16 +72,19 @@ fn main() -> ExitCode {
     let cfg = LogiRecConfig { dim, ..LogiRecConfig::test_config() };
     let model = LogiRec::new(cfg, &ds);
     let ctx = Arc::new(ServeContext::from_dataset(&ds));
-    let start = |label: &str, max_inflight: usize, shed_limit: usize| {
-        let snapshot = ModelSnapshot::build(model.clone(), Precision::F64, &ctx, label)
-            .unwrap_or_else(|e| {
-                eprintln!("snapshot build failed: {e}");
-                std::process::exit(1);
-            });
+    let start = |label: &str, max_inflight: usize, shed_limit: usize, index: Option<IndexConfig>| {
+        let force_approx = index.is_some();
+        let snapshot =
+            ModelSnapshot::build_with_index(model.clone(), Precision::F64, &ctx, label, index)
+                .unwrap_or_else(|e| {
+                    eprintln!("snapshot build failed: {e}");
+                    std::process::exit(1);
+                });
         let server_cfg = ServerConfig {
             max_inflight,
             shed_limit,
             default_deadline_ms: 1000,
+            force_approx,
             telemetry: tel.clone(),
             ..ServerConfig::default()
         };
@@ -81,7 +93,7 @@ fn main() -> ExitCode {
             std::process::exit(1);
         })
     };
-    let server = start("serve_bench", 4, 16);
+    let server = start("serve_bench", 4, 16, None);
     let addr = server.addr();
     let n_users = ctx.n_users();
 
@@ -114,17 +126,59 @@ fn main() -> ExitCode {
     server.shutdown();
 
     // Phase 4: soft-saturated — max_inflight 0 pins every request to the
-    // fallback(overload) tier.
-    let soft = start("soft-saturated", 0, 16);
+    // fallback(overload) tier (no index on this server).
+    let soft = start("soft-saturated", 0, 16, None);
     let lat = run_phase(soft.addr(), requests, 2, n_users, Some(1000));
     report("soft-saturated (max_inflight 0, concurrency 2)", &lat, requests);
     soft.shutdown();
 
     // Phase 5: hard-saturated — shed_limit 0 sheds every request.
-    let hard = start("hard-saturated", 0, 0);
+    let hard = start("hard-saturated", 0, 0, None);
     let lat = run_phase(hard.addr(), requests, 2, n_users, Some(1000));
     report("hard-saturated (shed_limit 0, concurrency 2)", &lat, requests);
     hard.shutdown();
+
+    // Phase 6: approx — a clustered-index server with force_approx, so
+    // every request goes through the retrieval index + exact re-rank.
+    let index_cfg =
+        IndexConfig { clusters: index_clusters, nprobe, ..IndexConfig::default() };
+    let approx = start("approx", 4, 16, Some(index_cfg));
+    let lat = run_phase(approx.addr(), requests, 2, n_users, Some(1000));
+    report("approx (forced, deadline 1000ms, concurrency 2)", &lat, requests);
+
+    // Recall of the approx tier vs the exact scan, on the very snapshot the
+    // phase above served. Deterministic (fixed dataset, model, and index
+    // seeds) — this line is what the tier-1 smoke gates on.
+    {
+        let snap = approx.store().get();
+        let index = snap.index().expect("approx server carries an index");
+        let sample = n_users.min(200);
+        let stride = (n_users / sample).max(1);
+        let mut scratch = Vec::new();
+        let (mut hits, mut total, mut scanned) = (0usize, 0usize, 0.0f64);
+        let mut users = 0usize;
+        for u in (0..n_users).step_by(stride).take(sample) {
+            let (exact_items, _) = snap.top_k(&ctx, u, 10, &mut scratch).expect("exact");
+            let (approx_items, _, probe) =
+                snap.approx_top_k(&ctx, u, 10, None).expect("in range").expect("index");
+            hits += exact_items.iter().filter(|v| approx_items.contains(v)).count();
+            total += exact_items.len();
+            scanned += probe.scan_fraction();
+            users += 1;
+        }
+        println!(
+            "approx recall@10 vs exact: {:.4} (scanned {:.1}% of catalog, clusters={}, \
+             nprobe={}, build {:.1}ms, {} users)",
+            hits as f64 / total.max(1) as f64,
+            100.0 * scanned / users.max(1) as f64,
+            index.clusters(),
+            index.nprobe(),
+            index.build_us() as f64 / 1e3,
+            users,
+        );
+        println!();
+    }
+    approx.shutdown();
 
     if profile {
         if let Some(peak) = rss::set_peak_rss_gauge(&tel) {
@@ -144,14 +198,14 @@ fn run_phase(
     threads: usize,
     n_users: usize,
     deadline_ms: Option<u64>,
-) -> [Vec<u64>; 3] {
+) -> [Vec<u64>; 4] {
     let per_thread = total / threads;
-    let mut groups: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut groups: [Vec<u64>; 4] = std::array::from_fn(|_| Vec::new());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
-                    let mut local: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+                    let mut local: [Vec<u64>; 4] = std::array::from_fn(|_| Vec::new());
                     let mut client = Client::connect(addr).expect("connect");
                     for i in 0..per_thread {
                         let req = Request {
@@ -163,8 +217,9 @@ fn run_phase(
                         let resp = client.recommend(&req).expect("no request may error");
                         let slot = match resp.served_by {
                             ServedBy::Exact => 0,
-                            ServedBy::Fallback => 1,
-                            ServedBy::Shed => 2,
+                            ServedBy::Approx => 1,
+                            ServedBy::Fallback => 2,
+                            ServedBy::Shed => 3,
                         };
                         local[slot].push(resp.latency_us);
                     }
@@ -190,9 +245,9 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx]
 }
 
-fn report(label: &str, groups: &[Vec<u64>; 3], total: usize) {
+fn report(label: &str, groups: &[Vec<u64>; 4], total: usize) {
     println!("phase: {label}  ({total} requests)");
-    for (name, lat) in ["exact", "fallback", "shed"].iter().zip(groups) {
+    for (name, lat) in ["exact", "approx", "fallback", "shed"].iter().zip(groups) {
         if lat.is_empty() {
             continue;
         }
@@ -206,7 +261,7 @@ fn report(label: &str, groups: &[Vec<u64>; 3], total: usize) {
             sorted.last().copied().unwrap_or(0),
         );
     }
-    let shed_rate = groups[2].len() as f64 / total as f64;
+    let shed_rate = groups[3].len() as f64 / total as f64;
     println!("  shed rate: {:.1}%", 100.0 * shed_rate);
     println!();
 }

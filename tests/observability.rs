@@ -53,9 +53,11 @@ fn stats_percentiles_match_the_latency_histograms() {
     assert_eq!(j.get("stats").and_then(Json::as_bool), Some(true));
     assert_eq!(j.get("requests").and_then(Json::as_u64), Some(40));
 
-    let [exact, fallback, shed] = server.latency_snapshot();
+    let [exact, approx, fallback, shed] = server.latency_snapshot();
     assert_eq!(exact.count, 40, "all nominal requests served exactly");
-    for (path, h) in [("exact", &exact), ("fallback", &fallback), ("shed", &shed)] {
+    for (path, h) in
+        [("exact", &exact), ("approx", &approx), ("fallback", &fallback), ("shed", &shed)]
+    {
         let (p50, p95, p99) = h.percentiles();
         for (suffix, want) in [("p50_us", p50), ("p95_us", p95), ("p99_us", p99)] {
             let key = format!("{path}_{suffix}");
@@ -97,7 +99,7 @@ fn metrics_exposition_matches_server_state_over_the_wire() {
     );
 
     // Latency summary lines equal the histogram quantiles bit-for-bit.
-    let [exact, _, _] = server.latency_snapshot();
+    let [exact, _, _, _] = server.latency_snapshot();
     for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
         let want = format!(
             "logirec_serve_exact_latency_us{{quantile=\"{label}\"}} {}\n",
