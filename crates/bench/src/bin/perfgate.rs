@@ -27,6 +27,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use logirec_bench::perf::{compare, find_latest_baseline, render_comparisons, PerfMetric, PerfSuite};
+use logirec_core::stream::{fold_in_user, FoldInOptions};
 use logirec_core::{graph, train, LogiRec, LogiRecConfig, Precision};
 use logirec_data::{DatasetSpec, Scale};
 use logirec_hyperbolic::lorentz;
@@ -37,7 +38,7 @@ use logirec_serve::{
 };
 
 /// The PR this suite file belongs to (the `<n>` of `BENCH_<n>.json`).
-const PR: u64 = 9;
+const PR: u64 = 10;
 
 const USAGE: &str =
     "usage: perfgate [--out FILE] [--baseline auto|none|FILE] [--tolerance F] [--self-test]";
@@ -211,7 +212,7 @@ fn measure_suite() -> PerfSuite {
     let cfg = LogiRecConfig { epochs: 3, ..LogiRecConfig::test_config() };
     let epochs = cfg.epochs as f64;
     let t0 = Instant::now();
-    let _ = train(cfg, &ds);
+    let (fold_model, _) = train(cfg, &ds);
     metrics.push(PerfMetric {
         name: "train.epoch_ms".to_string(),
         value: t0.elapsed().as_secs_f64() * 1e3 / epochs,
@@ -219,6 +220,24 @@ fn measure_suite() -> PerfSuite {
         tolerance: 2.0,
         gate: true,
     });
+
+    // Cold-start fold-in: per-user cost of streaming a new user into the
+    // trained model (a few RSGD steps on the new row only, frozen tables).
+    {
+        let mut m = fold_model;
+        m.propagate(&ds.train);
+        let positives: Vec<usize> = ds.train.items_of(0).to_vec();
+        let opts = FoldInOptions::for_config(&m.cfg);
+        metrics.push(PerfMetric {
+            name: "stream.fold_in_user_us".to_string(),
+            value: best_of(5, || {
+                mean_ns(20, || fold_in_user(&mut m, &positives, &opts).expect("fold in")) / 1e3
+            }),
+            unit: "us".to_string(),
+            tolerance: 2.0,
+            gate: true,
+        });
+    }
 
     // Serve p95 under nominal load, from the server's own authoritative
     // latency histogram (the same numbers `{"stats":true}` reports).

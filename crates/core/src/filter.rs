@@ -139,6 +139,44 @@ impl SeenFilter {
         Ok(self.seen_of(u)?.binary_search(&v).is_ok())
     }
 
+    /// Appends one user with the given seen-item list (sorted and deduped
+    /// here, so callers may pass events in arrival order). The streaming
+    /// fold-in path uses this to grow the filter in lockstep with the
+    /// embedding tables. Item ids at or beyond [`Self::n_items`] are a
+    /// typed error — nothing is modified in that case.
+    pub fn push_user(&mut self, items: &[usize]) -> Result<usize, FilterError> {
+        if let Some(&bad) = items.iter().find(|&&v| v >= self.n_items) {
+            return Err(FilterError::ItemOutOfRange { item: bad, n_items: self.n_items });
+        }
+        let mut list = items.to_vec();
+        list.sort_unstable();
+        list.dedup();
+        self.seen.push(list);
+        Ok(self.seen.len() - 1)
+    }
+
+    /// Grows the item space by one (a freshly folded-in item no user has
+    /// seen yet). Returns the new item's id.
+    pub fn push_item(&mut self) -> usize {
+        self.n_items += 1;
+        self.n_items - 1
+    }
+
+    /// Records that existing user `u` interacted with item `v` (a streamed
+    /// event), keeping the per-user list sorted and distinct.
+    pub fn record_seen(&mut self, u: usize, v: usize) -> Result<(), FilterError> {
+        if v >= self.n_items {
+            return Err(FilterError::ItemOutOfRange { item: v, n_items: self.n_items });
+        }
+        let n_users = self.seen.len();
+        let list =
+            self.seen.get_mut(u).ok_or(FilterError::UserOutOfRange { user: u, n_users })?;
+        if let Err(pos) = list.binary_search(&v) {
+            list.insert(pos, v);
+        }
+        Ok(())
+    }
+
     /// Masks every seen item of `u` out of `scores` (sets the slot to
     /// `f64::NEG_INFINITY`). Returns the number of items masked. The buffer
     /// length must equal [`Self::n_items`].
@@ -457,6 +495,41 @@ mod tests {
         // The messages carry the ids so reload/serve logs are actionable.
         let msg = f.seen_of(n_users).unwrap_err().to_string();
         assert!(msg.contains(&n_users.to_string()), "{msg}");
+    }
+
+    #[test]
+    fn seen_filter_grows_for_streamed_entities() {
+        let ds = DatasetSpec::ciao(Scale::Tiny).generate(11);
+        let mut f = SeenFilter::eval_mask(&ds);
+        let n_users = f.n_users();
+        let n_items = f.n_items();
+
+        // New user arrives with unordered, duplicated events.
+        let u = f.push_user(&[3, 1, 3, 0]).expect("valid items");
+        assert_eq!(u, n_users);
+        assert_eq!(f.n_users(), n_users + 1);
+        assert_eq!(f.seen_of(u).unwrap(), &[0, 1, 3]);
+
+        // New item: no user has seen it, but it is in range everywhere.
+        let v = f.push_item();
+        assert_eq!(v, n_items);
+        assert!(!f.is_seen(u, v).unwrap());
+
+        // Streamed event on the new user and new item.
+        f.record_seen(u, v).expect("in range");
+        assert!(f.is_seen(u, v).unwrap());
+        // Recording the same event twice keeps the list distinct.
+        f.record_seen(u, v).expect("in range");
+        assert_eq!(f.seen_of(u).unwrap(), &[0, 1, 3, v]);
+
+        // Bad ids are typed errors and leave the filter untouched.
+        assert_eq!(
+            f.push_user(&[f.n_items()]),
+            Err(FilterError::ItemOutOfRange { item: f.n_items(), n_items: f.n_items() })
+        );
+        assert_eq!(f.n_users(), n_users + 1);
+        assert!(f.record_seen(f.n_users(), 0).is_err());
+        assert!(f.record_seen(0, f.n_items()).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod mining;
 pub mod parallel;
 pub mod model;
 pub mod shard;
+pub mod stream;
 pub mod trainer;
 
 pub use ablation::Variant;
@@ -39,4 +40,8 @@ pub use filter::{FilterError, FilteredRanker, LogicFilter, SeenFilter};
 pub use graph::PropGraph;
 pub use model::LogiRec;
 pub use shard::{merge_tree, shard_count, shard_ranges, Merge, SparseGrad};
+pub use stream::{
+    compact, fold_in_item, fold_in_user, recover_from_checkpoint, CompactionError,
+    CompactionOptions, CompactionReport, Event, EventLog, FoldInError, FoldInOptions, FoldInReport,
+};
 pub use trainer::{train, train_typed, Recovery, RecoveryAction, TrainReport};

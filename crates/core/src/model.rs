@@ -362,6 +362,89 @@ impl<S: Scalar> LogiRec<S> {
     pub fn all_finite(&self) -> bool {
         self.tags.all_finite() && self.items.all_finite() && self.users.all_finite()
     }
+
+    /// Drops the cached forward state (e.g. after restoring parameter
+    /// tables from a checkpoint); re-run [`Self::propagate`] before
+    /// scoring.
+    pub fn clear_state(&mut self) {
+        self.state = None;
+    }
+
+    /// Appends one user parameter row (carrier coordinates) and, when a
+    /// forward state is cached, extends every state tensor in lockstep.
+    ///
+    /// A freshly folded-in user has no edges in the propagation graph, so
+    /// each GCN layer passes its tangent through unchanged and the layer
+    /// sum is `L` repeated additions of `z₀` — replicated here exactly as
+    /// [`crate::graph::propagate_forward_graph`] computes it, making the
+    /// extended state bit-identical to a full re-propagation against the
+    /// grown graph. Returns the new user's id.
+    pub fn push_user_row(&mut self, row: &[S]) -> usize {
+        assert_eq!(row.len(), self.cfg.ambient_dim(), "user row width");
+        self.users.push_row(row);
+        if let Some(st) = self.state.as_mut() {
+            let z0 = match self.cfg.geometry {
+                Geometry::Hyperbolic => lorentz::log_origin(row),
+                Geometry::Euclidean => row.to_vec(),
+            };
+            let tan = degree_zero_layer_sum(&z0, self.cfg.layers);
+            let final_row = match self.cfg.geometry {
+                Geometry::Hyperbolic => lorentz::exp_origin(&tan),
+                Geometry::Euclidean => tan.clone(),
+            };
+            st.z_u0.push_row(&z0);
+            st.user_final_tan.push_row(&tan);
+            st.user_final.push_row(&final_row);
+        }
+        self.users.rows() - 1
+    }
+
+    /// Appends one item parameter row (Poincaré / Euclidean coordinates),
+    /// extending the cached forward state like [`Self::push_user_row`].
+    /// Returns the new item's id.
+    pub fn push_item_row(&mut self, row: &[S]) -> usize {
+        assert_eq!(row.len(), self.cfg.dim, "item row width");
+        self.items.push_row(row);
+        if let Some(st) = self.state.as_mut() {
+            match self.cfg.geometry {
+                Geometry::Hyperbolic => {
+                    let carrier = maps::poincare_to_lorentz(row);
+                    let z0 = lorentz::log_origin(&carrier);
+                    let tan = degree_zero_layer_sum(&z0, self.cfg.layers);
+                    let final_row = lorentz::exp_origin(&tan);
+                    st.item_carrier.push_row(&carrier);
+                    st.z_v0.push_row(&z0);
+                    st.item_final_tan.push_row(&tan);
+                    st.item_final.push_row(&final_row);
+                }
+                Geometry::Euclidean => {
+                    // The Euclidean forward pass uses the item table itself
+                    // as both carrier and layer-0 tangent.
+                    let tan = degree_zero_layer_sum(row, self.cfg.layers);
+                    st.item_carrier.push_row(row);
+                    st.z_v0.push_row(row);
+                    st.item_final_tan.push_row(&tan);
+                    st.item_final.push_row(&tan);
+                }
+            }
+        }
+        self.items.rows() - 1
+    }
+}
+
+/// The final tangent of a degree-0 node: with `L ≥ 1` layers, the layer
+/// loop accumulates the unchanged `z₀` once per layer (repeated addition,
+/// matching the propagation kernel's rounding exactly); with `L = 0` the
+/// forward pass is the identity.
+fn degree_zero_layer_sum<S: Scalar>(z0: &[S], layers: usize) -> Vec<S> {
+    if layers == 0 {
+        return z0.to_vec();
+    }
+    let mut tan = vec![S::ZERO; z0.len()];
+    for _ in 0..layers {
+        ops::axpy(S::ONE, z0, &mut tan);
+    }
+    tan
 }
 
 impl<S: Scalar> logirec_eval::Ranker for LogiRec<S> {
@@ -546,6 +629,33 @@ mod tests {
                 ana_tan[col]
             );
         }
+    }
+
+    #[test]
+    fn pushed_degree_zero_rows_match_full_repropagation() {
+        let (mut m, ds) = tiny_model();
+        m.propagate(&ds.train);
+        let tangent = vec![0.01; m.cfg.dim];
+        let u = m.push_user_row(&lorentz::exp_origin(&tangent));
+        let v = m.push_item_row(&vec![0.005; m.cfg.dim]);
+        assert_eq!(u, ds.n_users());
+        assert_eq!(v, ds.n_items());
+        let incremental = m.state().clone();
+
+        // Re-propagating against the grown graph (the new rows have no
+        // edges) must reproduce the incrementally extended state bit for
+        // bit.
+        let pairs: Vec<(usize, usize)> = ds.train.iter_pairs().collect();
+        let grown = InteractionSet::from_pairs(ds.n_users() + 1, ds.n_items() + 1, &pairs);
+        m.propagate(&grown);
+        let full = m.state();
+        assert_eq!(incremental.user_final, full.user_final);
+        assert_eq!(incremental.item_final, full.item_final);
+        assert_eq!(incremental.user_final_tan, full.user_final_tan);
+        assert_eq!(incremental.item_final_tan, full.item_final_tan);
+        assert_eq!(incremental.z_u0, full.z_u0);
+        assert_eq!(incremental.z_v0, full.z_v0);
+        assert_eq!(incremental.item_carrier, full.item_carrier);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod interactions;
 pub mod loader;
+pub mod replay;
 pub mod sampling;
 pub mod synth;
 
@@ -28,5 +29,6 @@ pub use interactions::{Dataset, InteractionSet, Split};
 pub use loader::{
     load_dataset, load_dataset_traced, save_dataset, save_dataset_traced, LoadError,
 };
+pub use replay::{ColdUser, ReplayScenario};
 pub use sampling::{BatchIter, NegativeSampler};
 pub use synth::{DatasetSpec, Scale};

@@ -1,0 +1,198 @@
+//! Temporal-replay scenario for the streaming cold-start harness.
+//!
+//! The scenario splits a synthetic benchmark into a **warm** past and a
+//! **cold** future: the last `cold_fraction` of user ids are treated as
+//! signups that did not exist when the model was trained. The warm dataset
+//! (warm users only, normal 60/20/20 temporal split) trains the frozen
+//! model; each cold user's events are then *streamed* — the first 80 % by
+//! timestamp are revealed as fold-in positives, the final 20 % are held
+//! out as test items.
+//!
+//! The [`ReplayScenario::replay`] dataset is the matched full-retrain
+//! baseline: its train split is the warm train **plus** the cold users'
+//! revealed events, and its test split contains exactly the cold holdout —
+//! so `evaluate(.., Split::Test, ..)` on it scores only cold users, under
+//! identical masking, for both the streamed model and the retrained one.
+
+use crate::interactions::{temporal_split, Dataset, InteractionSet};
+use crate::synth::DatasetSpec;
+
+/// One cold-start user in the replay.
+#[derive(Debug, Clone)]
+pub struct ColdUser {
+    /// User id in the full (replay) id space — always `≥ n_warm_users`.
+    pub id: usize,
+    /// Items revealed by streaming, in timestamp order (first 80 %).
+    pub fold_in: Vec<usize>,
+    /// Held-out items (final 20 %, at least one).
+    pub test: Vec<usize>,
+}
+
+/// A warm-past / cold-future split of one synthetic benchmark.
+#[derive(Debug, Clone)]
+pub struct ReplayScenario {
+    /// Warm users only (`n_users = n_warm_users`), standard 60/20/20
+    /// temporal split. This is what the frozen model trains on.
+    pub warm: Dataset,
+    /// Full id space. `train` = warm train + cold revealed events,
+    /// `validation` = warm validation, `test` = cold holdout only. Train a
+    /// model on `replay.train` for the full-retrain baseline; evaluate
+    /// both models on `Split::Test` of this dataset.
+    pub replay: Dataset,
+    /// The cold users, ordered by id (`n_warm_users..n_users`).
+    pub cold: Vec<ColdUser>,
+}
+
+impl ReplayScenario {
+    /// Builds the scenario from a benchmark spec. `cold_fraction` of the
+    /// users (at least 1, at most half) become cold-start signups.
+    /// Deterministic in `(spec, seed)`; the warm dataset is derived from
+    /// the *same* event stream as `spec.generate(seed)`.
+    pub fn build(spec: &DatasetSpec, seed: u64, cold_fraction: f64) -> Self {
+        let (full, events) = spec.generate_with_events(seed);
+        let n_users = full.n_users();
+        let n_items = full.n_items();
+        let n_cold =
+            ((n_users as f64 * cold_fraction).ceil() as usize).clamp(1, n_users / 2);
+        let n_warm = n_users - n_cold;
+
+        // Warm past: the warm users' events under the standard protocol.
+        let warm_events: Vec<(usize, usize, u64)> =
+            events.iter().copied().filter(|&(u, _, _)| u < n_warm).collect();
+        let (w_train, w_valid, w_test) = temporal_split(n_warm, n_items, &warm_events);
+        let warm = Dataset {
+            name: format!("{}-warm", full.name),
+            train: w_train,
+            validation: w_valid,
+            test: w_test,
+            taxonomy: full.taxonomy.clone(),
+            item_tags: full.item_tags.clone(),
+            relations: full.relations.clone(),
+        };
+
+        // Cold future: per cold user, reveal the first 80 % of events by
+        // time and hold out the rest (at least one item each side when the
+        // user has ≥ 2 events).
+        let mut cold = Vec::with_capacity(n_cold);
+        for id in n_warm..n_users {
+            let mut evs: Vec<(u64, usize)> = events
+                .iter()
+                .filter(|&&(u, _, _)| u == id)
+                .map(|&(_, v, t)| (t, v))
+                .collect();
+            evs.sort_unstable();
+            let n = evs.len();
+            let cut = if n < 2 { 0 } else { ((n as f64 * 0.8).round() as usize).clamp(1, n - 1) };
+            let fold_in: Vec<usize> = evs[..cut].iter().map(|&(_, v)| v).collect();
+            let test: Vec<usize> = evs[cut..].iter().map(|&(_, v)| v).collect();
+            cold.push(ColdUser { id, fold_in, test });
+        }
+
+        // The matched retrain baseline in the full id space.
+        let mut train_pairs: Vec<(usize, usize)> = warm.train.iter_pairs().collect();
+        for c in &cold {
+            train_pairs.extend(c.fold_in.iter().map(|&v| (c.id, v)));
+        }
+        let valid_pairs: Vec<(usize, usize)> = warm.validation.iter_pairs().collect();
+        let mut test_pairs = Vec::new();
+        for c in &cold {
+            test_pairs.extend(c.test.iter().map(|&v| (c.id, v)));
+        }
+        let replay = Dataset {
+            name: format!("{}-replay", full.name),
+            train: InteractionSet::from_pairs(n_users, n_items, &train_pairs),
+            validation: InteractionSet::from_pairs(n_users, n_items, &valid_pairs),
+            test: InteractionSet::from_pairs(n_users, n_items, &test_pairs),
+            taxonomy: full.taxonomy,
+            item_tags: full.item_tags,
+            relations: full.relations,
+        };
+
+        Self { warm, replay, cold }
+    }
+
+    /// Number of warm users (cold ids start here).
+    pub fn n_warm_users(&self) -> usize {
+        self.warm.n_users()
+    }
+
+    /// The cold users' revealed events as a global arrival stream
+    /// `(user, item, time)`, interleaved by timestamp (ties by user id) —
+    /// ready to feed an append-only event log.
+    pub fn stream_events(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for c in &self.cold {
+            for (i, &v) in c.fold_in.iter().enumerate() {
+                out.push((c.id, v, i as u64));
+            }
+        }
+        out.sort_unstable_by_key(|&(u, _, t)| (t, u));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Scale;
+
+    #[test]
+    fn replay_split_is_consistent_and_deterministic() {
+        let spec = DatasetSpec::ciao(Scale::Tiny);
+        let a = ReplayScenario::build(&spec, 7, 0.1);
+        let b = ReplayScenario::build(&spec, 7, 0.1);
+        let n_warm = a.n_warm_users();
+        assert!(n_warm < spec.users);
+        assert_eq!(a.cold.len(), spec.users - n_warm);
+        for (ca, cb) in a.cold.iter().zip(&b.cold) {
+            assert_eq!(ca.id, cb.id);
+            assert_eq!(ca.fold_in, cb.fold_in);
+            assert_eq!(ca.test, cb.test);
+        }
+        for c in &a.cold {
+            assert!(c.id >= n_warm && c.id < spec.users);
+            assert!(!c.test.is_empty(), "cold user {} has no holdout", c.id);
+            assert!(c.fold_in.iter().all(|&v| v < spec.items));
+        }
+    }
+
+    #[test]
+    fn warm_dataset_excludes_cold_users() {
+        let spec = DatasetSpec::ciao(Scale::Tiny);
+        let sc = ReplayScenario::build(&spec, 9, 0.1);
+        assert_eq!(sc.warm.n_users() + sc.cold.len(), spec.users);
+        assert_eq!(sc.warm.n_items(), spec.items);
+        // Warm matches the full generation for warm users: same train rows
+        // as the full dataset restricted to warm ids.
+        let full = spec.generate(9);
+        for u in 0..sc.warm.n_users() {
+            assert_eq!(sc.warm.train.items_of(u), full.train.items_of(u));
+        }
+    }
+
+    #[test]
+    fn replay_dataset_trains_on_revealed_and_tests_on_holdout() {
+        let spec = DatasetSpec::ciao(Scale::Tiny);
+        let sc = ReplayScenario::build(&spec, 11, 0.1);
+        assert_eq!(sc.replay.n_users(), spec.users);
+        for c in &sc.cold {
+            for &v in &c.fold_in {
+                assert!(sc.replay.train.contains(c.id, v));
+                assert!(!sc.replay.test.contains(c.id, v));
+            }
+            for &v in &c.test {
+                assert!(sc.replay.test.contains(c.id, v));
+                assert!(!sc.replay.train.contains(c.id, v));
+            }
+        }
+        // Test split contains only cold users.
+        for u in 0..sc.n_warm_users() {
+            assert!(sc.replay.test.items_of(u).is_empty());
+        }
+        // The event stream is time-ordered and covers every revealed item.
+        let stream = sc.stream_events();
+        let revealed: usize = sc.cold.iter().map(|c| c.fold_in.len()).sum();
+        assert_eq!(stream.len(), revealed);
+        assert!(stream.windows(2).all(|w| w[0].2 <= w[1].2));
+    }
+}

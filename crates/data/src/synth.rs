@@ -225,6 +225,24 @@ impl DatasetSpec {
     /// a `synth` span, each numbered stage a nested `synth.stage` span with
     /// a `stage` field.
     pub fn generate_traced(&self, seed: u64, tel: &Telemetry) -> Dataset {
+        self.generate_with_events_traced(seed, tel).0
+    }
+
+    /// [`Self::generate`], additionally returning the raw timestamped
+    /// interaction events `(user, item, time)` the splits were derived
+    /// from. The generation sequence is identical to [`Self::generate`]
+    /// (same RNG stream, same stages), so the returned dataset is
+    /// bit-identical to `generate(seed)` — the events are what the
+    /// temporal-replay harness needs to re-split time differently.
+    pub fn generate_with_events(&self, seed: u64) -> (Dataset, Vec<(usize, usize, u64)>) {
+        self.generate_with_events_traced(seed, &Telemetry::disabled())
+    }
+
+    fn generate_with_events_traced(
+        &self,
+        seed: u64,
+        tel: &Telemetry,
+    ) -> (Dataset, Vec<(usize, usize, u64)>) {
         let mut synth_span = tel.span("synth");
         synth_span.field("dataset", self.name);
         synth_span.field("users", self.users as u64);
@@ -278,7 +296,7 @@ impl DatasetSpec {
         sp.close();
 
         synth_span.field("events", events.len() as u64);
-        Dataset {
+        let dataset = Dataset {
             name: self.name.to_string(),
             train,
             validation,
@@ -286,7 +304,8 @@ impl DatasetSpec {
             taxonomy,
             item_tags,
             relations,
-        }
+        };
+        (dataset, events)
     }
 
     /// Assigns each item a primary tag (biased toward deep levels) and, with
@@ -596,6 +615,20 @@ mod tests {
         let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
         assert!(mean > 1.5, "mean tag types {mean}");
         assert!(mean < ds.n_tags() as f64 * 0.8, "mean tag types {mean} too diffuse");
+    }
+
+    #[test]
+    fn generate_with_events_matches_generate() {
+        let spec = DatasetSpec::ciao(Scale::Tiny);
+        let plain = spec.generate(21);
+        let (ds, events) = spec.generate_with_events(21);
+        for u in 0..plain.n_users() {
+            assert_eq!(plain.train.items_of(u), ds.train.items_of(u));
+            assert_eq!(plain.test.items_of(u), ds.test.items_of(u));
+        }
+        // The events are exactly what the splits were derived from.
+        assert_eq!(events.len(), ds.n_interactions());
+        assert!(events.iter().all(|&(u, v, _)| u < ds.n_users() && v < ds.n_items()));
     }
 
     #[test]

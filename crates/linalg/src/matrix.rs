@@ -128,6 +128,17 @@ impl<S: Scalar> Embedding<S> {
         ops::all_finite(&self.data)
     }
 
+    /// Appends one row to the bottom of the matrix. The streaming fold-in
+    /// path uses this to grow a table in place without reallocating the
+    /// existing rows into a new matrix.
+    ///
+    /// Panics if `row.len() != dim` (a shape bug, not a data error).
+    pub fn push_row(&mut self, row: &[S]) {
+        assert_eq!(row.len(), self.dim, "push_row requires a {}-dim row", self.dim);
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Converts every entry through `f64` into precision `T` (exact when
     /// widening `f32 → f64`, round-to-nearest when narrowing).
     pub fn cast<T: Scalar>(&self) -> Embedding<T> {
@@ -219,6 +230,25 @@ mod tests {
         for (a, b) in m64.as_slice().iter().zip(m32.as_slice()) {
             assert_eq!(*b, *a as f32);
         }
+    }
+
+    #[test]
+    fn push_row_grows_without_disturbing_existing_rows() {
+        let mut m = Embedding::zeros(2, 3);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        m.row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        let before = m.as_slice().to_vec();
+        m.push_row(&[7.0, 8.0, 9.0]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(&m.as_slice()[..6], &before[..]);
+        assert_eq!(m.row(2), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_row requires")]
+    fn push_row_rejects_wrong_width() {
+        let mut m: Embedding = Embedding::zeros(1, 3);
+        m.push_row(&[1.0, 2.0]);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use logirec_obs::json::{self, Json};
 
-use crate::protocol::{self, Request, Response};
+use crate::protocol::{self, FoldInVerb, Request, Response};
 
 /// Errors a client call can surface.
 #[derive(Debug)]
@@ -143,6 +143,22 @@ impl Client {
     /// (`reload: swapped|rejected|unchanged`).
     pub fn reload(&mut self) -> Result<Json, ClientError> {
         let line = self.roundtrip_line("{\"reload\":true}")?;
+        json::parse(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Folds a new user (or item, with `item: true`) into the live
+    /// snapshot; returns the raw fold-in object
+    /// (`fold_in: swapped|rejected`, plus `new_id` / `model_version` on
+    /// success).
+    pub fn fold_in(
+        &mut self,
+        item: bool,
+        positives: &[usize],
+        steps: Option<usize>,
+        lr: Option<f64>,
+    ) -> Result<Json, ClientError> {
+        let verb = FoldInVerb { item, positives: positives.to_vec(), steps, lr };
+        let line = self.roundtrip_line(&protocol::encode_fold_in(&verb))?;
         json::parse(&line).map_err(ClientError::Protocol)
     }
 

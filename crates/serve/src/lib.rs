@@ -18,7 +18,9 @@
 //!   re-rank; exhaustive probe is bit-identical to the exact scan.
 //! * [`protocol`] — the line-delimited JSON wire format (std TCP, parsed
 //!   with the in-tree `logirec_obs::json`; offline-friendly).
-//! * [`server`] — the concurrent request loop and degradation matrix.
+//! * [`server`] — the concurrent request loop, degradation matrix, and the
+//!   `fold_in` admin verb that grows the live snapshot by one cold-start
+//!   user or item off the request path.
 //! * [`reload`] — change-driven reload with validation and rollback.
 //! * [`client`] — a protocol client plus bounded-retry/backoff helpers.
 //! * [`faults`] — deterministic serve-path fault injection (behind the
@@ -35,7 +37,7 @@ pub mod snapshot;
 
 pub use client::{recommend_with_retry, Client, ClientError, RetryPolicy};
 pub use index::{ClusterIndex, IndexConfig, ProbeReport};
-pub use protocol::{ApproxInfo, Request, Response, ServedBy};
+pub use protocol::{ApproxInfo, FoldInVerb, Request, Response, ServedBy};
 pub use reload::{load_serving_model, ReloadOutcome, Reloader};
 pub use server::{Server, ServerConfig, StatsSnapshot, WatchConfig};
 pub use snapshot::{ModelSnapshot, ServeContext, SnapshotStore};

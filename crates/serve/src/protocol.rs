@@ -10,8 +10,15 @@
 //! {"stats":true}                               server counters + latency percentiles
 //! {"metrics":true}                             Prometheus-style text exposition
 //! {"reload":true}                              force a reload check now
+//! {"fold_in":{"positives":[3,9]}}              fold a new user into the snapshot
+//! {"fold_in":{"item":true,"positives":[0,2]}}  fold a new item into the snapshot
 //! {"shutdown":true}                            stop the server
 //! ```
+//!
+//! `fold_in` optionally carries `steps` / `lr` overrides for the RSGD
+//! fold-in loop; it answers `{"fold_in":"swapped",...}` with the new
+//! entity id and snapshot version, or `{"fold_in":"rejected","reason":..}`
+//! when validation keeps the last-good snapshot.
 //!
 //! Recommendation responses carry `served_by` — the degradation matrix's
 //! outcome — plus the snapshot version that produced them:
@@ -87,8 +94,23 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
 }
 
+/// A streaming cold-start fold-in admin verb: grow the live snapshot by
+/// one user (or item) off the request path and publish a new version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldInVerb {
+    /// `false` folds in a new user, `true` a new item.
+    pub item: bool,
+    /// Observed interactions for the new entity (item ids for a user,
+    /// user ids for an item).
+    pub positives: Vec<usize>,
+    /// Optional override of the fold-in RSGD step count.
+    pub steps: Option<usize>,
+    /// Optional override of the fold-in RSGD learning rate.
+    pub lr: Option<f64>,
+}
+
 /// Everything a client can send on one line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// A recommendation request.
     Recommend(Request),
@@ -98,6 +120,8 @@ pub enum Message {
     Metrics,
     /// Force a reload check of the watched model file.
     Reload,
+    /// Fold a new user or item into the live snapshot.
+    FoldIn(FoldInVerb),
     /// Stop the server.
     Shutdown,
 }
@@ -151,6 +175,25 @@ pub fn parse_message(line: &str) -> Result<Message, String> {
     if j.get("metrics").and_then(Json::as_bool) == Some(true) {
         return Ok(Message::Metrics);
     }
+    if let Some(f) = j.get("fold_in") {
+        let positives = match f.get("positives") {
+            Some(Json::Arr(a)) => a
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or("fold_in positives must be non-negative integers")
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("fold_in needs a \"positives\" array".to_string()),
+        };
+        return Ok(Message::FoldIn(FoldInVerb {
+            item: f.get("item").and_then(Json::as_bool).unwrap_or(false),
+            positives,
+            steps: f.get("steps").and_then(Json::as_u64).map(|n| n as usize),
+            lr: f.get("lr").and_then(Json::as_f64),
+        }));
+    }
     let user = j
         .get("user")
         .and_then(Json::as_u64)
@@ -170,6 +213,30 @@ pub fn encode_request(req: &Request) -> String {
         s.push_str(&format!(",\"deadline_ms\":{d}"));
     }
     s.push('}');
+    s
+}
+
+/// Encodes a fold-in admin request line (no trailing newline).
+pub fn encode_fold_in(verb: &FoldInVerb) -> String {
+    let mut s = "{\"fold_in\":{".to_string();
+    if verb.item {
+        s.push_str("\"item\":true,");
+    }
+    s.push_str("\"positives\":[");
+    for (i, v) in verb.positives.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(']');
+    if let Some(n) = verb.steps {
+        s.push_str(&format!(",\"steps\":{n}"));
+    }
+    if let Some(lr) = verb.lr {
+        s.push_str(&format!(",\"lr\":{lr}"));
+    }
+    s.push_str("}}");
     s
 }
 
@@ -300,6 +367,24 @@ mod tests {
         assert_eq!(parse_message("{\"metrics\":true}"), Ok(Message::Metrics));
         assert!(parse_message("{\"k\":10}").is_err(), "no user and no admin key");
         assert!(parse_message("not json").is_err());
+    }
+
+    #[test]
+    fn fold_in_verbs_round_trip() {
+        let user = FoldInVerb { item: false, positives: vec![3, 9], steps: None, lr: None };
+        assert_eq!(parse_message(&encode_fold_in(&user)), Ok(Message::FoldIn(user)));
+        let item = FoldInVerb {
+            item: true,
+            positives: vec![0, 2, 5],
+            steps: Some(12),
+            lr: Some(0.25),
+        };
+        assert_eq!(parse_message(&encode_fold_in(&item)), Ok(Message::FoldIn(item)));
+        assert!(
+            parse_message("{\"fold_in\":{}}").is_err(),
+            "fold_in without positives is a client error"
+        );
+        assert!(parse_message("{\"fold_in\":{\"positives\":[-1]}}").is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::fs;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::SystemTime;
 
 use logirec_core::checkpoint;
@@ -111,7 +112,12 @@ impl Reloader {
     /// signature); `force` always attempts a load. Every attempted load is
     /// fully validated before the swap; a failed candidate leaves the
     /// store untouched.
-    pub fn attempt(&mut self, force: bool, ctx: &ServeContext, store: &SnapshotStore) -> ReloadOutcome {
+    pub fn attempt(
+        &mut self,
+        force: bool,
+        ctx: &Arc<ServeContext>,
+        store: &SnapshotStore,
+    ) -> ReloadOutcome {
         let meta = match fs::metadata(&self.path) {
             Ok(m) => m,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return ReloadOutcome::Unchanged,
@@ -161,9 +167,9 @@ mod tests {
     use logirec_core::io::save_model;
     use logirec_data::{DatasetSpec, Scale};
 
-    fn fixture() -> (logirec_data::Dataset, ServeContext, SnapshotStore) {
+    fn fixture() -> (logirec_data::Dataset, Arc<ServeContext>, SnapshotStore) {
         let ds = DatasetSpec::ciao(Scale::Tiny).generate(21);
-        let ctx = ServeContext::from_dataset(&ds);
+        let ctx = Arc::new(ServeContext::from_dataset(&ds));
         let model = LogiRec::new(LogiRecConfig::test_config(), &ds);
         let snap = ModelSnapshot::build(model, Precision::F64, &ctx, "initial").expect("valid");
         let store = SnapshotStore::new(snap);

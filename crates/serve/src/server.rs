@@ -12,15 +12,25 @@
 //! | result finished late                        |             |             |
 //! | inflight > `max_inflight`, no index         | `fallback`  | `overload`  |
 //! | inflight > `shed_limit` (hard overload)     | `shed`      | `overload`  |
-//! | unknown user / malformed line               | error reply | —           |
+//! | unknown user (e.g. not yet folded in)       | `fallback`  | `unknown_user` |
+//! | malformed line                              | error reply | —           |
 //!
 //! ¹ when the live snapshot carries a retrieval index; without one these
 //! rows keep the pre-index behavior (exact / fallback).
 //!
 //! The server never turns load or latency into an empty error: the
-//! popularity prior always produces a valid response. Only client mistakes
-//! (bad JSON, out-of-range user) get an `error` reply — and even those
-//! leave the connection open.
+//! popularity prior always produces a valid response. An out-of-range user
+//! — typically a signup that has not been folded in yet — degrades to the
+//! unpersonalized popularity fallback rather than erroring, so clients can
+//! show *something* while the `{"fold_in":..}` admin verb catches the
+//! snapshot up. Only malformed JSON gets an `error` reply — and even that
+//! leaves the connection open.
+//!
+//! Fold-in requests run off the request path: they optimize the single new
+//! row against the frozen model, grow the serving context, rebuild the
+//! index, and publish the result through the same validated
+//! [`SnapshotStore`] swap as a reload. A rejected candidate (e.g. a
+//! divergent row) keeps the last-good snapshot serving.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -107,6 +117,8 @@ struct Stats {
     errors: AtomicU64,
     reload_success: AtomicU64,
     reload_rejected: AtomicU64,
+    fold_in_success: AtomicU64,
+    fold_in_rejected: AtomicU64,
     conn_drops: AtomicU64,
     // Standalone (registry-free) latency histograms per served_by path, so
     // `{"stats":true}` percentiles work even with telemetry disabled.
@@ -127,6 +139,8 @@ impl Default for Stats {
             errors: AtomicU64::new(0),
             reload_success: AtomicU64::new(0),
             reload_rejected: AtomicU64::new(0),
+            fold_in_success: AtomicU64::new(0),
+            fold_in_rejected: AtomicU64::new(0),
             conn_drops: AtomicU64::new(0),
             lat_exact: Histogram::standalone(),
             lat_approx: Histogram::standalone(),
@@ -155,6 +169,10 @@ pub struct StatsSnapshot {
     pub reload_success: u64,
     /// Reload candidates rejected by validation (rollback to last-good).
     pub reload_rejected: u64,
+    /// Fold-ins that published a grown snapshot.
+    pub fold_in_success: u64,
+    /// Fold-in candidates rejected by validation (last-good kept).
+    pub fold_in_rejected: u64,
     /// Connections dropped by fault injection.
     pub conn_drops: u64,
 }
@@ -170,6 +188,8 @@ impl Stats {
             errors: self.errors.load(Ordering::Relaxed),
             reload_success: self.reload_success.load(Ordering::Relaxed),
             reload_rejected: self.reload_rejected.load(Ordering::Relaxed),
+            fold_in_success: self.fold_in_success.load(Ordering::Relaxed),
+            fold_in_rejected: self.fold_in_rejected.load(Ordering::Relaxed),
             conn_drops: self.conn_drops.load(Ordering::Relaxed),
         }
     }
@@ -186,6 +206,8 @@ struct TelHandles {
     c_errors: Counter,
     c_reload_success: Counter,
     c_reload_rejected: Counter,
+    c_fold_in_success: Counter,
+    c_fold_in_rejected: Counter,
     // Only incremented by the accept loop's fault hook.
     #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
     c_conn_drops: Counter,
@@ -206,6 +228,8 @@ impl TelHandles {
             c_errors: tel.counter("serve.errors"),
             c_reload_success: tel.counter("serve.reload_success"),
             c_reload_rejected: tel.counter("serve.reload_rejected"),
+            c_fold_in_success: tel.counter("serve.fold_in_success"),
+            c_fold_in_rejected: tel.counter("serve.fold_in_rejected"),
             c_conn_drops: tel.counter("serve.conn_drops"),
             h_exact_us: tel.histogram("serve.exact_us"),
             h_approx_us: tel.histogram("serve.approx_us"),
@@ -225,6 +249,9 @@ struct ServerInner {
     shutdown: AtomicBool,
     inflight: AtomicUsize,
     reloader: Option<Mutex<Reloader>>,
+    // Serializes fold-ins: each builds from the current snapshot and
+    // swaps, so racing two would silently drop one entity.
+    fold_in_lock: Mutex<()>,
 }
 
 /// RAII inflight counter: `depth` includes this request.
@@ -287,6 +314,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             reloader,
+            fold_in_lock: Mutex::new(()),
             cfg,
         });
 
@@ -520,7 +548,42 @@ fn handle_line(inner: &ServerInner, line: &str, scratch: &mut Vec<f64>) -> (Stri
         Ok(Message::Stats) => (stats_line(inner), false),
         Ok(Message::Metrics) => (metrics_line(inner), false),
         Ok(Message::Reload) => (reload_line(try_reload(inner, true)), false),
+        Ok(Message::FoldIn(verb)) => (fold_in_line(inner, &verb), false),
         Ok(Message::Recommend(req)) => (handle_recommend(inner, &req, scratch), false),
+    }
+}
+
+/// Handles one fold-in admin request: grow the current snapshot by one
+/// entity off the request path and publish it, or keep the last-good
+/// snapshot when validation rejects the candidate.
+fn fold_in_line(inner: &ServerInner, verb: &protocol::FoldInVerb) -> String {
+    let _serial = inner.fold_in_lock.lock().expect("fold-in lock poisoned");
+    let tel = &inner.cfg.telemetry;
+    let entity = if verb.item { "item" } else { "user" };
+    let snap = inner.store.get();
+    match snap.fold_in(verb.item, &verb.positives, verb.steps, verb.lr) {
+        Ok((candidate, new_id)) => {
+            let version = inner.store.swap(candidate);
+            inner.stats.fold_in_success.fetch_add(1, Ordering::Relaxed);
+            inner.tel.c_fold_in_success.incr();
+            let mut span = tel.span("fold_in");
+            span.field("entity", entity);
+            span.field("new_id", new_id);
+            span.field("version", version);
+            format!(
+                "{{\"id\":0,\"fold_in\":\"swapped\",\"entity\":\"{entity}\",\
+                 \"new_id\":{new_id},\"model_version\":{version}}}"
+            )
+        }
+        Err(reason) => {
+            inner.stats.fold_in_rejected.fetch_add(1, Ordering::Relaxed);
+            inner.tel.c_fold_in_rejected.incr();
+            tel.warn("serve.fold_in", format!("fold-in rejected, keeping last-good: {reason}"));
+            let mut s = "{\"id\":0,\"fold_in\":\"rejected\",\"reason\":\"".to_string();
+            protocol::escape_into(&reason, &mut s);
+            s.push_str("\"}");
+            s
+        }
     }
 }
 
@@ -529,7 +592,8 @@ fn stats_line(inner: &ServerInner) -> String {
     let mut line = format!(
         "{{\"id\":0,\"stats\":true,\"requests\":{},\"exact\":{},\"approx\":{},\
          \"fallback\":{},\"shed\":{},\"errors\":{},\"reload_success\":{},\
-         \"reload_rejected\":{},\"conn_drops\":{},\"model_version\":{},\"inflight\":{}",
+         \"reload_rejected\":{},\"fold_in_success\":{},\"fold_in_rejected\":{},\
+         \"conn_drops\":{},\"model_version\":{},\"inflight\":{}",
         s.requests,
         s.exact,
         s.approx,
@@ -538,6 +602,8 @@ fn stats_line(inner: &ServerInner) -> String {
         s.errors,
         s.reload_success,
         s.reload_rejected,
+        s.fold_in_success,
+        s.fold_in_rejected,
         s.conn_drops,
         inner.store.get().version(),
         inner.inflight.load(Ordering::SeqCst),
@@ -571,6 +637,8 @@ fn render_exposition(inner: &ServerInner) -> String {
     e.counter("logirec_serve_errors", s.errors);
     e.counter("logirec_serve_reload_success", s.reload_success);
     e.counter("logirec_serve_reload_rejected", s.reload_rejected);
+    e.counter("logirec_serve_fold_in_success", s.fold_in_success);
+    e.counter("logirec_serve_fold_in_rejected", s.fold_in_rejected);
     e.counter("logirec_serve_conn_drops", s.conn_drops);
     e.gauge("logirec_serve_model_version", inner.store.get().version() as f64);
     e.gauge("logirec_serve_inflight", inner.inflight.load(Ordering::SeqCst) as f64);
@@ -617,14 +685,8 @@ enum Decision {
 
 /// Runs the approx tier for one request; degrades to fallback (same
 /// reason) on the cannot-happen error paths rather than crashing.
-fn approx_decision(
-    inner: &ServerInner,
-    snap: &ModelSnapshot,
-    user: usize,
-    k: usize,
-    why: &'static str,
-) -> Decision {
-    match snap.approx_top_k(&inner.ctx, user, k, None) {
+fn approx_decision(snap: &ModelSnapshot, user: usize, k: usize, why: &'static str) -> Decision {
+    match snap.approx_top_k(user, k, None) {
         Ok(Some((items, scores, report))) => Decision::Approx(items, scores, why, report),
         // No index (raced a swap to an unindexed snapshot) or a filter
         // error: the popularity prior still answers.
@@ -641,19 +703,17 @@ fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) 
     span.field("user", req.user);
     span.field("k", req.k);
 
-    // Validate the user before anything else: an unknown user is a client
-    // error on every path (exact, fallback, and shed alike).
-    if let Err(e) = inner.ctx.seen().seen_of(req.user) {
-        inner.stats.errors.fetch_add(1, Ordering::Relaxed);
-        inner.tel.c_errors.incr();
-        span.field("served_by", "error");
-        return protocol::encode_error(req.id, &e.to_string());
-    }
-
     let guard = InflightGuard::enter(&inner.inflight);
     let deadline = Duration::from_millis(req.deadline_ms.unwrap_or(inner.cfg.default_deadline_ms));
     let k = req.k.clamp(1, inner.cfg.max_k);
     let snap = inner.store.get();
+
+    // Validate the user against the snapshot's own context — a fold-in may
+    // have grown it past the boot-time dataset. An unknown user (a signup
+    // not yet folded in) degrades to the unpersonalized popularity
+    // fallback instead of erroring: the client still gets something to
+    // show while an operator catches the snapshot up.
+    let known = snap.ctx().seen().seen_of(req.user).is_ok();
 
     // The degradation matrix (see the module doc table). The approx tier
     // only enters when the live snapshot actually carries an index, so an
@@ -661,28 +721,30 @@ fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) 
     let has_index = snap.index().is_some();
     let decision = if guard.depth > inner.cfg.shed_limit {
         Decision::Shed
+    } else if !known {
+        Decision::Fallback("unknown_user")
     } else if guard.depth > inner.cfg.max_inflight {
         if has_index {
             // Soft overload with an index: a bounded partial probe is far
             // cheaper than the full scan and far better than popularity.
-            approx_decision(inner, &snap, req.user, k, "overload")
+            approx_decision(&snap, req.user, k, "overload")
         } else {
             Decision::Fallback("overload")
         }
     } else if t0.elapsed() >= deadline {
         Decision::Fallback("deadline")
     } else if has_index && inner.cfg.force_approx {
-        approx_decision(inner, &snap, req.user, k, "requested")
+        approx_decision(&snap, req.user, k, "requested")
     } else if has_index && deadline <= Duration::from_millis(inner.cfg.approx_deadline_ms) {
         // The deadline is too tight to gamble on a full scan.
-        approx_decision(inner, &snap, req.user, k, "deadline")
+        approx_decision(&snap, req.user, k, "deadline")
     } else {
         let score_span = tel.span("score");
         #[cfg(feature = "fault-injection")]
         if let Some(f) = &inner.cfg.faults {
             f.maybe_stall();
         }
-        let result = snap.top_k(&inner.ctx, req.user, k, scratch);
+        let result = snap.top_k(req.user, k, scratch);
         score_span.close();
         match result {
             // User was validated above; remaining errors cannot occur, but
@@ -719,10 +781,12 @@ fn handle_recommend(inner: &ServerInner, req: &Request, scratch: &mut Vec<f64>) 
             (ServedBy::Approx, Some(why.to_string()), items, scores)
         }
         Decision::Fallback(why) => {
-            let (items, scores) = inner
-                .ctx
+            // Known users get the seen-filtered prior; unknown users the
+            // unpersonalized one (there is no history to filter against).
+            let (items, scores) = snap
+                .ctx()
                 .fallback_top_k(req.user, k)
-                .expect("user validated above");
+                .unwrap_or_else(|_| snap.ctx().fallback_top_k_unfiltered(k));
             (ServedBy::Fallback, Some(why.to_string()), items, scores)
         }
         Decision::Shed => (ServedBy::Shed, Some("overload".to_string()), Vec::new(), Vec::new()),

@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use logirec_core::stream::{self, FoldInOptions};
 use logirec_core::{FilterError, LogiRec, LogiRecConfig, Precision, SeenFilter};
 use logirec_data::{Dataset, InteractionSet};
 use logirec_eval::ranking::top_k_indices;
@@ -113,6 +114,46 @@ impl ServeContext {
         }
         Ok((items, scores))
     }
+
+    /// The degraded response for a user the context does not know (a
+    /// signup that has not been folded in yet): the `k` most train-popular
+    /// items with no seen-mask, since there is no history to mask.
+    pub fn fallback_top_k_unfiltered(&self, k: usize) -> (Vec<usize>, Vec<f64>) {
+        let n = k.min(self.popularity.len());
+        (self.popularity[..n].to_vec(), self.pop_scores[..n].to_vec())
+    }
+
+    /// A copy of this context grown by one user whose seen items are
+    /// `positives`. The training interactions keep their edges but gain
+    /// the row — the new user is **isolated** in the propagation graph, so
+    /// re-propagating a folded model leaves every pre-existing final
+    /// embedding byte-identical (see `logirec_core::stream`).
+    pub fn with_new_user(&self, positives: &[usize]) -> Result<Self, FilterError> {
+        let mut next = self.clone();
+        let pairs: Vec<(usize, usize)> = self.train.iter_pairs().collect();
+        next.train = InteractionSet::from_pairs(self.n_users() + 1, self.n_items(), &pairs);
+        next.seen.push_user(positives)?;
+        Ok(next)
+    }
+
+    /// A copy of this context grown by one item, marked seen for each of
+    /// `interacting_users`. The new item joins the popularity ranking with
+    /// a zero interaction count (it sorts after every existing item, which
+    /// is where a brand-new item belongs in a popularity prior).
+    pub fn with_new_item(&self, interacting_users: &[usize]) -> Result<Self, FilterError> {
+        let mut next = self.clone();
+        let pairs: Vec<(usize, usize)> = self.train.iter_pairs().collect();
+        next.train = InteractionSet::from_pairs(self.n_users(), self.n_items() + 1, &pairs);
+        let v = next.seen.push_item();
+        for &u in interacting_users {
+            next.seen.record_seen(u, v)?;
+        }
+        // Zero count and the largest id: appending keeps the
+        // (count desc, id asc) order invariant.
+        next.popularity.push(v);
+        next.pop_scores.push(0.0);
+        Ok(next)
+    }
 }
 
 /// The model at either working precision. Scores surface as `f64` in both
@@ -133,6 +174,12 @@ pub struct ModelSnapshot {
     precision: Precision,
     source: String,
     model: ModelKind,
+    /// The serving context this snapshot was validated against. Owned (as
+    /// a shared handle) so model, index, and context always swap as one
+    /// unit — a fold-in that grows the tables publishes a grown context in
+    /// the same atomic swap, and a request can never score a snapshot
+    /// through a context with mismatched shapes.
+    ctx: Arc<ServeContext>,
     /// The approximate-retrieval index over this snapshot's item table,
     /// when the server was configured with one. Owned by the snapshot so a
     /// hot swap replaces model and index atomically — they can never skew.
@@ -155,7 +202,7 @@ impl ModelSnapshot {
     pub fn build(
         model: LogiRec,
         precision: Precision,
-        ctx: &ServeContext,
+        ctx: &Arc<ServeContext>,
         source: impl Into<String>,
     ) -> Result<Self, String> {
         Self::build_with_index(model, precision, ctx, source, None)
@@ -172,7 +219,7 @@ impl ModelSnapshot {
     pub fn build_with_index(
         model: LogiRec,
         precision: Precision,
-        ctx: &ServeContext,
+        ctx: &Arc<ServeContext>,
         source: impl Into<String>,
         index_cfg: Option<IndexConfig>,
     ) -> Result<Self, String> {
@@ -214,7 +261,15 @@ impl ModelSnapshot {
                 Some(ClusterIndex::build(&m.state().item_final, m.cfg.geometry, cfg))
             }
         };
-        let snap = Self { version: 0, precision, source: source.into(), model: kind, index, index_cfg };
+        let snap = Self {
+            version: 0,
+            precision,
+            source: source.into(),
+            model: kind,
+            ctx: Arc::clone(ctx),
+            index,
+            index_cfg,
+        };
         let mut scores = vec![0.0f64; ctx.n_items()];
         for &u in ctx.canaries() {
             snap.score_user(u, &mut scores);
@@ -226,10 +281,10 @@ impl ModelSnapshot {
             let mut scratch = Vec::new();
             for &u in ctx.canaries() {
                 let (exact_items, exact_scores) = snap
-                    .top_k(ctx, u, INDEX_CANARY_K, &mut scratch)
+                    .top_k(u, INDEX_CANARY_K, &mut scratch)
                     .map_err(|e| format!("index canary user {u}: {e}"))?;
                 let (items, scores, _) = snap
-                    .approx_top_k(ctx, u, INDEX_CANARY_K, Some(index.clusters()))
+                    .approx_top_k(u, INDEX_CANARY_K, Some(index.clusters()))
                     .map_err(|e| format!("index canary user {u}: {e}"))?
                     .expect("index present");
                 if items != exact_items
@@ -278,6 +333,82 @@ impl ModelSnapshot {
         self.index_cfg
     }
 
+    /// The serving context this snapshot was validated against. Requests
+    /// must use this (not a server-wide context) so that a snapshot whose
+    /// fold-ins grew the tables is always paired with its grown masks.
+    pub fn ctx(&self) -> &Arc<ServeContext> {
+        &self.ctx
+    }
+
+    /// Folds one brand-new entity into a **candidate** snapshot: clones
+    /// the frozen model, runs the deterministic new-row-only optimization
+    /// (`logirec_core::stream`), grows the serving context, and rebuilds
+    /// the snapshot through the full validation pipeline — propagation,
+    /// canary probe, and index rebuild in lockstep. The current snapshot
+    /// is untouched; on any failure (non-finite row, out-of-range
+    /// positives, canary failure) the error is returned and the caller
+    /// keeps serving last-good.
+    ///
+    /// `steps` / `lr` override the fold-in defaults when given. Returns
+    /// the candidate and the id the new entity was assigned.
+    pub fn fold_in(
+        &self,
+        item: bool,
+        positives: &[usize],
+        steps: Option<usize>,
+        lr: Option<f64>,
+    ) -> Result<(Self, usize), String> {
+        let run = |opts: &mut FoldInOptions| {
+            if let Some(s) = steps {
+                opts.steps = s;
+            }
+            if let Some(l) = lr {
+                opts.lr = l;
+            }
+        };
+        // Fold at the serving precision, so the appended row is exactly
+        // what this snapshot's scoring path would have produced; an f32
+        // model round-trips through f64 losslessly (exact widening, exact
+        // re-narrowing at build).
+        let (model, new_id) = match &self.model {
+            ModelKind::F64(m) => {
+                let mut m2 = m.clone();
+                let mut opts = FoldInOptions::for_config(&m2.cfg);
+                run(&mut opts);
+                let report = if item {
+                    stream::fold_in_item(&mut m2, positives, &opts)
+                } else {
+                    stream::fold_in_user(&mut m2, positives, &opts)
+                }
+                .map_err(|e| format!("fold-in: {e}"))?;
+                (m2, report.id)
+            }
+            ModelKind::F32(m) => {
+                let mut m2 = m.clone();
+                let mut opts = FoldInOptions::for_config(&m2.cfg);
+                run(&mut opts);
+                let report = if item {
+                    stream::fold_in_item(&mut m2, positives, &opts)
+                } else {
+                    stream::fold_in_user(&mut m2, positives, &opts)
+                }
+                .map_err(|e| format!("fold-in: {e}"))?;
+                (m2.cast::<f64>(), report.id)
+            }
+        };
+        let grown = if item {
+            self.ctx.with_new_item(positives)
+        } else {
+            self.ctx.with_new_user(positives)
+        }
+        .map_err(|e| format!("fold-in context: {e}"))?;
+        let kind = if item { "item" } else { "user" };
+        let source = format!("{} + fold_in {kind} {new_id}", self.source);
+        let snap =
+            Self::build_with_index(model, self.precision, &Arc::new(grown), source, self.index_cfg)?;
+        Ok((snap, new_id))
+    }
+
     /// The approximate top-K response for `u`: rank clusters, scan the
     /// `nprobe` nearest (default: the index's configured probe count),
     /// exactly re-rank every unseen member through the same Train ∪
@@ -286,13 +417,12 @@ impl ModelSnapshot {
     /// bit-identical to [`ModelSnapshot::top_k`].
     pub fn approx_top_k(
         &self,
-        ctx: &ServeContext,
         u: usize,
         k: usize,
         nprobe: Option<usize>,
     ) -> Result<Option<ApproxAnswer>, FilterError> {
         let Some(index) = &self.index else { return Ok(None) };
-        let seen = ctx.seen().seen_of(u)?;
+        let seen = self.ctx.seen().seen_of(u)?;
         let nprobe = nprobe.unwrap_or_else(|| index.nprobe());
         let out = match &self.model {
             ModelKind::F64(m) => {
@@ -321,18 +451,17 @@ impl ModelSnapshot {
     /// [`top_k_indices`]. Returns `(items, scores)` best-first.
     pub fn top_k(
         &self,
-        ctx: &ServeContext,
         u: usize,
         k: usize,
         scratch: &mut Vec<f64>,
     ) -> Result<(Vec<usize>, Vec<f64>), FilterError> {
         // Validate the user before touching the embedding tables — the
         // model panics on out-of-range rows.
-        ctx.seen().seen_of(u)?;
+        self.ctx.seen().seen_of(u)?;
         scratch.clear();
-        scratch.resize(ctx.n_items(), 0.0);
+        scratch.resize(self.ctx.n_items(), 0.0);
         self.score_user(u, scratch);
-        ctx.seen().mask_scores(u, scratch)?;
+        self.ctx.seen().mask_scores(u, scratch)?;
         let items = top_k_indices(scratch, k);
         let scores = items.iter().map(|&v| scratch[v]).collect();
         Ok((items, scores))
@@ -384,9 +513,9 @@ mod tests {
     use super::*;
     use logirec_data::{DatasetSpec, Scale, Split};
 
-    fn fixture() -> (Dataset, ServeContext, ModelSnapshot) {
+    fn fixture() -> (Dataset, Arc<ServeContext>, ModelSnapshot) {
         let ds = DatasetSpec::ciao(Scale::Tiny).generate(11);
-        let ctx = ServeContext::from_dataset(&ds);
+        let ctx = Arc::new(ServeContext::from_dataset(&ds));
         let model = LogiRec::new(LogiRecConfig::test_config(), &ds);
         let snap = ModelSnapshot::build(model, Precision::F64, &ctx, "test").expect("valid");
         (ds, ctx, snap)
@@ -394,9 +523,9 @@ mod tests {
 
     #[test]
     fn exact_top_k_matches_the_offline_evaluator_masking() {
-        let (ds, ctx, snap) = fixture();
+        let (ds, _ctx, snap) = fixture();
         let mut scratch = Vec::new();
-        let (items, scores) = snap.top_k(&ctx, 0, 10, &mut scratch).expect("in range");
+        let (items, scores) = snap.top_k(0, 10, &mut scratch).expect("in range");
         // Replay the evaluator's inline masking by hand.
         let mut expected = vec![0.0f64; ds.n_items()];
         snap.score_user(0, &mut expected);
@@ -428,7 +557,7 @@ mod tests {
     #[test]
     fn build_rejects_non_finite_models() {
         let ds = DatasetSpec::ciao(Scale::Tiny).generate(11);
-        let ctx = ServeContext::from_dataset(&ds);
+        let ctx = Arc::new(ServeContext::from_dataset(&ds));
         let mut model = LogiRec::new(LogiRecConfig::test_config(), &ds);
         model.items.row_mut(0)[0] = f64::NAN;
         let err = ModelSnapshot::build(model, Precision::F64, &ctx, "bad").unwrap_err();
@@ -450,14 +579,70 @@ mod tests {
         // The reader that grabbed version 1 still holds a working snapshot.
         assert_eq!(held.version(), 1);
         let mut scratch = Vec::new();
-        held.top_k(&ctx, 0, 5, &mut scratch).expect("old snapshot still scores");
+        held.top_k(0, 5, &mut scratch).expect("old snapshot still scores");
     }
 
     #[test]
     fn out_of_range_user_is_a_typed_error_not_a_panic() {
         let (_, ctx, snap) = fixture();
         let mut scratch = Vec::new();
-        assert!(snap.top_k(&ctx, ctx.n_users() + 7, 5, &mut scratch).is_err());
+        assert!(snap.top_k(ctx.n_users() + 7, 5, &mut scratch).is_err());
         assert!(ctx.fallback_top_k(ctx.n_users() + 7, 5).is_err());
+        // The unknown-user degraded path still answers with popularity.
+        let (items, _) = ctx.fallback_top_k_unfiltered(5);
+        assert_eq!(items.len(), 5);
+    }
+
+    #[test]
+    fn fold_in_candidate_grows_context_and_serves_the_new_user() {
+        let (ds, ctx, snap) = fixture();
+        let new_user = ctx.n_users();
+        let positives = vec![1usize, 4, 9];
+        let (candidate, id) = snap.fold_in(false, &positives, None, None).expect("fold in");
+        assert_eq!(id, new_user);
+        assert_eq!(candidate.ctx().n_users(), ds.n_users() + 1);
+        // The original snapshot and context are untouched.
+        assert_eq!(ctx.n_users(), ds.n_users());
+        let mut scratch = Vec::new();
+        assert!(snap.top_k(new_user, 5, &mut scratch).is_err());
+        // The candidate serves the folded user, with positives masked.
+        let (items, _) = candidate.top_k(new_user, 10, &mut scratch).expect("servable");
+        assert_eq!(items.len(), 10);
+        for &v in &positives {
+            assert!(!items.contains(&v), "positive {v} must be masked");
+        }
+        // Pre-existing users score identically on both snapshots.
+        let (old_items, old_scores) = snap.top_k(0, 10, &mut scratch).expect("in range");
+        let (new_items, new_scores) = candidate.top_k(0, 10, &mut scratch).expect("in range");
+        assert_eq!(old_items, new_items);
+        for (a, b) in old_scores.iter().zip(&new_scores) {
+            assert_eq!(a.to_bits(), b.to_bits(), "old user scores must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn fold_in_rejects_divergent_rows_and_bad_positives() {
+        let (_, _ctx, snap) = fixture();
+        // An absurd learning rate (gradient ascent) drives the new row far
+        // off the frozen table's span; the candidate is rejected and the
+        // current snapshot stays usable.
+        let err = snap.fold_in(false, &[1, 4], Some(60), Some(1000.0)).unwrap_err();
+        assert!(err.contains("fold-in"), "{err}");
+        let err = snap.fold_in(false, &[usize::MAX], None, None).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let mut scratch = Vec::new();
+        snap.top_k(0, 5, &mut scratch).expect("last-good still serves");
+    }
+
+    #[test]
+    fn fold_in_item_grows_the_catalog_and_masks_it_for_its_users() {
+        let (ds, _ctx, snap) = fixture();
+        let (candidate, id) = snap.fold_in(true, &[0, 3], None, None).expect("fold in");
+        assert_eq!(id, ds.n_items());
+        assert_eq!(candidate.ctx().n_items(), ds.n_items() + 1);
+        let mut scratch = Vec::new();
+        // The interacting users have the new item masked; others may see it.
+        let (items, _) = candidate.top_k(0, ds.n_items(), &mut scratch).expect("in range");
+        assert!(!items.contains(&id), "item folded for user 0 must be masked");
     }
 }

@@ -82,6 +82,28 @@ for series in \
     *) echo "tier1: metrics scrape FAILED (missing: $series)"; echo "$metrics_out"; exit 1 ;;
   esac
 done
+# Streaming fold-in smoke: a request for an unknown (not yet folded-in)
+# user degrades to the popularity fallback; folding the user in from a few
+# positives publishes the grown snapshot as a new model version off the
+# request path; the folded user is then immediately served exact.
+unknown_out=$(./target/release/logirec request --addr "$serve_addr" --user 60 --k 5)
+echo "$unknown_out"
+case "$unknown_out" in
+  *"served_by: fallback (unknown_user)"*) ;;
+  *) echo "tier1: fold-in smoke FAILED (unknown user did not degrade)"; exit 1 ;;
+esac
+fold_out=$(./target/release/logirec request --addr "$serve_addr" --fold-in 1,4,9)
+echo "$fold_out"
+case "$fold_out" in
+  *"fold_in: swapped  entity: user  new_id: 60  model_version: 2"*) ;;
+  *) echo "tier1: fold-in smoke FAILED (fold-in not swapped)"; exit 1 ;;
+esac
+folded_out=$(./target/release/logirec request --addr "$serve_addr" --user 60 --k 5)
+echo "$folded_out"
+case "$folded_out" in
+  *"served_by: exact"*) ;;
+  *) echo "tier1: fold-in smoke FAILED (folded user not served exact)"; exit 1 ;;
+esac
 ./target/release/logirec request --addr "$serve_addr" --shutdown
 wait "$serve_pid" \
   || { echo "tier1: serve smoke FAILED (server did not exit cleanly)"; exit 1; }

@@ -74,7 +74,7 @@ fn row(
 fn paper_sweep(users: usize, seed: u64) {
     let t0 = Instant::now();
     let ds = DatasetSpec::ciao(Scale::Paper).generate(seed);
-    let ctx = ServeContext::from_dataset(&ds);
+    let ctx = std::sync::Arc::new(ServeContext::from_dataset(&ds));
     let model = LogiRec::new(LogiRecConfig { dim: 16, ..LogiRecConfig::test_config() }, &ds);
     let snap = ModelSnapshot::build_with_index(
         model,
@@ -105,7 +105,7 @@ fn paper_sweep(users: usize, seed: u64) {
     let t0 = Instant::now();
     let exact20: Vec<Vec<usize>> = sample
         .iter()
-        .map(|&u| snap.top_k(&ctx, u, 20, &mut scratch).expect("exact").0)
+        .map(|&u| snap.top_k(u, 20, &mut scratch).expect("exact").0)
         .collect();
     let exact_us = t0.elapsed().as_secs_f64() * 1e6 / sample.len() as f64;
 
@@ -114,7 +114,7 @@ fn paper_sweep(users: usize, seed: u64) {
         let t0 = Instant::now();
         let mut results = Vec::with_capacity(sample.len());
         for &u in &sample {
-            results.push(snap.approx_top_k(&ctx, u, 20, Some(nprobe)).unwrap().unwrap());
+            results.push(snap.approx_top_k(u, 20, Some(nprobe)).unwrap().unwrap());
         }
         let approx_us = t0.elapsed().as_secs_f64() * 1e6 / sample.len() as f64;
         let (mut h10, mut h20, mut scan) = (0usize, 0usize, 0.0f64);

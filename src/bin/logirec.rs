@@ -76,7 +76,9 @@ f32 runs the same kernels in single precision (model files stay f64).
                     [--index-clusters N] [--nprobe N] [--approx]
                     [--approx-deadline-ms N]
   logirec request   --addr HOST:PORT (--user N [--k N] [--deadline-ms N]
-                    [--retries N] | --stats | --metrics | --reload | --shutdown)
+                    [--retries N] | --fold-in ID,ID,... [--fold-in-item]
+                    [--steps N] [--lr X] | --stats | --metrics | --reload
+                    | --shutdown)
   logirec metrics   --addr HOST:PORT
 
 serve: fault-tolerant top-K serving over a line-JSON TCP protocol. Every
@@ -87,6 +89,13 @@ validated new models (rolling back to last-good on any validation failure).
 tight-deadline and overloaded requests then serve from it (approx) before
 the popularity fallback. --nprobe sets the clusters probed per query
 (0 = auto clusters/8), --approx forces every request through the index.
+
+request --fold-in: folds a brand-new user (or item, with --fold-in-item)
+into the running server's model from its comma-separated positives and
+publishes the grown snapshot as a new model version — the frozen model is
+untouched; a rejected fold-in (e.g. divergent --lr) keeps serving the
+last-good snapshot. Until a user is folded in, unknown-user requests
+degrade to the popularity fallback instead of erroring.
 
 telemetry (generate / train / evaluate / serve):
   --trace-json FILE     stream structured events (spans, metrics, recoveries,
@@ -102,6 +111,7 @@ print it decoded to stdout.";
 /// Boolean flags (no value argument follows them).
 const BOOL_FLAGS: &[&str] = &[
     "no-mining", "metrics-summary", "profile", "stats", "metrics", "reload", "shutdown", "approx",
+    "fold-in-item",
 ];
 
 /// Minimal flag parser: `--key value` pairs plus the boolean flags in
@@ -398,6 +408,39 @@ fn cmd_request(flags: &Flags) -> Result<(), String> {
         .require("addr")?
         .parse()
         .map_err(|_| "bad --addr (expected HOST:PORT)".to_string())?;
+    if let Some(list) = flags.get("fold-in") {
+        let positives: Vec<usize> = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.trim().parse().map_err(|_| format!("bad --fold-in id {s:?}")))
+            .collect::<Result<_, _>>()?;
+        let steps = match flags.get("steps") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| format!("bad value for --steps: {v:?}"))?),
+        };
+        let lr = match flags.get("lr") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| format!("bad value for --lr: {v:?}"))?),
+        };
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        let resp = client
+            .fold_in(flags.has("fold-in-item"), &positives, steps, lr)
+            .map_err(|e| e.to_string())?;
+        match resp.get("fold_in").and_then(Json::as_str) {
+            Some("swapped") => println!(
+                "fold_in: swapped  entity: {}  new_id: {}  model_version: {}",
+                resp.get("entity").and_then(Json::as_str).unwrap_or("?"),
+                resp.get("new_id").and_then(Json::as_u64).unwrap_or(0),
+                resp.get("model_version").and_then(Json::as_u64).unwrap_or(0),
+            ),
+            Some("rejected") => println!(
+                "fold_in: rejected  reason: {}",
+                resp.get("reason").and_then(Json::as_str).unwrap_or("?"),
+            ),
+            _ => return Err(format!("unexpected fold-in response: {resp:?}")),
+        }
+        return Ok(());
+    }
     if flags.has("stats") || flags.has("metrics") || flags.has("reload") || flags.has("shutdown")
     {
         let mut client = Client::connect(addr).map_err(|e| e.to_string())?;

@@ -158,9 +158,9 @@ fn main() -> ExitCode {
         let (mut hits, mut total, mut scanned) = (0usize, 0usize, 0.0f64);
         let mut users = 0usize;
         for u in (0..n_users).step_by(stride).take(sample) {
-            let (exact_items, _) = snap.top_k(&ctx, u, 10, &mut scratch).expect("exact");
+            let (exact_items, _) = snap.top_k(u, 10, &mut scratch).expect("exact");
             let (approx_items, _, probe) =
-                snap.approx_top_k(&ctx, u, 10, None).expect("in range").expect("index");
+                snap.approx_top_k(u, 10, None).expect("in range").expect("index");
             hits += exact_items.iter().filter(|v| approx_items.contains(v)).count();
             total += exact_items.len();
             scanned += probe.scan_fraction();

@@ -37,7 +37,7 @@ fn trained_model(ds: &Dataset) -> LogiRec {
 #[test]
 fn exhaustive_probe_matches_exact_top_k_bit_for_bit_at_both_precisions() {
     let ds = dataset();
-    let ctx = ServeContext::from_dataset(&ds);
+    let ctx = Arc::new(ServeContext::from_dataset(&ds));
     let model = trained_model(&ds);
     let index_cfg = Some(IndexConfig { clusters: 13, ..IndexConfig::default() });
     for precision in [Precision::F64, Precision::F32] {
@@ -49,9 +49,9 @@ fn exhaustive_probe_matches_exact_top_k_bit_for_bit_at_both_precisions() {
         for u in 0..ds.n_users() {
             for k in [1, 5, 10] {
                 let (exact_items, exact_scores) =
-                    snap.top_k(&ctx, u, k, &mut scratch).expect("exact");
+                    snap.top_k(u, k, &mut scratch).expect("exact");
                 let (items, scores, report) = snap
-                    .approx_top_k(&ctx, u, k, Some(index.clusters()))
+                    .approx_top_k(u, k, Some(index.clusters()))
                     .expect("in range")
                     .expect("index present");
                 assert_eq!(items, exact_items, "{precision} user {u} k {k}: item set differs");
@@ -75,7 +75,7 @@ fn exhaustive_probe_matches_exact_top_k_bit_for_bit_at_both_precisions() {
 #[test]
 fn paper_scale_recall_stays_high_while_scanning_under_30_percent() {
     let ds = DatasetSpec::ciao(Scale::Paper).generate(9);
-    let ctx = ServeContext::from_dataset(&ds);
+    let ctx = Arc::new(ServeContext::from_dataset(&ds));
     let model = LogiRec::new(LogiRecConfig { dim: 16, ..LogiRecConfig::test_config() }, &ds);
     let snap = ModelSnapshot::build_with_index(
         model,
@@ -93,9 +93,9 @@ fn paper_scale_recall_stays_high_while_scanning_under_30_percent() {
     for k in [10usize, 20] {
         let (mut hits, mut total, mut scanned, mut users) = (0usize, 0usize, 0.0f64, 0usize);
         for u in (0..n_users).step_by(stride).take(sample) {
-            let (exact_items, _) = snap.top_k(&ctx, u, k, &mut scratch).expect("exact");
+            let (exact_items, _) = snap.top_k(u, k, &mut scratch).expect("exact");
             let (approx_items, _, report) =
-                snap.approx_top_k(&ctx, u, k, None).expect("in range").expect("index");
+                snap.approx_top_k(u, k, None).expect("in range").expect("index");
             hits += exact_items.iter().filter(|v| approx_items.contains(v)).count();
             total += exact_items.len();
             scanned += report.scan_fraction();

@@ -16,8 +16,8 @@ use logirec_suite::data::{DatasetSpec, Scale, Split};
 use logirec_suite::eval::ranking::top_k_indices;
 use logirec_suite::serve::faults::{truncate_file, ServeFaultPlan};
 use logirec_suite::serve::{
-    recommend_with_retry, Client, ModelSnapshot, Request, RetryPolicy, ServeContext, ServedBy,
-    Server, ServerConfig, WatchConfig,
+    recommend_with_retry, Client, IndexConfig, ModelSnapshot, Request, RetryPolicy, ServeContext,
+    ServedBy, Server, ServerConfig, WatchConfig,
 };
 
 fn tmp(name: &str) -> PathBuf {
@@ -262,18 +262,25 @@ fn dropped_connections_are_survived_by_the_retry_client() {
     server.shutdown();
 }
 
-/// Client mistakes get an error reply but the connection — and the server —
-/// keep working; nothing about an unknown user or malformed line is fatal.
+/// Malformed lines get an error reply but the connection — and the server —
+/// keep working. An unknown user (a signup not yet folded in) is *not* an
+/// error: it degrades to the unpersonalized popularity fallback, so the
+/// client always has something to show while a fold-in catches up.
 #[test]
 fn client_errors_leave_the_connection_and_server_healthy() {
     let ds = dataset();
     let (server, ctx) = start_server(ServerConfig::default(), &ds, trained_model(&ds));
     let mut client = Client::connect(server.addr()).expect("connect");
 
-    let err = client
+    let resp = client
         .recommend(&request(ctx.n_users() + 5, 10, Some(10_000)))
-        .expect_err("out-of-range user must be rejected");
-    assert!(err.to_string().contains("out of range"), "{err}");
+        .expect("unknown user must degrade, not error");
+    assert_eq!(resp.served_by, ServedBy::Fallback);
+    assert_eq!(resp.reason.as_deref(), Some("unknown_user"));
+    assert!(!resp.items.is_empty(), "the popularity prior still answers");
+    for w in resp.scores.windows(2) {
+        assert!(w[0] >= w[1], "unknown-user fallback is popularity-ordered");
+    }
 
     let line = client.roundtrip_line("this is not json").expect("connection stays open");
     assert!(line.contains("error"), "{line}");
@@ -282,7 +289,96 @@ fn client_errors_leave_the_connection_and_server_healthy() {
     let resp = client.recommend(&request(0, 5, Some(10_000))).expect("still serves");
     assert_eq!(resp.served_by, ServedBy::Exact);
     let stats = server.stats();
-    assert_eq!(stats.errors, 2);
+    assert_eq!(stats.errors, 1, "only the malformed line is an error");
+    assert_eq!(stats.fallback, 1, "the unknown user degraded instead");
+    drop(client);
+    server.shutdown();
+}
+
+/// The streaming cold-start loop over the wire: an unknown signup degrades
+/// to fallback, a rejected fold-in (divergent row) keeps the last-good
+/// snapshot, and a successful `{"fold_in":..}` publishes a new snapshot
+/// version whose user is immediately servable on all three tiers — exact,
+/// approx (index rebuilt in lockstep), and the seen-filtered fallback.
+#[test]
+fn fold_in_verb_publishes_a_new_version_serving_the_cold_user_on_every_tier() {
+    let ds = dataset();
+    let model = trained_model(&ds);
+    let ctx = Arc::new(ServeContext::from_dataset(&ds));
+    let index_cfg = Some(IndexConfig { clusters: 11, ..IndexConfig::default() });
+    let snap = ModelSnapshot::build_with_index(model, Precision::F64, &ctx, "initial", index_cfg)
+        .expect("valid snapshot");
+    // A deadline at or below 1000 ms routes through the approx tier; the
+    // generous real budget keeps the routing deterministic under load.
+    let cfg = ServerConfig {
+        approx_deadline_ms: 1000,
+        default_deadline_ms: 10_000,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, Arc::clone(&ctx), snap).expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Before the fold-in, the signup id only gets the degraded answer.
+    let new_user = ctx.n_users();
+    let resp = client.recommend(&request(new_user, 10, Some(10_000))).expect("degrades");
+    assert_eq!(resp.served_by, ServedBy::Fallback);
+    assert_eq!(resp.reason.as_deref(), Some("unknown_user"));
+    assert_eq!(resp.model_version, 1);
+
+    // A divergent fold-in candidate is rejected; version 1 keeps serving.
+    let j = client.fold_in(false, &[1, 4], Some(60), Some(1000.0)).expect("round-trips");
+    assert_eq!(j.get("fold_in").and_then(|v| v.as_str()), Some("rejected"));
+    assert!(
+        j.get("reason").and_then(|v| v.as_str()).is_some(),
+        "a rejection explains itself"
+    );
+    assert_eq!(server.store().get().version(), 1, "rejected candidate never went live");
+
+    // The real fold-in publishes version 2 carrying the new user, with the
+    // retrieval index rebuilt and stamped in lockstep.
+    let positives = vec![1usize, 4, 9];
+    let j = client.fold_in(false, &positives, None, None).expect("round-trips");
+    assert_eq!(j.get("fold_in").and_then(|v| v.as_str()), Some("swapped"));
+    assert_eq!(j.get("entity").and_then(|v| v.as_str()), Some("user"));
+    assert_eq!(j.get("new_id").and_then(|v| v.as_u64()), Some(new_user as u64));
+    assert_eq!(j.get("model_version").and_then(|v| v.as_u64()), Some(2));
+    let live = server.store().get();
+    assert_eq!(live.version(), 2);
+    assert_eq!(live.index().expect("index rebuilt").model_version(), 2, "lockstep");
+
+    // Exact tier: served, on the new version, with the positives masked.
+    let resp = client.recommend(&request(new_user, 10, Some(10_000))).expect("exact");
+    assert_eq!(resp.served_by, ServedBy::Exact);
+    assert_eq!(resp.model_version, 2);
+    assert!(!resp.items.is_empty());
+    for &v in &positives {
+        assert!(!resp.items.contains(&v), "seen item {v} must stay masked");
+    }
+
+    // Approx tier: the tight-deadline route probes the rebuilt index.
+    let resp = client.recommend(&request(new_user, 10, Some(1000))).expect("approx");
+    assert_eq!(resp.served_by, ServedBy::Approx);
+    assert_eq!(resp.model_version, 2);
+    assert!(resp.approx.is_some(), "approx responses carry their probe config");
+    for &v in &positives {
+        assert!(!resp.items.contains(&v), "seen item {v} must stay masked");
+    }
+
+    // Fallback tier: a zero deadline still knows the folded user's history.
+    let resp = client.recommend(&request(new_user, 10, Some(0))).expect("fallback");
+    assert_eq!(resp.served_by, ServedBy::Fallback);
+    assert_eq!(resp.reason.as_deref(), Some("deadline"));
+    for &v in &positives {
+        assert!(!resp.items.contains(&v), "seen item {v} must stay masked");
+    }
+
+    // The counters and the stats verb record both outcomes.
+    let stats = server.stats();
+    assert_eq!(stats.fold_in_success, 1);
+    assert_eq!(stats.fold_in_rejected, 1);
+    let j = client.stats().expect("stats round-trips");
+    assert_eq!(j.get("fold_in_success").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(j.get("fold_in_rejected").and_then(|v| v.as_u64()), Some(1));
     drop(client);
     server.shutdown();
 }
